@@ -1,0 +1,246 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/geom"
+	"repro/internal/manet"
+	"repro/internal/packet"
+	"repro/internal/routing"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+// Every figure in the paper's evaluation has a benchmark here that
+// regenerates it. The benchmarks run the harness at a reduced scale
+// (fewer broadcasts and replicas than the CLI defaults) so the whole
+// suite finishes in minutes; `go run ./cmd/figures -fig <id>` regenerates
+// any figure at full configurable scale. The tables are printed once per
+// benchmark so `go test -bench` output doubles as a results artifact.
+
+// benchOptions returns the reduced-scale harness options for benchmarks.
+func benchOptions() experiment.Options {
+	return experiment.Options{
+		Requests: 25,
+		Replicas: 1,
+		Trials:   2000,
+		Speeds:   []float64{20, 60},
+		HelloIntervalsMS: []int{
+			1000, 10000, 30000,
+		},
+	}
+}
+
+// runFigure executes one figure spec b.N times, printing its tables on
+// the first iteration.
+func runFigure(b *testing.B, id string) {
+	b.Helper()
+	spec, ok := experiment.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown figure %s", id)
+	}
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		tables := spec.Run(o)
+		if i == 0 {
+			fmt.Printf("\n--- %s: %s ---\npaper: %s\n", spec.ID, spec.Title, spec.Paper)
+			for _, t := range tables {
+				fmt.Print(t.Text())
+			}
+		}
+	}
+}
+
+func BenchmarkFig1EAC(b *testing.B)                 { runFigure(b, "fig1") }
+func BenchmarkFig2Contention(b *testing.B)          { runFigure(b, "fig2") }
+func BenchmarkFig5aSlope(b *testing.B)              { runFigure(b, "fig5a") }
+func BenchmarkFig5bN1(b *testing.B)                 { runFigure(b, "fig5b") }
+func BenchmarkFig5cN2(b *testing.B)                 { runFigure(b, "fig5c") }
+func BenchmarkFig5dShape(b *testing.B)              { runFigure(b, "fig5d") }
+func BenchmarkFig6CounterFuncs(b *testing.B)        { runFigure(b, "fig6") }
+func BenchmarkFig7CounterComparison(b *testing.B)   { runFigure(b, "fig7") }
+func BenchmarkFig8LocationFuncs(b *testing.B)       { runFigure(b, "fig8") }
+func BenchmarkFig9ALTuning(b *testing.B)            { runFigure(b, "fig9") }
+func BenchmarkFig10LocationComparison(b *testing.B) { runFigure(b, "fig10") }
+func BenchmarkFig11HelloInterval(b *testing.B)      { runFigure(b, "fig11") }
+func BenchmarkFig12DynamicHello(b *testing.B)       { runFigure(b, "fig12") }
+func BenchmarkFig13Overall(b *testing.B)            { runFigure(b, "fig13") }
+
+// Ablation benchmarks isolate design choices (see DESIGN.md section 7).
+
+func runAblation(b *testing.B, id string) {
+	b.Helper()
+	spec, ok := experiment.LookupAny(id)
+	if !ok {
+		b.Fatalf("unknown ablation %s", id)
+	}
+	o := benchOptions()
+	o.Maps = []int{1, 5, 9}
+	for i := 0; i < b.N; i++ {
+		tables := spec.Run(o)
+		if i == 0 {
+			fmt.Printf("\n--- %s: %s ---\n", spec.ID, spec.Title)
+			for _, t := range tables {
+				fmt.Print(t.Text())
+			}
+		}
+	}
+}
+
+func BenchmarkAblAssessmentDelay(b *testing.B) { runAblation(b, "abl-assess") }
+func BenchmarkAblCollisionModel(b *testing.B)  { runAblation(b, "abl-collision") }
+func BenchmarkAblHelloTransport(b *testing.B)  { runAblation(b, "abl-hello") }
+func BenchmarkAblNeighborExpiry(b *testing.B)  { runAblation(b, "abl-expiry") }
+func BenchmarkAblCluster(b *testing.B)         { runAblation(b, "abl-cluster") }
+func BenchmarkAblCapture(b *testing.B)         { runAblation(b, "abl-capture") }
+func BenchmarkAblDistance(b *testing.B)        { runAblation(b, "abl-distance") }
+func BenchmarkAblOracle(b *testing.B)          { runAblation(b, "abl-oracle") }
+func BenchmarkAblMobilityModel(b *testing.B)   { runAblation(b, "abl-mobility") }
+func BenchmarkAblOfferedLoad(b *testing.B)     { runAblation(b, "abl-load") }
+func BenchmarkAblRTSCTS(b *testing.B)          { runAblation(b, "abl-rts") }
+func BenchmarkAblGossip(b *testing.B)          { runAblation(b, "abl-prob") }
+
+// --- Substrate micro-benchmarks ---
+
+// BenchmarkScheduler measures raw event throughput of the DES kernel.
+func BenchmarkScheduler(b *testing.B) {
+	s := sim.NewScheduler()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(sim.Duration(i%100), func() {})
+		if i%64 == 63 {
+			s.RunUntil(s.Now().Add(200))
+		}
+	}
+	s.Run()
+}
+
+// BenchmarkCoverageGrid measures the location schemes' multi-sender
+// additional-coverage estimation.
+func BenchmarkCoverageGrid(b *testing.B) {
+	senders := []geom.Point{{X: 200}, {X: -150, Y: 100}, {Y: -250}, {X: 90, Y: 90}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		geom.UncoveredFraction(geom.Point{}, senders, 500, scheme.CoverageResolution)
+	}
+}
+
+// BenchmarkBroadcastSim measures end-to-end simulation cost per
+// broadcast (100 hosts, 5x5 map, adaptive counter).
+func BenchmarkBroadcastSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n, err := manet.New(manet.Config{
+			MapUnits: 5,
+			Scheme:   scheme.AdaptiveCounter{},
+			Requests: 20,
+			Seed:     uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n.Run()
+	}
+}
+
+// BenchmarkSchemeDecision measures a single scheme decision (the per-
+// reception hot path) for each scheme family.
+func BenchmarkSchemeDecision(b *testing.B) {
+	host := benchHost{neighbors: []packet.NodeID{1, 2, 3, 4, 5, 6, 7, 8}}
+	cases := []struct {
+		name string
+		s    scheme.Scheme
+	}{
+		{"counter", scheme.Counter{C: 3}},
+		{"adaptive-counter", scheme.AdaptiveCounter{}},
+		{"location", scheme.Location{A: 0.0469}},
+		{"adaptive-location", scheme.AdaptiveLocation{}},
+		{"neighbor-coverage", scheme.NeighborCoverage{}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			rx := scheme.Reception{From: 1, SenderPos: geom.Point{X: 300}}
+			dup := scheme.Reception{From: 2, SenderPos: geom.Point{X: -200, Y: 150}}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				j := c.s.NewJudge(host, rx)
+				j.Initial()
+				j.OnDuplicate(dup)
+			}
+		})
+	}
+}
+
+// benchHost is a minimal HostView for decision benchmarks.
+type benchHost struct {
+	neighbors []packet.NodeID
+}
+
+var _ scheme.HostView = benchHost{}
+
+func (h benchHost) ID() packet.NodeID          { return 0 }
+func (h benchHost) Position() geom.Point       { return geom.Point{} }
+func (h benchHost) Radius() float64            { return 500 }
+func (h benchHost) NeighborCount() int         { return len(h.neighbors) }
+func (h benchHost) Neighbors() []packet.NodeID { return h.neighbors }
+func (h benchHost) TwoHop(n packet.NodeID) []packet.NodeID {
+	if n == 1 {
+		return []packet.NodeID{2, 3}
+	}
+	return nil
+}
+
+// BenchmarkRouteDiscovery measures the motivating application end to
+// end: AODV-lite route discovery carried by each suppression scheme.
+func BenchmarkRouteDiscovery(b *testing.B) {
+	for _, sch := range []scheme.Scheme{
+		scheme.Flooding{}, scheme.AdaptiveCounter{}, scheme.NeighborCoverage{},
+	} {
+		sch := sch
+		b.Run(sch.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n, err := routing.New(routing.Config{
+					Hosts:       100,
+					MapUnits:    5,
+					Scheme:      sch,
+					Discoveries: 20,
+					Seed:        uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := n.Run()
+				if i == 0 {
+					b.Logf("success=%.2f hops=%.2f rreq/d=%.1f",
+						r.SuccessRate(), r.MeanRouteHops, r.RequestsPerDiscovery())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScaling measures how simulation cost grows with population
+// (the channel's range scans are O(hosts) per transmission, so total
+// cost per broadcast is roughly quadratic in density).
+func BenchmarkScaling(b *testing.B) {
+	for _, hosts := range []int{50, 100, 200} {
+		hosts := hosts
+		b.Run(fmt.Sprintf("hosts=%d", hosts), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n, err := manet.New(manet.Config{
+					Hosts:    hosts,
+					MapUnits: 5,
+					Scheme:   scheme.AdaptiveCounter{},
+					Requests: 10,
+					Seed:     uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				n.Run()
+			}
+		})
+	}
+}

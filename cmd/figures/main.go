@@ -1,0 +1,111 @@
+// Command figures regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	figures -list
+//	figures -fig fig7 [-requests 200] [-replicas 3] [-hosts 100] [-csv]
+//	figures -fig all
+//
+// Each figure prints one or more tables with the same rows/series the
+// paper plots. The -paper flag prints the result the paper reports next
+// to each figure so shapes can be compared at a glance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "", "figure id to regenerate (fig1..fig13), or 'all'")
+		list     = flag.Bool("list", false, "list available figures")
+		requests = flag.Int("requests", 0, "broadcasts per replica (default 40; paper used 10000)")
+		replicas = flag.Int("replicas", 0, "independently seeded repetitions per point (default 2)")
+		hosts    = flag.Int("hosts", 0, "hosts per simulation (default 100)")
+		seed     = flag.Uint64("seed", 0, "base random seed (default 1)")
+		workers  = flag.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
+		trials   = flag.Int("trials", 0, "Monte-Carlo trials for fig1/fig2 (default 3000)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		out      = flag.String("out", "", "also write each table as CSV into this directory")
+		ci       = flag.Bool("ci", false, "show 95% confidence half-widths on RE (use with -replicas >= 3)")
+		paper    = flag.Bool("paper", true, "print the paper's reported result for comparison")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range experiment.Registry() {
+			fmt.Printf("%-13s  %s\n", s.ID, s.Title)
+		}
+		for _, s := range experiment.Ablations() {
+			fmt.Printf("%-13s  %s\n", s.ID, s.Title)
+		}
+		return
+	}
+	if *fig == "" {
+		fmt.Fprintln(os.Stderr, "figures: -fig or -list required (try -fig fig7)")
+		os.Exit(2)
+	}
+
+	opts := experiment.Options{
+		Hosts:    *hosts,
+		Requests: *requests,
+		Replicas: *replicas,
+		BaseSeed: *seed,
+		Workers:  *workers,
+		Trials:   *trials,
+		CI:       *ci,
+	}
+
+	var specs []experiment.Spec
+	switch *fig {
+	case "all":
+		specs = experiment.Registry()
+	case "ablations":
+		specs = experiment.Ablations()
+	default:
+		s, ok := experiment.LookupAny(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figures: unknown figure %q (use -list)\n", *fig)
+			os.Exit(2)
+		}
+		specs = []experiment.Spec{s}
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+	}
+	for _, s := range specs {
+		start := time.Now()
+		tables := s.Run(opts)
+		fmt.Printf("== %s: %s ==\n", s.ID, s.Title)
+		if *paper {
+			fmt.Printf("paper: %s\n", s.Paper)
+		}
+		fmt.Println()
+		for i, t := range tables {
+			if *csv {
+				fmt.Print(t.CSV())
+			} else {
+				fmt.Print(t.Text())
+			}
+			fmt.Println()
+			if *out != "" {
+				name := filepath.Join(*out, fmt.Sprintf("%s_%d.csv", s.ID, i+1))
+				if err := os.WriteFile(name, []byte(t.CSV()), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "figures:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("(%s regenerated in %v)\n\n", s.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

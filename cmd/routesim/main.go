@@ -1,0 +1,110 @@
+// Command routesim runs AODV-lite route-discovery experiments over the
+// broadcast-storm substrate: route requests are disseminated under a
+// chosen suppression scheme; route replies unicast back with 802.11
+// DATA/ACK (and optional RTS/CTS).
+//
+//	routesim -scheme ac -map 5 -discoveries 100
+//	routesim -scheme flooding -ring 2,0      # expanding-ring search
+//	routesim -scheme nc -rts 1               # RTS/CTS on replies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/routing"
+	"repro/internal/scheme"
+)
+
+func main() {
+	var (
+		schemeName  = flag.String("scheme", "flooding", "flooding|counter|ac|al|nc")
+		c           = flag.Int("C", 3, "counter threshold for -scheme counter")
+		mapUnits    = flag.Int("map", 5, "square map side in 500m units")
+		hosts       = flag.Int("hosts", 100, "number of mobile hosts")
+		discoveries = flag.Int("discoveries", 50, "route discoveries to attempt")
+		speed       = flag.Float64("speed", 0, "max host speed km/h (0 = paper rule)")
+		static      = flag.Bool("static", false, "freeze hosts")
+		rts         = flag.Int("rts", 0, "RTS/CTS threshold in bytes for unicast replies (0 = off)")
+		ring        = flag.String("ring", "", "expanding-ring TTLs, comma separated (e.g. 2,0); empty = full flood")
+		data        = flag.Int("data", 0, "data packets to push along each established route (route maintenance)")
+		seed        = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var sch scheme.Scheme
+	switch *schemeName {
+	case "flooding":
+		sch = scheme.Flooding{}
+	case "counter":
+		sch = scheme.Counter{C: *c}
+	case "ac":
+		sch = scheme.AdaptiveCounter{}
+	case "al":
+		sch = scheme.AdaptiveLocation{}
+	case "nc":
+		sch = scheme.NeighborCoverage{}
+	default:
+		fmt.Fprintf(os.Stderr, "routesim: unknown scheme %q\n", *schemeName)
+		os.Exit(2)
+	}
+
+	var ttls []int
+	if *ring != "" {
+		for _, part := range strings.Split(*ring, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v < 0 {
+				fmt.Fprintf(os.Stderr, "routesim: bad -ring value %q\n", part)
+				os.Exit(2)
+			}
+			ttls = append(ttls, v)
+		}
+	}
+
+	n, err := routing.New(routing.Config{
+		Hosts:        *hosts,
+		MapUnits:     *mapUnits,
+		MaxSpeedKMH:  *speed,
+		Static:       *static,
+		Scheme:       sch,
+		Discoveries:  *discoveries,
+		RTSThreshold: *rts,
+		RingTTLs:     ttls,
+		DataPerRoute: *data,
+		Seed:         *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routesim:", err)
+		os.Exit(1)
+	}
+	r := n.Run()
+
+	fmt.Printf("scheme                  %s\n", sch.Name())
+	fmt.Printf("discoveries             %d\n", r.Discoveries)
+	fmt.Printf("target reached          %d (%.1f%%)\n",
+		r.TargetReached, 100*float64(r.TargetReached)/float64(max(1, r.Discoveries)))
+	fmt.Printf("routes established      %d (%.1f%%)\n", r.Succeeded, 100*r.SuccessRate())
+	fmt.Printf("mean route length       %.2f hops\n", r.MeanRouteHops)
+	fmt.Printf("mean discovery latency  %.1f ms\n", r.MeanDiscoveryLatency.Milliseconds())
+	fmt.Printf("RREQ tx per discovery   %.1f\n", r.RequestsPerDiscovery())
+	fmt.Printf("ring escalations        %d\n", r.RingEscalations)
+	fmt.Printf("RREP retries / drops    %d / %d\n", r.UnicastRetries, r.UnicastDrops)
+	fmt.Printf("replies dropped (no reverse route)  %d\n", r.RepliesDropped)
+	if r.DataSent > 0 {
+		fmt.Printf("data sent / delivered   %d / %d (%.1f%%)\n",
+			r.DataSent, r.DataDelivered, 100*float64(r.DataDelivered)/float64(r.DataSent))
+		fmt.Printf("path breaks             %d\n", r.PathBreaks)
+	}
+	fmt.Printf("hello packets           %d\n", r.HelloSent)
+	fmt.Printf("total tx / collisions   %d / %d\n", r.Transmissions, r.Collisions)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

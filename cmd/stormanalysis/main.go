@@ -1,0 +1,72 @@
+// Command stormanalysis reproduces the paper's closed-form and
+// Monte-Carlo storm analyses without running a network simulation:
+//
+//	stormanalysis -eac 10        EAC(k) for k=1..10      (paper Fig. 1)
+//	stormanalysis -cf 10         cf(n,k) for n=1..10     (paper Fig. 2)
+//	stormanalysis -constants     the analytic constants (0.61, 0.41, 0.59)
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		eacMax    = flag.Int("eac", 0, "print EAC(k) for k=1..N")
+		cfMax     = flag.Int("cf", 0, "print cf(n,k) distributions for n=1..N")
+		constants = flag.Bool("constants", false, "print the paper's analytic constants")
+		trials    = flag.Int("trials", 20000, "Monte-Carlo trials")
+		seed      = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if !*constants && *eacMax == 0 && *cfMax == 0 {
+		*constants = true
+		*eacMax = 10
+		*cfMax = 10
+	}
+
+	if *constants {
+		const r = 500.0
+		fmt.Println("analytic constants (radius-independent):")
+		fmt.Printf("  max additional coverage at d=r:      %.4f of pi*r^2 (paper: ~0.61)\n",
+			geom.AdditionalCoverageFraction(r, r))
+		fmt.Printf("  mean additional coverage (1 sender): %.4f of pi*r^2 (paper: ~0.41)\n",
+			geom.ExpectedAdditionalCoverageFraction(r))
+		fmt.Printf("  pairwise contention probability:     %.4f           (paper: ~0.59)\n",
+			geom.ExpectedContentionProbability(r))
+		fmt.Println()
+	}
+
+	if *eacMax > 0 {
+		rng := sim.NewRNG(*seed)
+		fmt.Printf("EAC(k)/(pi r^2), %d trials (paper Fig. 1):\n", *trials)
+		for k, v := range analysis.EACSeries(*eacMax, *trials, 64, rng) {
+			fmt.Printf("  k=%-2d  %.4f\n", k+1, v)
+		}
+		fmt.Println()
+	}
+
+	if *cfMax > 0 {
+		rng := sim.NewRNG(*seed + 1)
+		fmt.Printf("cf(n,k), %d trials (paper Fig. 2):\n", *trials)
+		table := analysis.ContentionFreeTable(*cfMax, *trials, rng)
+		fmt.Printf("  %-3s", "n")
+		for k := 0; k <= 4; k++ {
+			fmt.Printf("  k=%-6d", k)
+		}
+		fmt.Println()
+		for n := 1; n <= *cfMax; n++ {
+			fmt.Printf("  %-3d", n)
+			for k := 0; k <= 4 && k < len(table[n-1]); k++ {
+				fmt.Printf("  %.4f  ", table[n-1][k])
+			}
+			fmt.Println()
+		}
+	}
+}

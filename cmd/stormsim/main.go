@@ -1,0 +1,116 @@
+// Command stormsim runs a single broadcast-storm simulation and prints
+// the paper's metrics for it.
+//
+// Usage:
+//
+//	stormsim -scheme ac -map 7 -requests 200
+//	stormsim -scheme counter -C 3 -map 5 -speed 50
+//	stormsim -scheme nc -hello dynamic -map 9
+//
+// Schemes: flooding, counter (-C), distance (-D), location (-A),
+// ac (adaptive counter), al (adaptive location), nc (neighbor coverage).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/manet"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		schemeName = flag.String("scheme", "flooding", "flooding|counter|distance|location|ac|al|nc")
+		c          = flag.Int("C", 3, "counter threshold for -scheme counter")
+		d          = flag.Float64("D", 40, "distance threshold (meters) for -scheme distance")
+		a          = flag.Float64("A", 0.0469, "coverage threshold for -scheme location")
+		mapUnits   = flag.Int("map", 5, "square map side in 500m units (1,3,5,7,9,11)")
+		hosts      = flag.Int("hosts", 100, "number of mobile hosts")
+		requests   = flag.Int("requests", 100, "broadcast operations to simulate")
+		speed      = flag.Float64("speed", 0, "max host speed km/h (0 = paper rule: 10 per map unit)")
+		hello      = flag.String("hello", "auto", "off|fixed|dynamic|auto (auto enables fixed when the scheme needs it)")
+		helloMS    = flag.Int("hello-interval", 1000, "fixed hello interval, milliseconds")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		static     = flag.Bool("static", false, "freeze hosts (no mobility)")
+		topo       = flag.Bool("topo", false, "print the final topology as an ASCII map")
+	)
+	flag.Parse()
+
+	var sch scheme.Scheme
+	switch *schemeName {
+	case "flooding":
+		sch = scheme.Flooding{}
+	case "counter":
+		sch = scheme.Counter{C: *c}
+	case "distance":
+		sch = scheme.Distance{D: *d}
+	case "location":
+		sch = scheme.Location{A: *a}
+	case "ac":
+		sch = scheme.AdaptiveCounter{}
+	case "al":
+		sch = scheme.AdaptiveLocation{}
+	case "nc":
+		sch = scheme.NeighborCoverage{}
+	default:
+		fmt.Fprintf(os.Stderr, "stormsim: unknown scheme %q\n", *schemeName)
+		os.Exit(2)
+	}
+
+	cfg := manet.Config{
+		Hosts:         *hosts,
+		MapUnits:      *mapUnits,
+		MaxSpeedKMH:   *speed,
+		Static:        *static,
+		Scheme:        sch,
+		Requests:      *requests,
+		HelloInterval: sim.Duration(*helloMS) * sim.Millisecond,
+		Seed:          *seed,
+	}
+	switch *hello {
+	case "auto":
+		// leave zero value; defaults enable HELLO when the scheme needs it
+	case "off":
+		cfg.HelloMode = manet.HelloOff
+	case "fixed":
+		cfg.HelloMode = manet.HelloFixed
+	case "dynamic":
+		cfg.HelloMode = manet.HelloDynamic
+	default:
+		fmt.Fprintf(os.Stderr, "stormsim: unknown hello mode %q\n", *hello)
+		os.Exit(2)
+	}
+
+	n, err := manet.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stormsim:", err)
+		os.Exit(1)
+	}
+	s := n.Run()
+
+	fmt.Printf("scheme            %s\n", sch.Name())
+	fmt.Printf("map               %dx%d units (%d hosts, max %g km/h)\n",
+		*mapUnits, *mapUnits, *hosts, n.Config().MaxSpeedKMH)
+	fmt.Printf("broadcasts        %d\n", s.Broadcasts)
+	fmt.Printf("RE  (reachability)        %.4f (std %.4f)\n", s.MeanRE, s.StdRE)
+	fmt.Printf("SRB (saved rebroadcasts)  %.4f (std %.4f)\n", s.MeanSRB, s.StdSRB)
+	fmt.Printf("mean latency              %.2f ms\n", s.MeanLatency.Milliseconds())
+	fmt.Printf("hello packets sent        %d\n", s.HelloSent)
+	fmt.Printf("transmissions             %d\n", s.Transmissions)
+	fmt.Printf("deliveries / collisions   %d / %d\n", s.Deliveries, s.Collisions)
+	fmt.Printf("simulated time            %.1f s (%d events)\n",
+		s.SimulatedTime.Seconds(), s.Events)
+
+	if *topo {
+		pts := n.Positions()
+		w, h := n.Area()
+		fmt.Println()
+		fmt.Println("final topology (each cell ~", int(w)/72, "m wide):")
+		fmt.Print(viz.Topology(pts, w, h, 72))
+		fmt.Print(viz.ConnectivitySummary(pts, n.Config().Radius))
+	}
+}

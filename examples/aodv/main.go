@@ -1,0 +1,92 @@
+// AODV-lite route discovery: the full protocol loop the paper's
+// introduction motivates. Route requests flood the network under a
+// broadcast-suppression scheme; the target unicasts a route reply back
+// along the reverse path (with link-layer ACK/retransmission, as in real
+// 802.11); the originator ends up with a usable multihop route.
+//
+// The interesting question is the paper's: which suppression scheme
+// should carry the RREQ flood? This example measures discovery success,
+// established route length, latency, and the storm cost per discovery.
+//
+//	go run ./examples/aodv
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/routing"
+	"repro/internal/scheme"
+)
+
+func main() {
+	const (
+		hosts       = 100
+		mapUnits    = 5
+		discoveries = 60
+	)
+	fmt.Printf("AODV-lite on a %dx%d map: %d hosts, %d route discoveries per scheme\n\n",
+		mapUnits, mapUnits, hosts, discoveries)
+	fmt.Printf("%-10s  %-9s  %-7s  %-9s  %-11s  %s\n",
+		"scheme", "success", "hops", "latency", "RREQ tx/d", "collisions")
+
+	for _, sch := range []scheme.Scheme{
+		scheme.Flooding{},
+		scheme.Counter{C: 3},
+		scheme.AdaptiveCounter{},
+		scheme.NeighborCoverage{},
+	} {
+		cfg := routing.Config{
+			Hosts:       hosts,
+			MapUnits:    mapUnits,
+			Scheme:      sch,
+			Discoveries: discoveries,
+			Seed:        21,
+		}
+		n, err := routing.New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		r := n.Run()
+		fmt.Printf("%-10s  %-9s  %-7.2f  %-9s  %-11.1f  %d\n",
+			sch.Name(),
+			fmt.Sprintf("%.1f%%", 100*r.SuccessRate()),
+			r.MeanRouteHops,
+			fmt.Sprintf("%.1fms", r.MeanDiscoveryLatency.Milliseconds()),
+			r.RequestsPerDiscovery(),
+			r.Collisions)
+	}
+
+	fmt.Println()
+	fmt.Println("Suppression schemes cut the per-discovery request storm (RREQ tx/d)")
+	fmt.Println("and its collisions while keeping discovery success close to flooding.")
+
+	// Expanding-ring search: TTL-scoped floods escalate only when the
+	// target is far, composing with any suppression scheme.
+	fmt.Println()
+	fmt.Println("Expanding-ring search (TTL 2, then unlimited) on the same workload:")
+	fmt.Printf("%-22s  %-9s  %-11s  %s\n", "variant", "success", "RREQ tx/d", "escalations")
+	for _, ring := range []struct {
+		name string
+		ttls []int
+	}{
+		{"full flood", nil},
+		{"ring 2 -> unlimited", []int{2, 0}},
+	} {
+		cfg := routing.Config{
+			Hosts:       hosts,
+			MapUnits:    mapUnits,
+			Scheme:      scheme.AdaptiveCounter{},
+			Discoveries: discoveries,
+			RingTTLs:    ring.ttls,
+			Seed:        21,
+		}
+		n, err := routing.New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		r := n.Run()
+		fmt.Printf("%-22s  %-9s  %-11.1f  %d\n",
+			ring.name, fmt.Sprintf("%.1f%%", 100*r.SuccessRate()),
+			r.RequestsPerDiscovery(), r.RingEscalations)
+	}
+}

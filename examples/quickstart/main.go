@@ -1,0 +1,46 @@
+// Quickstart: simulate one MANET broadcast workload under flooding and
+// under the paper's adaptive counter-based scheme, and print the paper's
+// metrics side by side.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/manet"
+	"repro/internal/scheme"
+)
+
+func main() {
+	fmt.Println("Broadcast storm quickstart: 100 hosts roaming a 5x5 map")
+	fmt.Println("(map unit = 500 m radio radius, IEEE 802.11 DSSS timing)")
+	fmt.Println()
+
+	for _, sch := range []scheme.Scheme{
+		scheme.Flooding{},
+		scheme.Counter{C: 3},
+		scheme.AdaptiveCounter{},
+	} {
+		cfg := manet.Config{
+			MapUnits: 5,   // 2.5 km x 2.5 km
+			Hosts:    100, // the paper's population
+			Scheme:   sch, // rebroadcast decision scheme under test
+			Requests: 60,  // broadcast operations (paper: 10,000)
+			Seed:     42,  // deterministic: same seed, same run
+		}
+		net, err := manet.New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		s := net.Run()
+		fmt.Printf("%-10s  RE %.3f   SRB %.3f   latency %6.1f ms   data tx %d   hello tx %d\n",
+			sch.Name(), s.MeanRE, s.MeanSRB, s.MeanLatency.Milliseconds(),
+			s.Transmissions-s.HelloSent, s.HelloSent)
+	}
+
+	fmt.Println()
+	fmt.Println("RE  = fraction of reachable hosts that got each packet")
+	fmt.Println("SRB = fraction of receiving hosts that did NOT need to rebroadcast")
+	fmt.Println("The adaptive scheme keeps RE near flooding while cutting rebroadcasts.")
+}

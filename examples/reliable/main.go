@@ -1,0 +1,57 @@
+// Reliable broadcast: the application the paper says its schemes can
+// underpin. Best-effort dissemination (any suppression scheme) is
+// followed by a cheap repair layer: hosts advertise recently received
+// broadcast ids in their HELLOs; a neighbor that missed one NACKs and
+// receives a unicast retransmission over the MAC's DATA/ACK ARQ.
+//
+// The example runs a hostile channel (aggressive suppression plus 15%
+// fading loss) with and without repair and shows the delivery gap close.
+//
+//	go run ./examples/reliable
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/manet"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+func main() {
+	fmt.Println("Reliable broadcast on a lossy 5x5 map (C=2 suppression + 15% fading loss)")
+	fmt.Println()
+	fmt.Printf("%-16s  %-7s  %-9s  %-9s  %s\n",
+		"variant", "RE", "requests", "repaired", "hello tx")
+
+	for _, repair := range []bool{false, true} {
+		cfg := manet.Config{
+			Hosts:         80,
+			MapUnits:      5,
+			Scheme:        scheme.Counter{C: 2},
+			Requests:      40,
+			LossRate:      0.15,
+			Repair:        repair,
+			HelloMode:     manet.HelloFixed,
+			HelloInterval: 1 * sim.Second,
+			Drain:         8 * sim.Second,
+			Seed:          9,
+		}
+		net, err := manet.New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		s := net.Run()
+		name := "best-effort"
+		if repair {
+			name = "with repair"
+		}
+		fmt.Printf("%-16s  %.3f   %-9d  %-9d  %d\n",
+			name, s.MeanRE, s.RepairsRequested, s.RepairsDelivered, s.HelloSent)
+	}
+
+	fmt.Println()
+	fmt.Println("The repair layer recovers most of what suppression and fading lose,")
+	fmt.Println("at the cost of slightly larger HELLOs and a few unicast exchanges —")
+	fmt.Println("exactly the layering the paper proposes for reliable delivery.")
+}

@@ -1,0 +1,83 @@
+// Rescue scene: one of the paper's motivating deployments — a MANET
+// where no infrastructure exists. A base camp packs many hosts into a
+// small area while search parties string out across the terrain, so the
+// network is dense and sparse at the same time. Fixed thresholds must
+// pick one regime and lose the other; the adaptive schemes handle both.
+//
+// The example builds that mixed-density topology explicitly, then
+// compares a dense-tuned fixed threshold (C=2), a sparse-tuned one
+// (C=6), and the adaptive schemes.
+//
+//	go run ./examples/rescue
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/manet"
+	"repro/internal/scheme"
+)
+
+// buildScene places a 40-host base camp in one corner of a 9x9 map and
+// three 20-host search chains fanning out from it.
+func buildScene() []geom.Point {
+	var pts []geom.Point
+	// Base camp: a tight grid well inside one radio radius.
+	for i := 0; i < 40; i++ {
+		pts = append(pts, geom.Point{
+			X: 400 + float64(i%8)*45,
+			Y: 400 + float64(i/8)*45,
+		})
+	}
+	// Three chains of searchers, 400 m spacing (multihop but connected).
+	dirs := []float64{0.15, 0.75, 1.35} // radians
+	for _, dir := range dirs {
+		for k := 1; k <= 20; k++ {
+			d := float64(k) * 400
+			pts = append(pts, geom.Point{
+				X: 600 + d*math.Cos(dir),
+				Y: 600 + d*math.Sin(dir),
+			})
+		}
+	}
+	return pts
+}
+
+func main() {
+	placement := buildScene()
+	fmt.Printf("Rescue scene: %d hosts — 40 in a dense base camp, 60 strung out on search chains\n\n",
+		len(placement))
+	fmt.Printf("%-10s  %-7s  %-7s  %s\n", "scheme", "RE", "SRB", "latency")
+
+	for _, sch := range []scheme.Scheme{
+		scheme.Flooding{},
+		scheme.Counter{C: 2},
+		scheme.Counter{C: 6},
+		scheme.AdaptiveCounter{},
+		scheme.NeighborCoverage{},
+	} {
+		cfg := manet.Config{
+			Hosts:     len(placement),
+			MapUnits:  19, // big enough to contain the chains
+			Static:    true,
+			Placement: placement,
+			Scheme:    sch,
+			Requests:  60,
+			Seed:      11,
+		}
+		net, err := manet.New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		s := net.Run()
+		fmt.Printf("%-10s  %.3f   %.3f   %.1f ms\n",
+			sch.Name(), s.MeanRE, s.MeanSRB, s.MeanLatency.Milliseconds())
+	}
+
+	fmt.Println()
+	fmt.Println("C=2 suppresses aggressively: fine in camp, fatal on the chains.")
+	fmt.Println("C=6 keeps the chains alive but wastes the camp's airtime.")
+	fmt.Println("The adaptive schemes read local density and do both jobs at once.")
+}

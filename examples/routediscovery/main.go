@@ -1,0 +1,104 @@
+// Route discovery: the paper's motivating application. On-demand MANET
+// routing protocols (DSR, AODV, ZRP...) flood a route_request packet to
+// find a path to a destination; the broadcast storm is the cost of every
+// such discovery. This example measures, for each scheme:
+//
+//   - discovery success: did the request reach a randomly chosen
+//     destination host (when one was reachable at all)?
+//   - overhead: how many transmissions each discovery cost.
+//
+// It uses manet.Network's DeliveryHook to observe per-host dissemination.
+//
+//	go run ./examples/routediscovery
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/manet"
+	"repro/internal/packet"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+func main() {
+	const (
+		hosts    = 100
+		mapUnits = 7 // sparse enough that routes are genuinely multihop
+		requests = 80
+	)
+
+	fmt.Printf("Route discovery on a %dx%d map, %d hosts, %d route requests per scheme\n\n",
+		mapUnits, mapUnits, hosts, requests)
+	fmt.Printf("%-10s  %-18s  %-14s  %s\n",
+		"scheme", "discovery success", "tx/discovery", "mean latency")
+
+	for _, sch := range []scheme.Scheme{
+		scheme.Flooding{},
+		scheme.Counter{C: 2},
+		scheme.AdaptiveCounter{},
+		scheme.AdaptiveLocation{},
+		scheme.NeighborCoverage{},
+	} {
+		success, txPer, lat := discover(sch, hosts, mapUnits, requests)
+		fmt.Printf("%-10s  %-18s  %-14.1f  %.1f ms\n",
+			sch.Name(), fmt.Sprintf("%.1f%%", 100*success), txPer, lat)
+	}
+
+	fmt.Println()
+	fmt.Println("Every scheme above floods less than plain flooding; the adaptive")
+	fmt.Println("schemes keep discovery success high while cutting the per-request")
+	fmt.Println("transmission storm — exactly the trade the paper optimizes.")
+}
+
+// discover runs one simulation and treats each broadcast as a route
+// request to a pseudo-randomly chosen destination host.
+func discover(sch scheme.Scheme, hosts, mapUnits, requests int) (success, txPerDiscovery, latencyMS float64) {
+	cfg := manet.Config{
+		Hosts:    hosts,
+		MapUnits: mapUnits,
+		Scheme:   sch,
+		Requests: requests,
+		Seed:     7,
+	}
+	net, err := manet.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	// Choose a destination per request id, deterministically, and record
+	// which destinations were reached.
+	destRNG := sim.NewRNG(99)
+	dests := make(map[packet.BroadcastID]packet.NodeID)
+	reached := make(map[packet.BroadcastID]bool)
+	net.DeliveryHook = func(id packet.BroadcastID, h packet.NodeID) {
+		d, ok := dests[id]
+		if !ok {
+			// First delivery of a broadcast is always the source; pick
+			// the destination now, excluding the source itself.
+			for {
+				d = packet.NodeID(destRNG.IntN(hosts))
+				if d != id.Source {
+					break
+				}
+			}
+			dests[id] = d
+		}
+		if h == d {
+			reached[id] = true
+		}
+	}
+
+	s := net.Run()
+
+	hits := 0
+	for _, rec := range net.Records() {
+		if reached[rec.ID] {
+			hits++
+		}
+	}
+	success = float64(hits) / float64(len(net.Records()))
+	txPerDiscovery = float64(s.Transmissions-s.HelloSent) / float64(s.Broadcasts)
+	latencyMS = s.MeanLatency.Milliseconds()
+	return success, txPerDiscovery, latencyMS
+}

@@ -1,0 +1,115 @@
+// Package analysis reproduces the paper's closed-form and Monte-Carlo
+// analyses of the broadcast storm problem (Section 2.2):
+//
+//   - EAC(k), the expected additional coverage of a rebroadcast after
+//     hearing the same packet k times (the paper's Fig. 1);
+//   - cf(n, k), the probability that exactly k of n receivers of a
+//     broadcast experience no contention when rebroadcasting (Fig. 2).
+//
+// Both follow the paper's own experimental procedure: hosts are placed
+// uniformly at random inside the transmitter's disk.
+package analysis
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// randomInDisk places a point uniformly inside the disk of radius r
+// around center, by the standard sqrt-radius transform.
+func randomInDisk(rng *sim.RNG, center geom.Point, r float64) geom.Point {
+	rad := r * math.Sqrt(rng.Float64())
+	ang := rng.Angle()
+	return geom.Point{
+		X: center.X + rad*math.Cos(ang),
+		Y: center.Y + rad*math.Sin(ang),
+	}
+}
+
+// EAC estimates EAC(k)/(pi r^2): the expected additional coverage
+// fraction a host's rebroadcast provides after it heard the same packet
+// from k hosts placed uniformly at random within its transmission range.
+// trials controls the Monte-Carlo sample count and resolution the
+// coverage grid (see geom.UncoveredFraction).
+func EAC(k, trials, resolution int, rng *sim.RNG) float64 {
+	if k < 0 {
+		panic("analysis: negative k")
+	}
+	if trials < 1 {
+		trials = 1
+	}
+	const r = 1.0 // scale-free
+	center := geom.Point{}
+	sum := 0.0
+	senders := make([]geom.Point, k)
+	for t := 0; t < trials; t++ {
+		for i := range senders {
+			senders[i] = randomInDisk(rng, center, r)
+		}
+		sum += geom.UncoveredFraction(center, senders, r, resolution)
+	}
+	return sum / float64(trials)
+}
+
+// EACSeries computes EAC(k) for k = 1..maxK (the full Fig. 1 series).
+func EACSeries(maxK, trials, resolution int, rng *sim.RNG) []float64 {
+	out := make([]float64, maxK)
+	for k := 1; k <= maxK; k++ {
+		out[k-1] = EAC(k, trials, resolution, rng)
+	}
+	return out
+}
+
+// ContentionFree estimates the distribution cf(n, k) for k = 0..n: place
+// n receivers uniformly in the transmitter's disk; a receiver is
+// contention-free when no other receiver lies within its own
+// transmission range (the paper's S_{A and B} condition). The returned
+// slice has n+1 entries, cf[k] = P(exactly k contention-free hosts).
+func ContentionFree(n, trials int, rng *sim.RNG) []float64 {
+	if n < 1 {
+		panic("analysis: need at least one receiver")
+	}
+	if trials < 1 {
+		trials = 1
+	}
+	const r = 1.0
+	center := geom.Point{}
+	counts := make([]int, n+1)
+	pts := make([]geom.Point, n)
+	for t := 0; t < trials; t++ {
+		for i := range pts {
+			pts[i] = randomInDisk(rng, center, r)
+		}
+		free := 0
+		for i := range pts {
+			clear := true
+			for j := range pts {
+				if i != j && pts[i].Dist2(pts[j]) <= r*r {
+					clear = false
+					break
+				}
+			}
+			if clear {
+				free++
+			}
+		}
+		counts[free]++
+	}
+	out := make([]float64, n+1)
+	for k := range out {
+		out[k] = float64(counts[k]) / float64(trials)
+	}
+	return out
+}
+
+// ContentionFreeTable computes cf(n, k) for n = 1..maxN; row n-1 holds
+// the distribution for n receivers (the full Fig. 2 family).
+func ContentionFreeTable(maxN, trials int, rng *sim.RNG) [][]float64 {
+	out := make([][]float64, maxN)
+	for n := 1; n <= maxN; n++ {
+		out[n-1] = ContentionFree(n, trials, rng)
+	}
+	return out
+}

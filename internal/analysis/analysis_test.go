@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+const (
+	trials = 4000
+	grid   = 40
+)
+
+// TestEAC1MatchesAnalytic: EAC(1) must be ~0.41, the paper's closed-form
+// average additional coverage for one random prior sender.
+func TestEAC1MatchesAnalytic(t *testing.T) {
+	got := EAC(1, trials, grid, sim.NewRNG(1))
+	if math.Abs(got-0.41) > 0.02 {
+		t.Errorf("EAC(1) = %v, want ~0.41", got)
+	}
+}
+
+// TestEAC2MatchesPaper: EAC(2) ~ 0.187, the constant the adaptive
+// location scheme uses as its threshold ceiling.
+func TestEAC2MatchesPaper(t *testing.T) {
+	got := EAC(2, trials, grid, sim.NewRNG(2))
+	if math.Abs(got-0.187) > 0.02 {
+		t.Errorf("EAC(2) = %v, want ~0.187", got)
+	}
+}
+
+// TestEACBelow5PercentFromK4: the paper's Fig. 1 observation that for
+// k >= 4 the expected additional coverage drops below 5%.
+func TestEACBelow5PercentFromK4(t *testing.T) {
+	for k := 4; k <= 6; k++ {
+		got := EAC(k, trials, grid, sim.NewRNG(uint64(k)))
+		if got >= 0.05 {
+			t.Errorf("EAC(%d) = %v, paper says < 0.05 for k >= 4", k, got)
+		}
+	}
+}
+
+func TestEACMonotoneDecreasing(t *testing.T) {
+	series := EACSeries(6, trials, grid, sim.NewRNG(9))
+	for i := 1; i < len(series); i++ {
+		if series[i] > series[i-1]+0.01 {
+			t.Errorf("EAC not decreasing: EAC(%d)=%v > EAC(%d)=%v",
+				i+1, series[i], i, series[i-1])
+		}
+	}
+}
+
+func TestEACZeroSenders(t *testing.T) {
+	if got := EAC(0, 10, grid, sim.NewRNG(3)); got != 1 {
+		t.Errorf("EAC(0) = %v, want 1 (nothing covered yet)", got)
+	}
+}
+
+func TestEACNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("EAC(-1) did not panic")
+		}
+	}()
+	EAC(-1, 1, grid, sim.NewRNG(1))
+}
+
+// TestCF2MatchesPairwiseContention: cf(2,0) is the probability both of
+// two receivers contend, i.e. they are within range of each other: the
+// paper's ~59%.
+func TestCF2MatchesPairwiseContention(t *testing.T) {
+	cf := ContentionFree(2, 20000, sim.NewRNG(4))
+	if math.Abs(cf[0]-0.59) > 0.02 {
+		t.Errorf("cf(2,0) = %v, want ~0.59", cf[0])
+	}
+	// cf(2,1) = 0: if one of two hosts is free of the other, so is the
+	// other one of it (symmetry).
+	if cf[1] != 0 {
+		t.Errorf("cf(2,1) = %v, want exactly 0", cf[1])
+	}
+	if math.Abs(cf[0]+cf[2]-1) > 1e-9 {
+		t.Errorf("cf(2,*) does not sum to 1: %v", cf)
+	}
+}
+
+// TestCFAllContendLikelyWhenCrowded: the paper's Fig. 2 observation that
+// cf(n,0) exceeds 0.8 once n >= 6.
+func TestCFAllContendLikelyWhenCrowded(t *testing.T) {
+	for _, n := range []int{6, 8} {
+		cf := ContentionFree(n, 5000, sim.NewRNG(uint64(n)))
+		if cf[0] < 0.8 {
+			t.Errorf("cf(%d,0) = %v, paper says > 0.8 for n >= 6", n, cf[0])
+		}
+	}
+}
+
+// TestCFNMinusOneImpossible: having exactly n-1 contention-free hosts is
+// impossible (the last host would be free too).
+func TestCFNMinusOneImpossible(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		cf := ContentionFree(n, 3000, sim.NewRNG(uint64(100+n)))
+		if cf[n-1] != 0 {
+			t.Errorf("cf(%d,%d) = %v, want exactly 0", n, n-1, cf[n-1])
+		}
+	}
+}
+
+func TestCFDistributionSumsToOne(t *testing.T) {
+	for _, n := range []int{1, 3, 5, 7} {
+		cf := ContentionFree(n, 2000, sim.NewRNG(uint64(200+n)))
+		sum := 0.0
+		for _, p := range cf {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("cf(%d,*) sums to %v", n, sum)
+		}
+	}
+}
+
+func TestCFSingleReceiverAlwaysFree(t *testing.T) {
+	cf := ContentionFree(1, 100, sim.NewRNG(5))
+	if cf[1] != 1 || cf[0] != 0 {
+		t.Errorf("single receiver: cf = %v, want [0 1]", cf)
+	}
+}
+
+func TestCFTableShape(t *testing.T) {
+	table := ContentionFreeTable(4, 500, sim.NewRNG(6))
+	if len(table) != 4 {
+		t.Fatalf("table rows = %d", len(table))
+	}
+	for n := 1; n <= 4; n++ {
+		if len(table[n-1]) != n+1 {
+			t.Errorf("row %d has %d entries, want %d", n, len(table[n-1]), n+1)
+		}
+	}
+}
+
+func TestContentionFreeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ContentionFree(0) did not panic")
+		}
+	}()
+	ContentionFree(0, 10, sim.NewRNG(1))
+}
+
+func TestEACDeterministicGivenSeed(t *testing.T) {
+	a := EAC(3, 500, grid, sim.NewRNG(77))
+	b := EAC(3, 500, grid, sim.NewRNG(77))
+	if a != b {
+		t.Error("EAC not deterministic for a fixed seed")
+	}
+}
+
+// newTestRNG gives CDS tests a deterministic source without reimporting.
+func newTestRNG(seed uint64) *sim.RNG { return sim.NewRNG(seed) }

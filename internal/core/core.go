@@ -1,0 +1,50 @@
+// Package core documents the layering of the reproduction and provides
+// the one-call entry point most users want: build a network for a
+// scheme, run the paper's workload, get the paper's metrics.
+//
+// The paper's primary contribution — the adaptive rebroadcast schemes —
+// lives in internal/scheme; the simulation substrate spans internal/sim,
+// phy, mac, mobility, neighbor, and manet; the evaluation harness is
+// internal/experiment. This package stitches them together for
+// programmatic use without touching the layers individually.
+package core
+
+import (
+	"repro/internal/manet"
+	"repro/internal/metrics"
+	"repro/internal/scheme"
+)
+
+// Run simulates one broadcast workload: hosts roaming a units x units
+// map (one unit = the 500 m radio radius), issuing requests broadcasts
+// under the given scheme, with the paper's default parameters for
+// everything else. It is the programmatic equivalent of cmd/stormsim.
+func Run(sch scheme.Scheme, units, requests int, seed uint64) (metrics.Summary, error) {
+	n, err := manet.New(manet.Config{
+		Scheme:   sch,
+		MapUnits: units,
+		Requests: requests,
+		Seed:     seed,
+	})
+	if err != nil {
+		return metrics.Summary{}, err
+	}
+	return n.Run(), nil
+}
+
+// Schemes returns one representative instance of every scheme in the
+// study, in the paper's presentation order: the baselines from the
+// MOBICOM '99 work and this paper's adaptive schemes.
+func Schemes() []scheme.Scheme {
+	return []scheme.Scheme{
+		scheme.Flooding{},
+		scheme.Probabilistic{P: 0.7},
+		scheme.Counter{C: 3},
+		scheme.Distance{D: 40},
+		scheme.Location{A: 0.0469},
+		scheme.Cluster{},
+		scheme.AdaptiveCounter{},
+		scheme.AdaptiveLocation{},
+		scheme.NeighborCoverage{},
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/scheme"
+)
+
+func TestRunEndToEnd(t *testing.T) {
+	s, err := Run(scheme.AdaptiveCounter{}, 3, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Broadcasts != 10 {
+		t.Errorf("broadcasts = %d", s.Broadcasts)
+	}
+	if s.MeanRE <= 0 || s.MeanRE > 1 {
+		t.Errorf("RE = %v out of range", s.MeanRE)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(scheme.Flooding{}, -1, 10, 1); err == nil {
+		t.Error("negative map accepted")
+	}
+}
+
+func TestSchemesComplete(t *testing.T) {
+	ss := Schemes()
+	if len(ss) != 9 {
+		t.Fatalf("scheme roster = %d, want 9", len(ss))
+	}
+	names := map[string]bool{}
+	for _, s := range ss {
+		if names[s.Name()] {
+			t.Errorf("duplicate scheme %s", s.Name())
+		}
+		names[s.Name()] = true
+	}
+	for _, want := range []string{"flooding", "AC", "AL", "NC"} {
+		if !names[want] {
+			t.Errorf("roster missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,398 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/geom"
+	"repro/internal/manet"
+	"repro/internal/routing"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+// Ablations returns design-choice experiments that go beyond the paper's
+// figures: each isolates one mechanism of the reproduction so its
+// contribution to the headline results can be measured.
+func Ablations() []Spec {
+	return []Spec{
+		{
+			ID:    "abl-assess",
+			Title: "Ablation: scheme-level random assessment delay window",
+			Paper: "the paper fixes the window at 0-31 slots; 0 removes the timing differentiation that relieves the storm",
+			Run:   runAblAssess,
+		},
+		{
+			ID:    "abl-collision",
+			Title: "Ablation: collision model on/off",
+			Paper: "collisions are the paper's stated cause of flooding's lost reachability; without them flooding reaches everyone",
+			Run:   runAblCollision,
+		},
+		{
+			ID:    "abl-hello",
+			Title: "Ablation: HELLO over the real MAC vs idealized out-of-band HELLO",
+			Paper: "quantifies how much NC loses to beacon staleness and beacon-vs-data contention",
+			Run:   runAblHello,
+		},
+		{
+			ID:    "abl-expiry",
+			Title: "Ablation: neighbor expiry policy (missed hello intervals)",
+			Paper: "the paper drops a neighbor after 2 silent intervals; 1 is trigger-happy, 3 keeps stale entries",
+			Run:   runAblExpiry,
+		},
+		{
+			ID:    "abl-cluster",
+			Title: "Ablation: cluster-based relaying (MOBICOM '99 baseline) vs adaptive schemes",
+			Paper: "restricting relays to heads and gateways saves rebroadcasts but is fragile when clustering is stale",
+			Run:   runAblCluster,
+		},
+		{
+			ID:    "abl-capture",
+			Title: "Ablation: capture effect (stronger frame survives an overlap)",
+			Paper: "the paper assumes no capture; real radios capture, softening collision losses — mostly for flooding",
+			Run:   runAblCapture,
+		},
+		{
+			ID:    "abl-distance",
+			Title: "Ablation: fixed distance-based thresholds (MOBICOM '99 baseline)",
+			Paper: "the distance scheme shares the fixed-threshold dilemma: large D saves but loses sparse-map RE",
+			Run:   runAblDistance,
+		},
+		{
+			ID:    "abl-mobility",
+			Title: "Ablation: random-turn (paper) vs random-waypoint mobility",
+			Paper: "results should be robust to the mobility model; waypoint's pause-and-dash pattern stresses neighbor staleness differently",
+			Run:   runAblMobility,
+		},
+		{
+			ID:    "abl-oracle",
+			Title: "Oracle: connected-dominating-set upper bound on SRB per density",
+			Paper: "how close the adaptive schemes get to the best possible saving at full reachability",
+			Run:   runAblOracle,
+		},
+		{
+			ID:    "abl-load",
+			Title: "Ablation: offered broadcast load (inter-arrival spread)",
+			Paper: "the storm compounds under load: flooding degrades fastest as broadcasts arrive faster",
+			Run:   runAblLoad,
+		},
+		{
+			ID:    "abl-rts",
+			Title: "Ablation: RTS/CTS on route replies (the application layer built on the storm)",
+			Paper: "the paper notes broadcasts cannot use RTS/CTS; unicast RREPs can, trading reservation overhead for hidden-terminal protection",
+			Run:   runAblRTS,
+		},
+		{
+			ID:    "abl-prob",
+			Title: "Ablation: probabilistic gossip baseline vs adaptive schemes",
+			Paper: "a fixed gossip probability has the same density dilemma as fixed thresholds",
+			Run:   runAblProb,
+		},
+	}
+}
+
+// LookupAny finds a spec among figures and ablations.
+func LookupAny(id string) (Spec, bool) {
+	if s, ok := Lookup(id); ok {
+		return s, true
+	}
+	for _, s := range Ablations() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+func runAblAssess(o Options) []*Table {
+	var candidates []labeled
+	for _, slots := range []int{1, 15, 31, 127} {
+		// AssessmentSlots==0 means "default" in the config, so the
+		// no-delay case is approximated by a single slot.
+		label := fmt.Sprintf("assess<=%d slots", slots)
+		candidates = append(candidates, labeled{
+			label: label,
+			cfg: manet.Config{
+				Scheme:          scheme.AdaptiveCounter{Label: label},
+				AssessmentSlots: slots,
+			},
+		})
+	}
+	return sweepOverMaps("abl-assess", "assessment delay window (adaptive counter)", o, candidates, true)
+}
+
+func runAblCollision(o Options) []*Table {
+	candidates := []labeled{
+		{label: "flooding", cfg: manet.Config{Scheme: scheme.Flooding{}}},
+		{label: "flooding/no-collisions", cfg: manet.Config{
+			Scheme: scheme.Flooding{}, DisableCollisions: true}},
+		{label: "AC", cfg: manet.Config{Scheme: scheme.AdaptiveCounter{}}},
+		{label: "AC/no-collisions", cfg: manet.Config{
+			Scheme: scheme.AdaptiveCounter{Label: "AC/no-collisions"}, DisableCollisions: true}},
+	}
+	return sweepOverMaps("abl-collision", "collision model contribution", o, candidates, false)
+}
+
+func runAblHello(o Options) []*Table {
+	o = o.WithDefaults()
+	maps := []int{7, 9, 11}
+	var cfgs []manet.Config
+	type variant struct {
+		label string
+		ideal bool
+	}
+	variants := []variant{{"NC/mac-hello", false}, {"NC/ideal-hello", true}}
+	for _, v := range variants {
+		for _, mu := range maps {
+			for _, sp := range o.Speeds {
+				cfgs = append(cfgs, manet.Config{
+					Scheme:        scheme.NeighborCoverage{Label: v.label},
+					MapUnits:      mu,
+					MaxSpeedKMH:   sp,
+					HelloMode:     manet.HelloFixed,
+					HelloInterval: 1 * sim.Second,
+					IdealHello:    v.ideal,
+				})
+			}
+		}
+	}
+	sums := RunMatrix(cfgs, o)
+
+	cols := []string{"variant"}
+	for _, mu := range maps {
+		for _, sp := range o.Speeds {
+			cols = append(cols, fmt.Sprintf("%dx%d@%g", mu, mu, sp))
+		}
+	}
+	t := NewTable("abl-hello", "NC reachability: real vs idealized HELLO", cols...)
+	idx := 0
+	for _, v := range variants {
+		row := []string{v.label}
+		for range maps {
+			for range o.Speeds {
+				row = append(row, f3(sums[idx].MeanRE))
+				idx++
+			}
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+func runAblExpiry(o Options) []*Table {
+	var candidates []labeled
+	for _, k := range []int{1, 2, 3} {
+		label := fmt.Sprintf("expiry=%d intervals", k)
+		candidates = append(candidates, labeled{
+			label: label,
+			cfg: manet.Config{
+				Scheme:          scheme.NeighborCoverage{Label: label},
+				HelloMode:       manet.HelloFixed,
+				HelloInterval:   1 * sim.Second,
+				ExpiryIntervals: k,
+			},
+		})
+	}
+	return sweepOverMaps("abl-expiry", "neighbor expiry policy (NC)", o, candidates, false)
+}
+
+func runAblCluster(o Options) []*Table {
+	candidates := []labeled{
+		{label: "cluster", cfg: manet.Config{Scheme: scheme.Cluster{}}},
+		{label: "cluster+C=3", cfg: manet.Config{Scheme: scheme.Cluster{Inner: scheme.Counter{C: 3}}}},
+		{label: "NC", cfg: manet.Config{Scheme: scheme.NeighborCoverage{}}},
+		{label: "AC", cfg: manet.Config{Scheme: scheme.AdaptiveCounter{}}},
+	}
+	return sweepOverMaps("abl-cluster", "cluster relaying vs adaptive schemes", o, candidates, false)
+}
+
+func runAblCapture(o Options) []*Table {
+	candidates := []labeled{
+		{label: "flooding", cfg: manet.Config{Scheme: scheme.Flooding{}}},
+		{label: "flooding/capture", cfg: manet.Config{
+			Scheme: scheme.Flooding{}, CaptureRatio: 4}},
+		{label: "AC", cfg: manet.Config{Scheme: scheme.AdaptiveCounter{}}},
+		{label: "AC/capture", cfg: manet.Config{
+			Scheme: scheme.AdaptiveCounter{Label: "AC/capture"}, CaptureRatio: 4}},
+	}
+	return sweepOverMaps("abl-capture", "capture effect (6 dB ratio)", o, candidates, false)
+}
+
+func runAblDistance(o Options) []*Table {
+	candidates := []labeled{
+		{label: "D=10", cfg: manet.Config{Scheme: scheme.Distance{D: 10}}},
+		{label: "D=40", cfg: manet.Config{Scheme: scheme.Distance{D: 40}}},
+		{label: "D=100", cfg: manet.Config{Scheme: scheme.Distance{D: 100}}},
+		{label: "AC", cfg: manet.Config{Scheme: scheme.AdaptiveCounter{}}},
+	}
+	return sweepOverMaps("abl-distance", "distance thresholds vs adaptive counter", o, candidates, false)
+}
+
+func runAblMobility(o Options) []*Table {
+	candidates := []labeled{
+		{label: "AC/random-turn", cfg: manet.Config{
+			Scheme: scheme.AdaptiveCounter{Label: "AC/random-turn"}}},
+		{label: "AC/waypoint", cfg: manet.Config{
+			Scheme:   scheme.AdaptiveCounter{Label: "AC/waypoint"},
+			Mobility: manet.MobilityWaypoint}},
+		{label: "NC/random-turn", cfg: manet.Config{
+			Scheme: scheme.NeighborCoverage{Label: "NC/random-turn"}}},
+		{label: "NC/waypoint", cfg: manet.Config{
+			Scheme:   scheme.NeighborCoverage{Label: "NC/waypoint"},
+			Mobility: manet.MobilityWaypoint}},
+	}
+	return sweepOverMaps("abl-mobility", "mobility model sensitivity", o, candidates, false)
+}
+
+// runAblOracle compares the measured SRB of the best adaptive schemes
+// against the CDS oracle bound: the largest saving any scheme could
+// achieve while still reaching the source's whole component, computed
+// on topology snapshots drawn exactly like the simulator's placements.
+func runAblOracle(o Options) []*Table {
+	o = o.WithDefaults()
+
+	// Oracle bound per map: average over random topologies and sources.
+	const topologies = 30
+	bounds := make(map[int]float64, len(o.Maps))
+	rng := sim.NewRNG(o.BaseSeed).Fork(77)
+	for _, mu := range o.Maps {
+		side := float64(mu) * 500
+		sum := 0.0
+		for t := 0; t < topologies; t++ {
+			pts := make([]geom.Point, o.Hosts)
+			for i := range pts {
+				pts[i] = geom.Point{
+					X: rng.UniformFloat(0, side),
+					Y: rng.UniformFloat(0, side),
+				}
+			}
+			sum += analysis.SRBUpperBound(pts, 500, rng.IntN(o.Hosts))
+		}
+		bounds[mu] = sum / topologies
+	}
+
+	// Measured SRB (and RE) for the adaptive schemes.
+	candidates := []labeled{
+		{label: "AC", cfg: manet.Config{Scheme: scheme.AdaptiveCounter{}}},
+		{label: "AL", cfg: manet.Config{Scheme: scheme.AdaptiveLocation{}}},
+		{label: "NC-DHI", cfg: manet.Config{
+			Scheme: scheme.NeighborCoverage{Label: "NC-DHI"}, HelloMode: manet.HelloDynamic}},
+	}
+	var cfgs []manet.Config
+	for _, cand := range candidates {
+		for _, mu := range o.Maps {
+			c := cand.cfg
+			c.MapUnits = mu
+			cfgs = append(cfgs, c)
+		}
+	}
+	sums := RunMatrix(cfgs, o)
+
+	cols := []string{"map", "oracle SRB bound"}
+	for _, cand := range candidates {
+		cols = append(cols, cand.label+" SRB", cand.label+" RE")
+	}
+	t := NewTable("abl-oracle", "measured SRB vs CDS oracle bound", cols...)
+	for mi, mu := range o.Maps {
+		row := []string{fmt.Sprintf("%dx%d", mu, mu), f3(bounds[mu])}
+		for ci := range candidates {
+			s := sums[ci*len(o.Maps)+mi]
+			row = append(row, f3(s.MeanSRB), f3(s.MeanRE))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+// runAblLoad sweeps the broadcast inter-arrival spread on a mid-density
+// map: smaller spread = more concurrent broadcasts = more contention.
+func runAblLoad(o Options) []*Table {
+	o = o.WithDefaults()
+	spreads := []sim.Duration{100 * sim.Millisecond, 500 * sim.Millisecond,
+		2 * sim.Second, 5 * sim.Second}
+	schemes := []labeled{
+		{label: "flooding", cfg: manet.Config{Scheme: scheme.Flooding{}}},
+		{label: "AC", cfg: manet.Config{Scheme: scheme.AdaptiveCounter{}}},
+		{label: "NC", cfg: manet.Config{Scheme: scheme.NeighborCoverage{}}},
+	}
+	var cfgs []manet.Config
+	for _, sch := range schemes {
+		for _, sp := range spreads {
+			c := sch.cfg
+			c.MapUnits = 5
+			c.ArrivalSpread = sp
+			cfgs = append(cfgs, c)
+		}
+	}
+	sums := RunMatrix(cfgs, o)
+
+	cols := []string{"scheme"}
+	for _, sp := range spreads {
+		cols = append(cols, fmt.Sprintf("U(0,%v)", sp))
+	}
+	re := NewTable("abl-load", "RE vs offered load (5x5 map)", cols...)
+	lat := NewTable("abl-load", "latency vs offered load (5x5 map)", cols...)
+	idx := 0
+	for _, sch := range schemes {
+		reRow := []string{sch.label}
+		latRow := []string{sch.label}
+		for range spreads {
+			s := sums[idx]
+			idx++
+			reRow = append(reRow, f3(s.MeanRE))
+			latRow = append(latRow, fms(s.MeanLatency.Milliseconds()))
+		}
+		re.AddRow(reRow...)
+		lat.AddRow(latRow...)
+	}
+	return []*Table{re, lat}
+}
+
+// runAblRTS measures AODV-lite discovery with and without RTS/CTS on
+// the RREP unicast path, for flooding and AC request dissemination.
+func runAblRTS(o Options) []*Table {
+	o = o.WithDefaults()
+	type variant struct {
+		label string
+		sch   scheme.Scheme
+		rts   int
+	}
+	variants := []variant{
+		{"flooding / no-rts", scheme.Flooding{}, 0},
+		{"flooding / rts", scheme.Flooding{}, 1},
+		{"AC / no-rts", scheme.AdaptiveCounter{}, 0},
+		{"AC / rts", scheme.AdaptiveCounter{}, 1},
+	}
+	t := NewTable("abl-rts", "route discovery with/without RTS-CTS on replies",
+		"variant", "success", "rreq tx/disc", "rrep retries", "rrep drops", "latency")
+	for i, v := range variants {
+		n, err := routing.New(routing.Config{
+			Hosts:        o.Hosts,
+			MapUnits:     5,
+			Scheme:       v.sch,
+			Discoveries:  o.Requests,
+			RTSThreshold: v.rts,
+			Seed:         o.BaseSeed + uint64(i),
+		})
+		if err != nil {
+			panic(err)
+		}
+		r := n.Run()
+		t.AddRow(v.label, f3(r.SuccessRate()),
+			fmt.Sprintf("%.1f", r.RequestsPerDiscovery()),
+			fmt.Sprintf("%d", r.UnicastRetries),
+			fmt.Sprintf("%d", r.UnicastDrops),
+			fms(r.MeanDiscoveryLatency.Milliseconds()))
+	}
+	return []*Table{t}
+}
+
+func runAblProb(o Options) []*Table {
+	candidates := []labeled{
+		{label: "P=0.40", cfg: manet.Config{Scheme: scheme.Probabilistic{P: 0.4}}},
+		{label: "P=0.70", cfg: manet.Config{Scheme: scheme.Probabilistic{P: 0.7}}},
+		{label: "P=1.00", cfg: manet.Config{Scheme: scheme.Probabilistic{P: 1.0}}},
+		{label: "AC", cfg: manet.Config{Scheme: scheme.AdaptiveCounter{}}},
+	}
+	return sweepOverMaps("abl-prob", "gossip probabilities vs adaptive counter", o, candidates, false)
+}

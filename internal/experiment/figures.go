@@ -1,0 +1,507 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/manet"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Spec is one reproducible experiment: a figure of the paper's
+// evaluation, the claim it supports, and the code that regenerates it.
+type Spec struct {
+	// ID is the figure identity used on the command line ("fig7").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Paper summarizes the result the paper reports for this figure, so
+	// a reader can compare shapes directly from the harness output.
+	Paper string
+	// Run regenerates the figure's data.
+	Run func(o Options) []*Table
+}
+
+// Registry returns all experiment specs in paper order.
+func Registry() []Spec {
+	return []Spec{
+		{
+			ID:    "fig1",
+			Title: "Expected additional coverage EAC(k) after hearing a packet k times",
+			Paper: "EAC(1)~0.41, EAC(2)~0.187, below 0.05 for k>=4",
+			Run:   runFig1,
+		},
+		{
+			ID:    "fig2",
+			Title: "Contention analysis: probability of k contention-free hosts among n receivers",
+			Paper: "cf(2,0)~0.59; cf(n,0)>0.8 for n>=6; cf(n,1) drops sharply; cf(n,n-1)=0",
+			Run:   runFig2,
+		},
+		{
+			ID:    "fig5a",
+			Title: "Adaptive counter tuning: slope of C(n) before n1",
+			Paper: "slope-1 sequence C(n)=2345... gives the best RE on sparse maps",
+			Run:   runFig5a,
+		},
+		{
+			ID:    "fig5b",
+			Title: "Adaptive counter tuning: choice of n1",
+			Paper: "n1=4 and 5 give satisfactory RE; n1=4 saves more rebroadcasts",
+			Run:   runFig5b,
+		},
+		{
+			ID:    "fig5c",
+			Title: "Adaptive counter tuning: choice of n2",
+			Paper: "n2=12 gives the best RE on sparse maps with good SRB",
+			Run:   runFig5c,
+		},
+		{
+			ID:    "fig5d",
+			Title: "Adaptive counter tuning: decay shape between n1 and n2",
+			Paper: "the intermediate (solid-line) decay balances RE and SRB best",
+			Run:   runFig5d,
+		},
+		{
+			ID:    "fig6",
+			Title: "Candidate decreasing functions C(n) between n1 and n2",
+			Paper: "the solid (recommended) line: C(n)=n+1 to n1=4, stepping down to 2 at n2=12",
+			Run:   runFig6,
+		},
+		{
+			ID:    "fig7",
+			Title: "Adaptive counter vs fixed counter thresholds (RE, SRB, latency)",
+			Paper: "C=2 loses RE on sparse maps, C=6 loses SRB everywhere; AC keeps RE high with strong SRB in dense maps",
+			Run:   runFig7,
+		},
+		{
+			ID:    "fig8",
+			Title: "Candidate threshold functions A(n) for the adaptive location scheme",
+			Paper: "0 below n1, linear to EAC(2)/pi r^2 = 0.187 at n2; knees (n1,n2) are the tuning knobs",
+			Run:   runFig8,
+		},
+		{
+			ID:    "fig9",
+			Title: "Adaptive location threshold functions A(n) compared",
+			Paper: "(6,12), (8,12), (8,10) deliver satisfactory RE; (6,12) has the best SRB balance",
+			Run:   runFig9,
+		},
+		{
+			ID:    "fig10",
+			Title: "Adaptive location vs fixed location thresholds (RE, SRB, latency)",
+			Paper: "fixed A degrades RE significantly on sparse maps; AL keeps RE high without sacrificing SRB",
+			Run:   runFig10,
+		},
+		{
+			ID:    "fig11",
+			Title: "Neighbor coverage: RE vs hello interval and host speed",
+			Paper: "long hello intervals degrade RE on sparse maps, worse at high speed; small maps are insensitive",
+			Run:   runFig11,
+		},
+		{
+			ID:    "fig12",
+			Title: "Neighbor coverage with dynamic hello interval (RE, SRB, hello cost)",
+			Paper: "NC-DHI keeps RE high across speeds and densities; hello count adapts (near himin on sparse maps, near himax on 1x1)",
+			Run:   runFig12,
+		},
+		{
+			ID:    "fig13",
+			Title: "Overall comparison: SRB vs RE for all schemes on every map",
+			Paper: "adaptive schemes keep RE above ~95% everywhere; flooding has SRB 0 and loses RE to collisions; NC best on dense maps, AC/AL best on sparse maps",
+			Run:   runFig13,
+		},
+	}
+}
+
+// Lookup finds a spec by ID.
+func Lookup(id string) (Spec, bool) {
+	for _, s := range Registry() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// --- Analysis figures (no network simulation) ---
+
+func runFig1(o Options) []*Table {
+	o = o.WithDefaults()
+	rng := sim.NewRNG(o.BaseSeed)
+	series := analysis.EACSeries(10, o.Trials, 48, rng)
+	t := NewTable("fig1", "EAC(k)/(pi r^2) vs k", "k", "EAC(k)")
+	for k, v := range series {
+		t.AddRow(fmt.Sprintf("%d", k+1), f3(v))
+	}
+	return []*Table{t}
+}
+
+func runFig2(o Options) []*Table {
+	o = o.WithDefaults()
+	rng := sim.NewRNG(o.BaseSeed)
+	const maxN = 10
+	table := analysis.ContentionFreeTable(maxN, o.Trials, rng)
+	cols := []string{"n"}
+	for k := 0; k <= 4; k++ {
+		cols = append(cols, fmt.Sprintf("cf(n,%d)", k))
+	}
+	t := NewTable("fig2", "probability of k contention-free hosts among n receivers", cols...)
+	for n := 1; n <= maxN; n++ {
+		row := []string{fmt.Sprintf("%d", n)}
+		for k := 0; k <= 4; k++ {
+			if k < len(table[n-1]) {
+				row = append(row, f3(table[n-1][k]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+// runFig6 tabulates the candidate C(n) decay shapes (the paper's Fig. 6
+// plots these functions directly; no simulation involved).
+func runFig6(Options) []*Table {
+	candidates := []struct {
+		label string
+		fn    scheme.CounterFunc
+	}{
+		{"fast-decay", scheme.CounterTable(2, 3, 4, 5, 4, 4, 3, 3, 2, 2, 2, 2)},
+		{"recommended (solid)", scheme.DefaultCounterFunc()},
+		{"slow-decay", scheme.CounterTable(2, 3, 4, 5, 5, 5, 4, 4, 4, 3, 3, 2)},
+		{"linear(4,12)", scheme.LinearCounterFunc(4, 12)},
+	}
+	cols := []string{"function"}
+	for n := 1; n <= 14; n++ {
+		cols = append(cols, fmt.Sprintf("n=%d", n))
+	}
+	t := NewTable("fig6", "C(n) candidates between n1=4 and n2=12", cols...)
+	for _, c := range candidates {
+		row := []string{c.label}
+		for n := 1; n <= 14; n++ {
+			row = append(row, fmt.Sprintf("%d", c.fn(n)))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+// runFig8 tabulates the A(n) candidates (the paper's Fig. 8).
+func runFig8(Options) []*Table {
+	knees := [][2]int{{2, 8}, {4, 10}, {6, 12}, {8, 10}, {8, 12}}
+	cols := []string{"function"}
+	for n := 0; n <= 14; n += 2 {
+		cols = append(cols, fmt.Sprintf("n=%d", n))
+	}
+	t := NewTable("fig8", "A(n) candidates (ceiling EAC(2)/pi r^2 = 0.187)", cols...)
+	for _, k := range knees {
+		fn := scheme.LinearLocationFunc(k[0], k[1], scheme.EAC2Fraction)
+		row := []string{fmt.Sprintf("A(%d,%d)", k[0], k[1])}
+		for n := 0; n <= 14; n += 2 {
+			row = append(row, fmt.Sprintf("%.3f", fn(n)))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+// --- Simulation figures ---
+
+// labeled pairs a scheme (plus hello settings) with its display label.
+type labeled struct {
+	label string
+	cfg   manet.Config
+}
+
+// sweepOverMaps runs each labeled scheme configuration on every map size
+// and renders RE/SRB (and optionally latency) tables. Each candidate's
+// map-specific config gets the paper's per-map speed unless the config
+// pins one.
+func sweepOverMaps(id, title string, o Options, candidates []labeled, withLatency bool) []*Table {
+	o = o.WithDefaults()
+	var cfgs []manet.Config
+	for _, cand := range candidates {
+		for _, mu := range o.Maps {
+			c := cand.cfg
+			c.MapUnits = mu
+			cfgs = append(cfgs, c)
+		}
+	}
+	sums, spread := RunMatrixSpread(cfgs, o)
+
+	reCols := []string{"scheme"}
+	for _, mu := range o.Maps {
+		reCols = append(reCols, fmt.Sprintf("%dx%d", mu, mu))
+	}
+	re := NewTable(id, title+" — RE (reachability)", reCols...)
+	srb := NewTable(id, title+" — SRB (saved rebroadcasts)", reCols...)
+	var lat *Table
+	if withLatency {
+		lat = NewTable(id, title+" — mean broadcast latency", reCols...)
+	}
+	idx := 0
+	for _, cand := range candidates {
+		reRow := []string{cand.label}
+		srbRow := []string{cand.label}
+		latRow := []string{cand.label}
+		for range o.Maps {
+			s := sums[idx]
+			if o.CI {
+				_, half := stats.CI95(spread[idx])
+				idx++
+				reRow = append(reRow, fmt.Sprintf("%.3f±%.3f", s.MeanRE, half))
+				srbRow = append(srbRow, f3(s.MeanSRB))
+				latRow = append(latRow, fms(s.MeanLatency.Milliseconds()))
+				continue
+			}
+			idx++
+			reRow = append(reRow, f3(s.MeanRE))
+			srbRow = append(srbRow, f3(s.MeanSRB))
+			latRow = append(latRow, fms(s.MeanLatency.Milliseconds()))
+		}
+		re.AddRow(reRow...)
+		srb.AddRow(srbRow...)
+		if withLatency {
+			lat.AddRow(latRow...)
+		}
+	}
+	out := []*Table{re, srb}
+	if withLatency {
+		out = append(out, lat)
+	}
+	return out
+}
+
+// acCandidate builds an adaptive-counter candidate from a C(n) table.
+func acCandidate(label string, fn scheme.CounterFunc) labeled {
+	return labeled{
+		label: label,
+		cfg:   manet.Config{Scheme: scheme.AdaptiveCounter{C: fn, Label: label}},
+	}
+}
+
+func runFig5a(o Options) []*Table {
+	candidates := []labeled{
+		// Slope 1/3: C(n) = 222333444555...
+		acCandidate("slope-1/3 (222333444555)",
+			scheme.CounterTable(2, 2, 2, 3, 3, 3, 4, 4, 4, 5, 5, 5)),
+		// Slope 1/2: C(n) = 22334455...
+		acCandidate("slope-1/2 (22334455)",
+			scheme.CounterTable(2, 2, 3, 3, 4, 4, 5, 5)),
+		// Slope 1: C(n) = 2345...
+		acCandidate("slope-1 (2345)",
+			scheme.CounterTable(2, 3, 4, 5)),
+	}
+	return sweepOverMaps("fig5a", "C(n) slope before n1", o, candidates, false)
+}
+
+func runFig5b(o Options) []*Table {
+	candidates := []labeled{
+		acCandidate("n1=2 (233...)", scheme.CounterTable(2, 3)),
+		acCandidate("n1=3 (2344...)", scheme.CounterTable(2, 3, 4)),
+		acCandidate("n1=4 (23455...)", scheme.CounterTable(2, 3, 4, 5)),
+		acCandidate("n1=5 (234566...)", scheme.CounterTable(2, 3, 4, 5, 6)),
+	}
+	return sweepOverMaps("fig5b", "choice of n1 with C(n)=n+1 capped", o, candidates, false)
+}
+
+func runFig5c(o Options) []*Table {
+	candidates := []labeled{
+		acCandidate("n2=8", scheme.LinearCounterFunc(4, 8)),
+		acCandidate("n2=12", scheme.LinearCounterFunc(4, 12)),
+		acCandidate("n2=16", scheme.LinearCounterFunc(4, 16)),
+	}
+	return sweepOverMaps("fig5c", "choice of n2 with n1=4, linear decay", o, candidates, false)
+}
+
+func runFig5d(o Options) []*Table {
+	candidates := []labeled{
+		// Fast (convex) decay toward 2.
+		acCandidate("fast-decay", scheme.CounterTable(2, 3, 4, 5, 4, 4, 3, 3, 2, 2, 2, 2)),
+		// The paper's recommended middle curve (solid line of its Fig. 6).
+		acCandidate("recommended", scheme.DefaultCounterFunc()),
+		// Slow (concave) decay that stays high longer.
+		acCandidate("slow-decay", scheme.CounterTable(2, 3, 4, 5, 5, 5, 4, 4, 4, 3, 3, 2)),
+	}
+	return sweepOverMaps("fig5d", "decay shape between n1=4 and n2=12", o, candidates, false)
+}
+
+func runFig7(o Options) []*Table {
+	candidates := []labeled{
+		{label: "C=2", cfg: manet.Config{Scheme: scheme.Counter{C: 2}}},
+		{label: "C=4", cfg: manet.Config{Scheme: scheme.Counter{C: 4}}},
+		{label: "C=6", cfg: manet.Config{Scheme: scheme.Counter{C: 6}}},
+		{label: "AC", cfg: manet.Config{Scheme: scheme.AdaptiveCounter{}}},
+	}
+	return sweepOverMaps("fig7", "fixed counter vs adaptive counter", o, candidates, true)
+}
+
+func runFig9(o Options) []*Table {
+	knees := [][2]int{{2, 8}, {4, 10}, {6, 12}, {8, 10}, {8, 12}}
+	var candidates []labeled
+	for _, k := range knees {
+		label := fmt.Sprintf("AL(%d,%d)", k[0], k[1])
+		candidates = append(candidates, labeled{
+			label: label,
+			cfg: manet.Config{Scheme: scheme.AdaptiveLocation{
+				A:     scheme.LinearLocationFunc(k[0], k[1], scheme.EAC2Fraction),
+				Label: label,
+			}},
+		})
+	}
+	return sweepOverMaps("fig9", "A(n) knee-point candidates", o, candidates, false)
+}
+
+func runFig10(o Options) []*Table {
+	candidates := []labeled{
+		{label: "A=0.1871", cfg: manet.Config{Scheme: scheme.Location{A: 0.1871}}},
+		{label: "A=0.0469", cfg: manet.Config{Scheme: scheme.Location{A: 0.0469}}},
+		{label: "A=0.0134", cfg: manet.Config{Scheme: scheme.Location{A: 0.0134}}},
+		{label: "AL", cfg: manet.Config{Scheme: scheme.AdaptiveLocation{}}},
+	}
+	return sweepOverMaps("fig10", "fixed location vs adaptive location", o, candidates, true)
+}
+
+func runFig11(o Options) []*Table {
+	o = o.WithDefaults()
+	// The paper examines the sparser maps where staleness matters.
+	maps := []int{5, 7, 9, 11}
+	var cfgs []manet.Config
+	for _, mu := range maps {
+		for _, hi := range o.HelloIntervalsMS {
+			for _, sp := range o.Speeds {
+				cfgs = append(cfgs, manet.Config{
+					Scheme:        scheme.NeighborCoverage{},
+					MapUnits:      mu,
+					MaxSpeedKMH:   sp,
+					HelloMode:     manet.HelloFixed,
+					HelloInterval: sim.Duration(hi) * sim.Millisecond,
+				})
+			}
+		}
+	}
+	sums := RunMatrix(cfgs, o)
+
+	var out []*Table
+	idx := 0
+	for _, mu := range maps {
+		cols := []string{"hello interval"}
+		for _, sp := range o.Speeds {
+			cols = append(cols, fmt.Sprintf("%gkm/h", sp))
+		}
+		t := NewTable("fig11", fmt.Sprintf("NC reachability on %dx%d map", mu, mu), cols...)
+		for _, hi := range o.HelloIntervalsMS {
+			row := []string{fmt.Sprintf("%dms", hi)}
+			for range o.Speeds {
+				row = append(row, f3(sums[idx].MeanRE))
+				idx++
+			}
+			t.AddRow(row...)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func runFig12(o Options) []*Table {
+	o = o.WithDefaults()
+	var cfgs []manet.Config
+	for _, mu := range o.Maps {
+		for _, sp := range o.Speeds {
+			cfgs = append(cfgs, manet.Config{
+				Scheme:      scheme.NeighborCoverage{},
+				MapUnits:    mu,
+				MaxSpeedKMH: sp,
+				HelloMode:   manet.HelloDynamic,
+			})
+		}
+	}
+	sums := RunMatrix(cfgs, o)
+
+	mkCols := func() []string {
+		cols := []string{"map"}
+		for _, sp := range o.Speeds {
+			cols = append(cols, fmt.Sprintf("%gkm/h", sp))
+		}
+		return cols
+	}
+	re := NewTable("fig12", "NC-DHI reachability", mkCols()...)
+	srb := NewTable("fig12", "NC-DHI saved rebroadcasts", mkCols()...)
+	hello := NewTable("fig12", "HELLO packets sent per run", mkCols()...)
+	idx := 0
+	for _, mu := range o.Maps {
+		reRow := []string{fmt.Sprintf("%dx%d", mu, mu)}
+		srbRow := []string{fmt.Sprintf("%dx%d", mu, mu)}
+		hRow := []string{fmt.Sprintf("%dx%d", mu, mu)}
+		for range o.Speeds {
+			s := sums[idx]
+			idx++
+			reRow = append(reRow, f3(s.MeanRE))
+			srbRow = append(srbRow, f3(s.MeanSRB))
+			hRow = append(hRow, fmt.Sprintf("%d", s.HelloSent/maxInt(1, o.Replicas)))
+		}
+		re.AddRow(reRow...)
+		srb.AddRow(srbRow...)
+		hello.AddRow(hRow...)
+	}
+	return []*Table{re, srb, hello}
+}
+
+func runFig13(o Options) []*Table {
+	o = o.WithDefaults()
+	candidates := []labeled{
+		{label: "flooding", cfg: manet.Config{Scheme: scheme.Flooding{}}},
+		{label: "C=2", cfg: manet.Config{Scheme: scheme.Counter{C: 2}}},
+		{label: "C=6", cfg: manet.Config{Scheme: scheme.Counter{C: 6}}},
+		{label: "AC", cfg: manet.Config{Scheme: scheme.AdaptiveCounter{}}},
+		{label: "A=0.1871", cfg: manet.Config{Scheme: scheme.Location{A: 0.1871}}},
+		{label: "A=0.0134", cfg: manet.Config{Scheme: scheme.Location{A: 0.0134}}},
+		{label: "AL", cfg: manet.Config{Scheme: scheme.AdaptiveLocation{}}},
+		{label: "NC-DHI", cfg: manet.Config{
+			Scheme:    scheme.NeighborCoverage{Label: "NC-DHI"},
+			HelloMode: manet.HelloDynamic,
+		}},
+	}
+	var cfgs []manet.Config
+	for _, mu := range o.Maps {
+		for _, cand := range candidates {
+			c := cand.cfg
+			c.MapUnits = mu
+			cfgs = append(cfgs, c)
+		}
+	}
+	sums := RunMatrix(cfgs, o)
+
+	var out []*Table
+	idx := 0
+	for _, mu := range o.Maps {
+		t := NewTable("fig13",
+			fmt.Sprintf("SRB vs RE on the %dx%d map (upper-right is better)", mu, mu),
+			"scheme", "RE", "SRB", "latency")
+		rows := make([][]string, 0, len(candidates))
+		for _, cand := range candidates {
+			s := sums[idx]
+			idx++
+			rows = append(rows, []string{cand.label, f3(s.MeanRE), f3(s.MeanSRB),
+				fms(s.MeanLatency.Milliseconds())})
+		}
+		// Present best-RE first for readability; the scatter data is the
+		// same either way.
+		sort.SliceStable(rows, func(i, j int) bool { return rows[i][1] > rows[j][1] })
+		for _, r := range rows {
+			t.AddRow(r...)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

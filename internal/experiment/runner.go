@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/manet"
+	"repro/internal/metrics"
+)
+
+// RunMatrix executes every configuration with o.Replicas independent
+// seeds, spreading the replica runs over a worker pool, and returns the
+// merged summary for each configuration in input order. Any construction
+// error aborts the whole matrix via panic: experiment specs are code, and
+// a config they build that fails validation is a programming error.
+func RunMatrix(cfgs []manet.Config, o Options) []metrics.Summary {
+	merged, _ := RunMatrixSpread(cfgs, o)
+	return merged
+}
+
+// RunMatrixSpread is RunMatrix plus the per-replica RE means for each
+// configuration, from which confidence intervals can be computed.
+func RunMatrixSpread(cfgs []manet.Config, o Options) ([]metrics.Summary, [][]float64) {
+	o = o.WithDefaults()
+
+	type task struct {
+		point, replica int
+		cfg            manet.Config
+	}
+	tasks := make([]task, 0, len(cfgs)*o.Replicas)
+	for p, cfg := range cfgs {
+		if cfg.Hosts == 0 {
+			cfg.Hosts = o.Hosts
+		}
+		if cfg.Requests == 0 {
+			cfg.Requests = o.Requests
+		}
+		for r := 0; r < o.Replicas; r++ {
+			c := cfg
+			c.Seed = o.BaseSeed + 1000*uint64(p) + uint64(r)
+			tasks = append(tasks, task{point: p, replica: r, cfg: c})
+		}
+	}
+
+	results := make([][]metrics.Summary, len(cfgs))
+	for p := range results {
+		results[p] = make([]metrics.Summary, o.Replicas)
+	}
+
+	workers := o.Workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ch := make(chan task)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for tk := range ch {
+				n, err := manet.New(tk.cfg)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("experiment: point %d: %w", tk.point, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				s := n.Run()
+				mu.Lock()
+				results[tk.point][tk.replica] = s
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, tk := range tasks {
+		ch <- tk
+	}
+	close(ch)
+	wg.Wait()
+	if firstErr != nil {
+		panic(firstErr)
+	}
+
+	merged := make([]metrics.Summary, len(cfgs))
+	spread := make([][]float64, len(cfgs))
+	for p := range cfgs {
+		merged[p] = metrics.Merge(results[p])
+		res := make([]float64, len(results[p]))
+		for r, s := range results[p] {
+			res[r] = s.MeanRE
+		}
+		spread[p] = res
+	}
+	return merged, spread
+}

@@ -1,0 +1,29 @@
+package geom_test
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// The additional coverage of a rebroadcast peaks at ~61% of the disk
+// when the rebroadcaster sits on the sender's range boundary — the
+// paper's first analytic observation.
+func ExampleAdditionalCoverageFraction() {
+	const r = 500.0
+	for _, d := range []float64{0, 250, 500} {
+		fmt.Printf("d=%3.0fm -> %.2f\n", d, geom.AdditionalCoverageFraction(d, r))
+	}
+	// Output:
+	// d=  0m -> 0.00
+	// d=250m -> 0.31
+	// d=500m -> 0.61
+}
+
+// The expected additional coverage over a uniformly placed rebroadcaster
+// is ~41% — the paper's second constant.
+func ExampleExpectedAdditionalCoverageFraction() {
+	fmt.Printf("%.2f\n", geom.ExpectedAdditionalCoverageFraction(500))
+	// Output:
+	// 0.41
+}

@@ -1,0 +1,196 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const r = 500.0 // meters, the paper's radio radius
+
+func TestINTCBoundaryCases(t *testing.T) {
+	full := math.Pi * r * r
+	if got := INTC(0, r); math.Abs(got-full) > 1e-6 {
+		t.Errorf("INTC(0) = %v, want full disk %v", got, full)
+	}
+	if got := INTC(2*r, r); got != 0 {
+		t.Errorf("INTC(2r) = %v, want 0", got)
+	}
+	if got := INTC(3*r, r); got != 0 {
+		t.Errorf("INTC(3r) = %v, want 0 for disjoint circles", got)
+	}
+	if got := INTC(-1, r); math.Abs(got-full) > 1e-6 {
+		t.Errorf("INTC(negative) = %v, want full disk", got)
+	}
+}
+
+func TestINTCMonotoneDecreasing(t *testing.T) {
+	prev := INTC(0, r)
+	for d := 10.0; d <= 2*r; d += 10 {
+		cur := INTC(d, r)
+		if cur > prev+1e-9 {
+			t.Fatalf("INTC not monotone at d=%v: %v > %v", d, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+// TestPaper61Percent checks the paper's claim that the maximum additional
+// coverage of a rebroadcast, at d = r, is about 0.61*pi*r^2.
+func TestPaper61Percent(t *testing.T) {
+	frac := AdditionalCoverageFraction(r, r)
+	if math.Abs(frac-0.61) > 0.005 {
+		t.Errorf("additional coverage fraction at d=r is %v, paper says ~0.61", frac)
+	}
+}
+
+// TestPaper41Percent checks the paper's claim that the average additional
+// coverage over a uniformly placed rebroadcaster is about 0.41*pi*r^2.
+func TestPaper41Percent(t *testing.T) {
+	got := ExpectedAdditionalCoverageFraction(r)
+	if math.Abs(got-0.41) > 0.005 {
+		t.Errorf("expected additional coverage fraction = %v, paper says ~0.41", got)
+	}
+}
+
+// TestPaper59PercentContention checks the paper's pairwise contention
+// probability of about 59%.
+func TestPaper59PercentContention(t *testing.T) {
+	got := ExpectedContentionProbability(r)
+	if math.Abs(got-0.59) > 0.005 {
+		t.Errorf("expected contention probability = %v, paper says ~0.59", got)
+	}
+}
+
+func TestAdditionalCoverageRange(t *testing.T) {
+	prop := func(rawD uint16) bool {
+		d := math.Mod(float64(rawD), 2.5*r)
+		frac := AdditionalCoverageFraction(d, r)
+		return frac >= -1e-12 && frac <= 1+1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUncoveredFractionNoSenders(t *testing.T) {
+	got := UncoveredFraction(Point{0, 0}, nil, r, 64)
+	if got != 1 {
+		t.Errorf("uncovered fraction with no senders = %v, want 1", got)
+	}
+}
+
+func TestUncoveredFractionSelfSender(t *testing.T) {
+	// A sender at the same point covers everything.
+	got := UncoveredFraction(Point{0, 0}, []Point{{0, 0}}, r, 64)
+	if got != 0 {
+		t.Errorf("uncovered fraction with co-located sender = %v, want 0", got)
+	}
+}
+
+// TestUncoveredFractionMatchesAnalytic compares the grid estimator for a
+// single sender against the closed-form additional coverage.
+func TestUncoveredFractionMatchesAnalytic(t *testing.T) {
+	for _, d := range []float64{50, 125, 250, 375, 450, 499} {
+		got := UncoveredFraction(Point{0, 0}, []Point{{d, 0}}, r, 96)
+		want := AdditionalCoverageFraction(d, r)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("d=%v: grid=%v analytic=%v", d, got, want)
+		}
+	}
+}
+
+func TestUncoveredFractionMonotoneInSenders(t *testing.T) {
+	center := Point{0, 0}
+	senders := []Point{{300, 0}, {-200, 150}, {0, -350}, {100, 300}}
+	prev := 1.0
+	for i := range senders {
+		cur := UncoveredFraction(center, senders[:i+1], r, 64)
+		if cur > prev+1e-9 {
+			t.Fatalf("adding sender %d increased uncovered fraction: %v > %v", i, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestUncoveredFractionDistantSender(t *testing.T) {
+	// A sender beyond 2r covers none of the disk.
+	got := UncoveredFraction(Point{0, 0}, []Point{{3 * r, 0}}, r, 64)
+	if got != 1 {
+		t.Errorf("distant sender changed coverage: %v", got)
+	}
+}
+
+func TestFoldIntoRange(t *testing.T) {
+	cases := []struct {
+		x, w, want float64
+	}{
+		{0, 10, 0},
+		{5, 10, 5},
+		{10, 10, 10},
+		{12, 10, 8},   // bounced off far wall
+		{20, 10, 0},   // back at origin
+		{23, 10, 3},   // second traversal
+		{-3, 10, 3},   // bounced off near wall
+		{-12, 10, 8},  // bounce then past far wall in mirror space
+		{45, 10, 5},   // many periods
+		{-45, 10, 5},  // many negative periods
+		{0.5, 0, 0},   // degenerate width
+		{-0.5, -1, 0}, // negative width treated as degenerate
+	}
+	for _, c := range cases {
+		if got := FoldIntoRange(c.x, c.w); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("FoldIntoRange(%v, %v) = %v, want %v", c.x, c.w, got, c.want)
+		}
+	}
+}
+
+func TestFoldIntoRangeProperty(t *testing.T) {
+	prop := func(x float64, rawW uint16) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+			return true // skip degenerate float inputs
+		}
+		w := float64(rawW%1000) + 1
+		got := FoldIntoRange(x, w)
+		return got >= 0 && got <= w
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFoldContinuity verifies the fold is continuous: adjacent inputs map
+// to adjacent outputs, which is what makes it usable for motion.
+func TestFoldContinuity(t *testing.T) {
+	w := 7.0
+	prev := FoldIntoRange(-30, w)
+	for x := -30.0 + 0.01; x < 30; x += 0.01 {
+		cur := FoldIntoRange(x, w)
+		if math.Abs(cur-prev) > 0.011 {
+			t.Fatalf("fold discontinuous at x=%v: %v -> %v", x, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestPointOps(t *testing.T) {
+	p := Point{3, 4}
+	if d := p.Dist(Point{0, 0}); d != 5 {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+	if d2 := p.Dist2(Point{0, 0}); d2 != 25 {
+		t.Errorf("Dist2 = %v, want 25", d2)
+	}
+	if q := p.Add(1, -1); q != (Point{4, 3}) {
+		t.Errorf("Add = %v", q)
+	}
+	if v := p.Sub(Point{1, 1}); v != (Point{2, 3}) {
+		t.Errorf("Sub = %v", v)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 10) != 5 || Clamp(-1, 0, 10) != 0 || Clamp(11, 0, 10) != 10 {
+		t.Error("Clamp wrong")
+	}
+}

@@ -1,0 +1,563 @@
+// Package mac implements the IEEE 802.11-like distributed coordination
+// function (DCF) the paper's hosts use to access the medium: carrier
+// sense with DIFS deferral, a slotted random backoff that freezes while
+// the medium is busy, and plain unacknowledged transmission for broadcast
+// frames (no RTS/CTS, no ACK, no retransmission — the MAC specification
+// forbids acknowledging broadcasts).
+//
+// A MAC owns one radio on a phy.Channel. Higher layers enqueue frames;
+// the MAC calls back when a frame's transmission actually starts — the
+// point after which the paper's schemes can no longer cancel a pending
+// rebroadcast — and when it completes. Frames still waiting for the
+// medium can be cancelled, which is how the threshold schemes inhibit
+// redundant rebroadcasts.
+package mac
+
+import (
+	"repro/internal/packet"
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// Pending is a frame handed to the MAC and not yet fully transmitted.
+type Pending struct {
+	Frame *packet.Frame
+
+	// OnStart runs at the instant the transmission begins (the frame is
+	// "on the air"); the frame can no longer be cancelled.
+	OnStart func()
+	// OnDone runs when the transmission ends.
+	OnDone func()
+
+	cancelled  bool
+	started    bool
+	failed     bool
+	retransmit bool // true when requeued after a missing ACK
+}
+
+// Started reports whether the frame's transmission has begun.
+func (p *Pending) Started() bool { return p.started }
+
+// Cancelled reports whether the frame was cancelled before transmission.
+func (p *Pending) Cancelled() bool { return p.cancelled }
+
+// Failed reports whether a unicast frame exhausted its retransmissions
+// without being acknowledged.
+func (p *Pending) Failed() bool { return p.failed }
+
+// Stats counts per-MAC activity.
+type Stats struct {
+	Enqueued  int
+	Sent      int // transmissions started, including retransmissions
+	Cancelled int
+	AcksSent  int // link-layer ACKs transmitted for received unicasts
+	Retries   int // unicast retransmissions after a missing ACK
+	Dropped   int // unicast frames abandoned after RetryLimit retries
+}
+
+// RetryLimit is the number of retransmissions a unicast frame gets
+// before the MAC abandons it (the 802.11 short retry limit is 7; a
+// smaller value keeps simulated storms from compounding).
+const RetryLimit = 4
+
+// MAC is the per-host medium access controller. It implements
+// phy.Listener; the host's upper layer receives frames through the
+// Receiver callback.
+type MAC struct {
+	sched *sim.Scheduler
+	ch    *phy.Channel
+	radio int
+	addr  packet.NodeID // link-layer address (the owning host's id)
+	rng   *sim.RNG
+	t     phy.Timing
+	stats Stats
+	cw    int // current contention window (grows on retries)
+
+	// Receiver, if set, is invoked for every intact frame delivered to
+	// this radio. GarbledReceiver, if set, is invoked for collisions.
+	Receiver        func(f *packet.Frame)
+	GarbledReceiver func(f *packet.Frame)
+
+	queue        []*Pending
+	transmitting bool
+
+	busy      bool
+	idleSince sim.Time
+
+	// backoffRemaining is the frozen residual backoff in slots; -1 means
+	// no backoff is owed and the MAC may use immediate access after DIFS.
+	backoffRemaining int
+
+	// awaiting is the unicast frame whose control response (CTS or ACK)
+	// we are waiting for, with its timeout event and retry count.
+	awaiting   *Pending
+	awaitKind  awaitKind
+	awaitTimer *sim.Event
+	retries    int
+
+	// rtsThreshold enables RTS/CTS for unicast data frames of at least
+	// this many bytes; 0 disables the exchange entirely.
+	rtsThreshold int
+	// navUntil is the network allocation vector: overheard RTS/CTS
+	// reservations keep the (virtual) medium busy until this time.
+	navUntil sim.Time
+	navEvent *sim.Event
+
+	// A scheduled future transmission attempt, if any.
+	txEvent *sim.Event
+	// txEventBase/txEventSlots reconstruct consumed slots if the attempt
+	// is interrupted by carrier. txEventSlots == -1 marks an
+	// immediate-access attempt (no backoff in progress).
+	txEventBase  sim.Time
+	txEventSlots int
+}
+
+// awaitKind discriminates what control frame the MAC is waiting for.
+type awaitKind int
+
+const (
+	awaitNone awaitKind = iota
+	awaitCTS
+	awaitACK
+)
+
+var _ phy.Listener = (*MAC)(nil)
+
+// New attaches a new MAC to the channel at the given position provider.
+// Its link-layer address defaults to its radio index (which is also how
+// the host assemblies number their hosts); SetAddr overrides it.
+func New(sched *sim.Scheduler, ch *phy.Channel, pos phy.PositionFunc, rng *sim.RNG) *MAC {
+	m := &MAC{
+		sched:            sched,
+		ch:               ch,
+		rng:              rng,
+		t:                ch.Timing(),
+		backoffRemaining: -1,
+		idleSince:        sched.Now(),
+	}
+	m.cw = m.t.CWMin
+	m.radio = ch.Attach(pos, m)
+	m.addr = packet.NodeID(m.radio)
+	return m
+}
+
+// SetAddr sets the link-layer address unicast destinations are matched
+// against (and ACKs are sourced from).
+func (m *MAC) SetAddr(a packet.NodeID) { m.addr = a }
+
+// SetRTSThreshold enables the RTS/CTS exchange for unicast data frames
+// of at least threshold bytes (0 disables it, the default). Broadcast
+// frames never use RTS/CTS — the paper's point about why broadcast
+// collisions are unavoidable.
+func (m *MAC) SetRTSThreshold(threshold int) { m.rtsThreshold = threshold }
+
+// Addr returns the link-layer address.
+func (m *MAC) Addr() packet.NodeID { return m.addr }
+
+// Radio returns the channel radio index of this MAC.
+func (m *MAC) Radio() int { return m.radio }
+
+// Stats returns the MAC counters.
+func (m *MAC) Stats() Stats { return m.stats }
+
+// QueueLen returns the number of frames waiting (not yet on the air).
+func (m *MAC) QueueLen() int {
+	n := 0
+	for _, p := range m.queue {
+		if !p.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Enqueue submits a frame for transmission and returns its handle.
+func (m *MAC) Enqueue(f *packet.Frame, onStart, onDone func()) *Pending {
+	p := &Pending{Frame: f, OnStart: onStart, OnDone: onDone}
+	m.queue = append(m.queue, p)
+	m.stats.Enqueued++
+	// A frame arriving to a busy medium owes a fresh backoff draw, per
+	// the DCF access rules.
+	if m.busy && m.backoffRemaining < 0 {
+		m.backoffRemaining = m.drawBackoff()
+	}
+	m.maybeSchedule()
+	return p
+}
+
+// Cancel withdraws a frame that has not started transmitting. It returns
+// true if the frame was cancelled, false if transmission already began.
+func (m *MAC) Cancel(p *Pending) bool {
+	if p == nil || p.started {
+		return false
+	}
+	if p.cancelled {
+		return true
+	}
+	p.cancelled = true
+	m.stats.Cancelled++
+	// If this was the head frame with a pending attempt, retract the
+	// attempt; the residual backoff is preserved for the next frame.
+	if m.txEvent != nil && m.headPending() == nil {
+		m.interruptAttempt(false)
+	}
+	m.maybeSchedule()
+	return true
+}
+
+// headPending returns the first non-cancelled queued frame, trimming
+// cancelled entries from the front.
+func (m *MAC) headPending() *Pending {
+	for len(m.queue) > 0 && m.queue[0].cancelled {
+		m.queue = m.queue[1:]
+	}
+	if len(m.queue) == 0 {
+		return nil
+	}
+	return m.queue[0]
+}
+
+// drawBackoff samples a fresh backoff in [0, cw] slots. The contention
+// window starts at CWMin and doubles on unicast retransmissions up to
+// CWMax, per the DCF's binary exponential backoff; broadcast frames are
+// never retransmitted and always see CWMin.
+func (m *MAC) drawBackoff() int {
+	return m.rng.IntN(m.cw + 1)
+}
+
+// growCW doubles the contention window after a missing ACK.
+func (m *MAC) growCW() {
+	m.cw = (m.cw+1)*2 - 1
+	if m.cw > m.t.CWMax {
+		m.cw = m.t.CWMax
+	}
+}
+
+// resetCW restores the contention window after success or drop.
+func (m *MAC) resetCW() { m.cw = m.t.CWMin }
+
+// maybeSchedule arranges the next transmission attempt if conditions
+// allow: a frame is queued, nothing is being transmitted, no attempt is
+// already scheduled, and the medium is idle.
+func (m *MAC) maybeSchedule() {
+	if m.transmitting || m.awaiting != nil || m.txEvent != nil || m.busy {
+		return
+	}
+	if m.sched.Now() < m.navUntil {
+		return // virtual carrier (NAV) still set; navEvent will resume us
+	}
+	if m.headPending() == nil {
+		return
+	}
+	now := m.sched.Now()
+	effStart := m.idleSince.Add(m.t.DIFS)
+
+	if m.backoffRemaining < 0 {
+		if now >= effStart {
+			// Immediate access: the medium has already been idle for at
+			// least DIFS, so the frame goes out right away.
+			m.txEventBase = now
+			m.txEventSlots = -1
+			m.txEvent = m.sched.Schedule(now, m.startTransmission)
+			return
+		}
+		// The medium has not been idle long enough: the DCF requires a
+		// full deferral with a fresh random backoff. This is what
+		// desynchronizes the neighbors of a sender, who all see the
+		// medium free at the same instant when its frame ends.
+		m.backoffRemaining = m.drawBackoff()
+	}
+
+	// Backoff countdown: slots elapse only while the medium has been
+	// idle longer than DIFS, so credit any already-elapsed idle slots.
+	if now > effStart {
+		consumed := int(now.Sub(effStart) / m.t.SlotTime)
+		if consumed > m.backoffRemaining {
+			consumed = m.backoffRemaining
+		}
+		m.backoffRemaining -= consumed
+		effStart = now
+	}
+	at := effStart.Add(sim.Duration(m.backoffRemaining) * m.t.SlotTime)
+	m.txEventBase = effStart
+	m.txEventSlots = m.backoffRemaining
+	m.txEvent = m.sched.Schedule(at, m.startTransmission)
+}
+
+// interruptAttempt cancels the scheduled attempt. If freeze is true the
+// residual backoff is recomputed from elapsed slots (carrier interrupted
+// us); otherwise the residual is left as is (head frame was cancelled).
+func (m *MAC) interruptAttempt(freeze bool) {
+	if m.txEvent == nil {
+		return
+	}
+	m.sched.Cancel(m.txEvent)
+	m.txEvent = nil
+	if !freeze {
+		if m.txEventSlots >= 0 {
+			m.backoffRemaining = m.txEventSlots
+		}
+		return
+	}
+	now := m.sched.Now()
+	if m.txEventSlots < 0 {
+		// Immediate access was interrupted: the frame now owes a real
+		// backoff, per DCF.
+		m.backoffRemaining = m.drawBackoff()
+		return
+	}
+	consumed := 0
+	if now > m.txEventBase {
+		consumed = int(now.Sub(m.txEventBase) / m.t.SlotTime)
+	}
+	if consumed > m.txEventSlots {
+		consumed = m.txEventSlots
+	}
+	m.backoffRemaining = m.txEventSlots - consumed
+}
+
+// startTransmission fires when deferral and backoff have elapsed.
+func (m *MAC) startTransmission() {
+	m.txEvent = nil
+	p := m.headPending()
+	if p == nil {
+		return
+	}
+	m.queue = m.queue[1:]
+	m.transmitting = true
+	m.backoffRemaining = -1
+	p.started = true
+	m.stats.Sent++
+	if p.OnStart != nil && !p.retransmit {
+		p.OnStart()
+	}
+	if m.useRTS(p.Frame) {
+		// Reserve the medium first: RTS now, data after the CTS.
+		nav := m.exchangeNAV(p.Frame)
+		rts := packet.NewRTS(m.addr, p.Frame.Dest, nav, m.ch.PositionOf(m.radio))
+		m.ch.Transmit(m.radio, rts, func() { m.finishRTS(p) })
+		return
+	}
+	m.ch.Transmit(m.radio, p.Frame, func() { m.finishTransmission(p) })
+}
+
+// useRTS reports whether the frame warrants an RTS/CTS exchange.
+func (m *MAC) useRTS(f *packet.Frame) bool {
+	return m.rtsThreshold > 0 && f.Dest != packet.DestBroadcast &&
+		f.Kind == packet.KindData && f.Bytes >= m.rtsThreshold
+}
+
+// exchangeNAV is the reservation an RTS announces: CTS + data + ACK and
+// the three SIFS gaps between them.
+func (m *MAC) exchangeNAV(f *packet.Frame) sim.Duration {
+	return 3*m.t.SIFS + m.t.Airtime(packet.CTSBytes) +
+		m.t.Airtime(f.Bytes) + m.t.Airtime(packet.AckBytes)
+}
+
+// finishRTS arms the CTS timeout after the RTS airtime ends.
+func (m *MAC) finishRTS(p *Pending) {
+	m.transmitting = false
+	m.awaiting = p
+	m.awaitKind = awaitCTS
+	timeout := m.t.SIFS + m.t.Airtime(packet.CTSBytes) + 2*m.t.SlotTime
+	m.awaitTimer = m.sched.After(timeout, m.responseTimeout)
+}
+
+// finishTransmission runs at airtime end. Broadcast (and ACK) frames
+// complete immediately with the DCF's post-transmission backoff; unicast
+// data frames instead arm the ACK timeout.
+func (m *MAC) finishTransmission(p *Pending) {
+	m.transmitting = false
+	if p.Frame.Dest != packet.DestBroadcast && p.Frame.Kind != packet.KindAck {
+		m.awaiting = p
+		m.awaitKind = awaitACK
+		// The ACK arrives SIFS + ACK airtime after our frame ends; allow
+		// two slots of slack before declaring it missing.
+		timeout := m.t.SIFS + m.t.Airtime(packet.AckBytes) + 2*m.t.SlotTime
+		m.awaitTimer = m.sched.After(timeout, m.responseTimeout)
+		return
+	}
+	m.backoffRemaining = m.drawBackoff()
+	if p.OnDone != nil {
+		p.OnDone()
+	}
+	m.maybeSchedule()
+}
+
+// responseTimeout fires when the awaited CTS or ACK never arrived:
+// retry the whole exchange with a doubled contention window, or drop the
+// frame after RetryLimit.
+func (m *MAC) responseTimeout() {
+	p := m.awaiting
+	m.awaiting = nil
+	m.awaitKind = awaitNone
+	m.awaitTimer = nil
+	if p == nil {
+		return
+	}
+	if m.retries >= RetryLimit {
+		m.retries = 0
+		m.resetCW()
+		p.failed = true
+		m.stats.Dropped++
+		m.backoffRemaining = m.drawBackoff()
+		if p.OnDone != nil {
+			p.OnDone()
+		}
+		m.maybeSchedule()
+		return
+	}
+	m.retries++
+	m.stats.Retries++
+	m.growCW()
+	m.backoffRemaining = m.drawBackoff()
+	p.retransmit = true
+	// Reinsert at the head: the DCF retries the same frame first.
+	m.queue = append([]*Pending{p}, m.queue...)
+	m.maybeSchedule()
+}
+
+// ackReceived completes the awaited unicast frame successfully.
+func (m *MAC) ackReceived() {
+	p := m.awaiting
+	m.awaiting = nil
+	m.awaitKind = awaitNone
+	if m.awaitTimer != nil {
+		m.sched.Cancel(m.awaitTimer)
+		m.awaitTimer = nil
+	}
+	m.retries = 0
+	m.resetCW()
+	m.backoffRemaining = m.drawBackoff()
+	if p != nil && p.OnDone != nil {
+		p.OnDone()
+	}
+	m.maybeSchedule()
+}
+
+// ctsReceived sends the reserved data frame SIFS after the CTS.
+func (m *MAC) ctsReceived() {
+	p := m.awaiting
+	m.awaiting = nil
+	m.awaitKind = awaitNone
+	if m.awaitTimer != nil {
+		m.sched.Cancel(m.awaitTimer)
+		m.awaitTimer = nil
+	}
+	if p == nil {
+		return
+	}
+	m.sched.After(m.t.SIFS, func() {
+		if m.transmitting {
+			return // pathological overlap; the ACK timeout will retry
+		}
+		m.transmitting = true
+		m.ch.Transmit(m.radio, p.Frame, func() { m.finishTransmission(p) })
+	})
+}
+
+// setNAV extends the virtual carrier reservation after overhearing an
+// RTS or CTS addressed to someone else.
+func (m *MAC) setNAV(until sim.Time) {
+	now := m.sched.Now()
+	if until <= now || until <= m.navUntil {
+		return
+	}
+	m.navUntil = until
+	if m.txEvent != nil {
+		m.interruptAttempt(true)
+	}
+	if m.navEvent != nil {
+		m.sched.Cancel(m.navEvent)
+	}
+	m.navEvent = m.sched.Schedule(until, func() {
+		m.navEvent = nil
+		if !m.busy {
+			// The DIFS deferral restarts when the reservation releases.
+			m.idleSince = m.sched.Now()
+			m.maybeSchedule()
+		}
+	})
+}
+
+// sendCTS grants a reservation SIFS after the RTS.
+func (m *MAC) sendCTS(to packet.NodeID, nav sim.Duration) {
+	m.sched.After(m.t.SIFS, func() {
+		if m.transmitting {
+			return
+		}
+		grant := nav - m.t.SIFS - m.t.Airtime(packet.CTSBytes)
+		if grant < 0 {
+			grant = 0
+		}
+		cts := packet.NewCTS(m.addr, to, grant, m.ch.PositionOf(m.radio))
+		m.ch.Transmit(m.radio, cts, nil)
+	})
+}
+
+// sendAck transmits the link-layer ACK after SIFS, bypassing the backoff
+// machinery (SIFS precedence is what guarantees ACKs win the medium).
+func (m *MAC) sendAck(to packet.NodeID) {
+	m.sched.After(m.t.SIFS, func() {
+		if m.transmitting {
+			return // pathological overlap; drop the ACK
+		}
+		m.stats.AcksSent++
+		ack := packet.NewAck(m.addr, to, m.ch.PositionOf(m.radio))
+		m.ch.Transmit(m.radio, ack, nil)
+	})
+}
+
+// CarrierBusy implements phy.Listener.
+func (m *MAC) CarrierBusy() {
+	m.busy = true
+	if m.txEvent != nil {
+		m.interruptAttempt(true)
+	}
+}
+
+// CarrierIdle implements phy.Listener.
+func (m *MAC) CarrierIdle() {
+	m.busy = false
+	m.idleSince = m.sched.Now()
+	m.maybeSchedule() // no-op while the NAV is still set
+}
+
+// Deliver implements phy.Listener.
+func (m *MAC) Deliver(f *packet.Frame) {
+	switch f.Kind {
+	case packet.KindAck:
+		if f.Dest == m.addr && m.awaitKind == awaitACK {
+			m.ackReceived()
+		}
+		return // control frames never reach the host layer
+	case packet.KindRTS:
+		if f.Dest == m.addr {
+			m.sendCTS(f.Sender, f.NAV)
+		} else {
+			m.setNAV(m.sched.Now().Add(f.NAV))
+		}
+		return
+	case packet.KindCTS:
+		if f.Dest == m.addr && m.awaitKind == awaitCTS {
+			m.ctsReceived()
+		} else if f.Dest != m.addr {
+			m.setNAV(m.sched.Now().Add(f.NAV))
+		}
+		return
+	}
+	// Acknowledge unicast data addressed to us before handing it up.
+	if f.Dest == m.addr && f.Kind == packet.KindData {
+		m.sendAck(f.Sender)
+	}
+	if m.Receiver != nil {
+		m.Receiver(f)
+	}
+}
+
+// DeliverGarbled implements phy.Listener.
+func (m *MAC) DeliverGarbled(f *packet.Frame) {
+	if m.GarbledReceiver != nil {
+		m.GarbledReceiver(f)
+	}
+}

@@ -1,0 +1,215 @@
+package manet
+
+import (
+	"repro/internal/geom"
+	"repro/internal/mac"
+	"repro/internal/mobility"
+	"repro/internal/neighbor"
+	"repro/internal/packet"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// host is one mobile node: radio + MAC + mobility + neighbor table +
+// per-packet rebroadcast decisions.
+type host struct {
+	id    packet.NodeID
+	net   *Network
+	mac   *mac.MAC
+	mover mobility.Mover
+	table *neighbor.Table
+	dedup *packet.DedupTable
+	rng   *sim.RNG // assessment delays and hello phase
+
+	// pending tracks broadcasts whose rebroadcast decision is still open.
+	pending map[packet.BroadcastID]*pendingRebroadcast
+
+	// Reliable-broadcast repair state (Config.Repair): recently received
+	// broadcasts to advertise, and ids already NACKed.
+	recent []recentEntry
+	nacked map[packet.BroadcastID]bool
+}
+
+// pendingRebroadcast is the paper's per-packet waiting state: created at
+// first reception (S1), it survives the random assessment delay (S2) and
+// the MAC queueing, and is resolved either by the transmission starting
+// (S3) or by the scheme inhibiting it (S5).
+type pendingRebroadcast struct {
+	judge    scheme.Judge
+	assess   *sim.Event   // scheduled MAC submission, nil once submitted
+	mp       *mac.Pending // MAC handle once submitted
+	started  bool         // transmission began; decision locked
+	resolved bool         // inhibited or completed
+}
+
+var _ scheme.HostView = (*host)(nil)
+
+// ID implements scheme.HostView.
+func (h *host) ID() packet.NodeID { return h.id }
+
+// Position implements scheme.HostView.
+func (h *host) Position() geom.Point { return h.mover.Position() }
+
+// Radius implements scheme.HostView.
+func (h *host) Radius() float64 { return h.net.ch.Radius() }
+
+// NeighborCount implements scheme.HostView.
+func (h *host) NeighborCount() int { return h.table.Count() }
+
+// Neighbors implements scheme.HostView.
+func (h *host) Neighbors() []packet.NodeID { return h.table.Neighbors() }
+
+// TwoHop implements scheme.HostView.
+func (h *host) TwoHop(n packet.NodeID) []packet.NodeID {
+	return h.table.TwoHop(n)
+}
+
+// onFrame handles an intact frame delivered by the MAC.
+func (h *host) onFrame(f *packet.Frame) {
+	switch f.Kind {
+	case packet.KindHello:
+		h.table.OnHello(f.Sender, f.Neighbors, f.HelloInterval)
+		if h.net.cfg.Repair {
+			h.onHelloRecent(f.Sender, f.Recent)
+		}
+	case packet.KindBroadcast:
+		h.onBroadcast(f)
+	case packet.KindData:
+		if h.net.cfg.Repair {
+			h.onRepairFrame(f)
+		}
+	}
+}
+
+// onBroadcast implements the paper's per-host algorithm.
+func (h *host) onBroadcast(f *packet.Frame) {
+	bid := f.Broadcast
+	rx := scheme.Reception{From: f.Sender, SenderPos: f.SenderPos, U: h.rng.Float64()}
+
+	if h.dedup.Observe(bid) {
+		// S1: first reception.
+		h.net.noteReceived(bid, h.id)
+		h.noteRecent(bid)
+		judge := h.net.cfg.Scheme.NewJudge(h, rx)
+		if judge.Initial() == scheme.Inhibit {
+			h.net.noteActivity(bid)
+			h.net.trace(trace.Inhibit, bid, h.id)
+			return
+		}
+		p := &pendingRebroadcast{judge: judge}
+		h.pending[bid] = p
+		// S2: random assessment delay of 0..AssessmentSlots slots before
+		// submitting the rebroadcast to the MAC.
+		slots := h.rng.IntN(h.net.cfg.AssessmentSlots + 1)
+		delay := sim.Duration(slots) * h.net.cfg.Timing.SlotTime
+		p.assess = h.net.sched.After(delay, func() { h.submit(bid, p) })
+		return
+	}
+
+	// Duplicate reception (S4) while a rebroadcast may still be pending.
+	h.net.trace(trace.Duplicate, bid, h.id)
+	p := h.pending[bid]
+	if p == nil || p.started || p.resolved {
+		return
+	}
+	if p.judge.OnDuplicate(rx) == scheme.Inhibit {
+		h.inhibit(bid, p)
+	}
+}
+
+// submit hands the rebroadcast to the MAC after the assessment delay.
+func (h *host) submit(bid packet.BroadcastID, p *pendingRebroadcast) {
+	p.assess = nil
+	if p.resolved {
+		return
+	}
+	frame := packet.NewBroadcast(bid, h.id, h.Position())
+	p.mp = h.mac.Enqueue(frame,
+		func() { // transmission actually starts: S3, decision locked
+			p.started = true
+			h.net.noteTransmitted(bid)
+			h.net.trace(trace.Transmit, bid, h.id)
+		},
+		func() { // transmission complete
+			p.resolved = true
+			delete(h.pending, bid)
+			h.net.noteActivity(bid)
+		},
+	)
+}
+
+// inhibit cancels the pending rebroadcast (S5).
+func (h *host) inhibit(bid packet.BroadcastID, p *pendingRebroadcast) {
+	p.resolved = true
+	if p.assess != nil {
+		h.net.sched.Cancel(p.assess)
+		p.assess = nil
+	}
+	if p.mp != nil {
+		h.mac.Cancel(p.mp)
+	}
+	delete(h.pending, bid)
+	h.net.noteActivity(bid)
+	h.net.trace(trace.Inhibit, bid, h.id)
+}
+
+// originate makes this host the source of a new broadcast: the source
+// always transmits the packet (there is no decision to make).
+func (h *host) originate(bid packet.BroadcastID) {
+	h.dedup.Observe(bid)
+	frame := packet.NewBroadcast(bid, h.id, h.Position())
+	h.mac.Enqueue(frame,
+		func() {
+			h.net.noteTransmitted(bid)
+			h.net.trace(trace.Transmit, bid, h.id)
+		},
+		func() { h.net.noteActivity(bid) },
+	)
+}
+
+// scheduleHello arms the host's first HELLO at a random phase within one
+// interval, so the population does not beacon in lockstep.
+func (h *host) scheduleHello() {
+	if h.net.cfg.HelloMode == HelloOff {
+		return
+	}
+	first := h.currentHelloInterval()
+	if h.net.cfg.HelloMode == HelloDynamic && first > h.net.cfg.DHI.HIMin {
+		// Before any HELLO has been exchanged the variation estimator
+		// reads zero and would pick himax; start at himin instead so the
+		// tables bootstrap quickly, then let DHI take over.
+		first = h.net.cfg.DHI.HIMin
+	}
+	phase := h.rng.UniformDuration(0, first)
+	h.net.sched.After(phase, h.sendHello)
+}
+
+// currentHelloInterval evaluates the fixed or dynamic hello interval.
+func (h *host) currentHelloInterval() sim.Duration {
+	if h.net.cfg.HelloMode == HelloDynamic {
+		return h.net.cfg.DHI.Interval(h.table.Variation())
+	}
+	return h.net.cfg.HelloInterval
+}
+
+// sendHello beacons the host's neighbor set and schedules the next HELLO.
+func (h *host) sendHello() {
+	if h.net.sched.Now() >= h.net.endTime {
+		return // run is over; stop beaconing so the event queue drains
+	}
+	interval := h.currentHelloInterval()
+	if h.net.cfg.IdealHello {
+		// Ablation mode: the beacon reaches every in-range host
+		// instantly and without occupying the medium.
+		h.net.idealHelloDeliver(h, interval)
+	} else {
+		f := packet.NewHello(h.id, h.Position(), h.table.Neighbors(), interval)
+		if h.net.cfg.Repair {
+			f.Recent = h.recentIDs()
+			f.Bytes += packet.HelloPerRecentBytes * len(f.Recent)
+		}
+		h.mac.Enqueue(f, func() { h.net.helloSent++ }, nil)
+	}
+	h.net.sched.After(interval, h.sendHello)
+}

@@ -1,0 +1,331 @@
+package manet
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/mac"
+	"repro/internal/metrics"
+	"repro/internal/mobility"
+	"repro/internal/neighbor"
+	"repro/internal/packet"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Network is one fully assembled simulation instance. Build it with New,
+// run it once with Run. A Network is single-use and single-threaded;
+// parallelism belongs at the replica level (see the experiment package).
+type Network struct {
+	cfg   Config
+	sched *sim.Scheduler
+	ch    *phy.Channel
+	area  mobility.Map
+	hosts []*host
+
+	// DeliveryHook, if set before Run, is invoked once per (broadcast,
+	// host) when the host first obtains the packet — including the source
+	// at origination. Examples and tests use it to observe per-host
+	// dissemination (e.g. "did the route request reach the destination").
+	DeliveryHook func(id packet.BroadcastID, host packet.NodeID)
+
+	// Tracer, if set before Run, records the per-broadcast event
+	// timeline (originations, deliveries, duplicates, transmissions,
+	// inhibit decisions, collision-garbled copies).
+	Tracer *trace.Recorder
+
+	records          map[packet.BroadcastID]*metrics.BroadcastRecord
+	order            []packet.BroadcastID
+	helloSent        int
+	repairsRequested int
+	repairsDelivered int
+	seq              uint32
+	endTime          sim.Time
+	ran              bool
+}
+
+// New builds a network from cfg (after defaulting); it returns an error
+// for inconsistent configurations.
+func New(cfg Config) (*Network, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sched := sim.NewScheduler()
+	n := &Network{
+		cfg:     cfg,
+		sched:   sched,
+		ch:      phy.NewChannel(sched, cfg.Timing, cfg.Radius),
+		area:    mobility.NewSquareMap(cfg.MapUnits, cfg.UnitMeters),
+		records: make(map[packet.BroadcastID]*metrics.BroadcastRecord, cfg.Requests),
+	}
+	n.ch.DisableCollisions = cfg.DisableCollisions
+	if cfg.CaptureRatio > 0 {
+		n.ch.SetCapture(cfg.CaptureRatio)
+	}
+	if cfg.LossRate > 0 {
+		n.ch.SetLoss(cfg.LossRate, sim.NewRNG(cfg.Seed).Fork(5))
+	}
+	root := sim.NewRNG(cfg.Seed)
+	moveRNG := root.Fork(1)
+	macRNG := root.Fork(2)
+	hostRNG := root.Fork(3)
+
+	var groups []*mobility.Group
+	if cfg.Groups > 0 {
+		gcfg := mobility.DefaultGroupConfig(cfg.MaxSpeedKMH)
+		if cfg.GroupSpread > 0 {
+			gcfg.Spread = cfg.GroupSpread
+		}
+		groups = make([]*mobility.Group, cfg.Groups)
+		for gi := range groups {
+			groups[gi] = mobility.NewGroup(sched, n.area, gcfg, moveRNG.Fork(1000+uint64(gi)))
+		}
+	}
+
+	n.hosts = make([]*host, cfg.Hosts)
+	for i := range n.hosts {
+		h := &host{
+			id:      packet.NodeID(i),
+			net:     n,
+			dedup:   packet.NewDedupTable(),
+			rng:     hostRNG.Fork(uint64(i)),
+			pending: make(map[packet.BroadcastID]*pendingRebroadcast),
+			nacked:  make(map[packet.BroadcastID]bool),
+		}
+		switch {
+		case cfg.Groups > 0:
+			h.mover = groups[i%cfg.Groups].NewMember(moveRNG.Fork(uint64(i)))
+		case len(cfg.Placement) > 0 && cfg.Static:
+			h.mover = mobility.NewStaticRoamer(sched, n.area, cfg.Placement[i])
+		case cfg.Static:
+			h.mover = mobility.NewStaticRoamer(sched, n.area, randomPoint(moveRNG.Fork(uint64(i)), n.area))
+		case cfg.Mobility == MobilityWaypoint:
+			wcfg := mobility.DefaultWaypointConfig(cfg.MaxSpeedKMH)
+			if cfg.WaypointPause > 0 {
+				wcfg.PauseTime = cfg.WaypointPause
+			}
+			h.mover = mobility.NewWaypoint(sched, n.area, wcfg, moveRNG.Fork(uint64(i)))
+		default:
+			h.mover = mobility.NewRoamer(sched, n.area,
+				mobility.DefaultConfig(cfg.MaxSpeedKMH), moveRNG.Fork(uint64(i)))
+		}
+		h.table = neighbor.NewTable(h.id, sched, cfg.ExpiryIntervals)
+		h.mac = mac.New(sched, n.ch, h.mover.PositionAt, macRNG.Fork(uint64(i)))
+		h.mac.SetAddr(h.id)
+		h.mac.Receiver = h.onFrame
+		hid := h.id
+		h.mac.GarbledReceiver = func(f *packet.Frame) {
+			if n.Tracer != nil && f.Kind == packet.KindBroadcast {
+				n.Tracer.Record(sched.Now(), trace.Garbled, f.Broadcast, hid)
+			}
+		}
+		n.hosts[i] = h
+	}
+	return n, nil
+}
+
+// randomPoint places a static host uniformly on the map.
+func randomPoint(rng *sim.RNG, area mobility.Map) geom.Point {
+	return geom.Point{
+		X: rng.UniformFloat(0, area.Width),
+		Y: rng.UniformFloat(0, area.Height),
+	}
+}
+
+// Scheduler exposes the simulation clock (examples and tests).
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// Config returns the effective (defaulted) configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Run executes the configured workload and returns the run summary. It
+// panics if called twice.
+func (n *Network) Run() metrics.Summary {
+	if n.ran {
+		panic("manet: Network.Run called twice")
+	}
+	n.ran = true
+
+	workload := sim.NewRNG(n.cfg.Seed).Fork(4)
+	at := sim.Time(0).Add(n.cfg.Warmup)
+	var lastArrival sim.Time
+	for i := 0; i < n.cfg.Requests; i++ {
+		at = at.Add(workload.UniformDuration(0, n.cfg.ArrivalSpread))
+		lastArrival = at
+		src := workload.IntN(len(n.hosts))
+		n.sched.Schedule(at, func() { n.originate(n.hosts[src]) })
+	}
+	n.endTime = lastArrival.Add(n.cfg.Drain)
+	if n.cfg.Requests == 0 {
+		n.endTime = sim.Time(0).Add(n.cfg.Warmup + n.cfg.Drain)
+	}
+
+	for _, h := range n.hosts {
+		h.scheduleHello()
+	}
+
+	n.sched.RunUntil(n.endTime)
+	return n.summarize()
+}
+
+// originate issues one broadcast request from src.
+func (n *Network) originate(src *host) {
+	n.seq++
+	bid := packet.BroadcastID{Source: src.id, Seq: n.seq}
+	rec := metrics.NewBroadcastRecord(bid, n.sched.Now(), n.reachableFrom(src))
+	rec.Received = 1 // the source holds the packet
+	n.records[bid] = rec
+	n.order = append(n.order, bid)
+	if n.DeliveryHook != nil {
+		n.DeliveryHook(bid, src.id)
+	}
+	n.trace(trace.Originate, bid, src.id)
+	src.originate(bid)
+}
+
+// reachableFrom computes e: the number of hosts (including src) in src's
+// connected component of the current unit-disk graph.
+func (n *Network) reachableFrom(src *host) int {
+	now := n.sched.Now()
+	pos := make([]geom.Point, len(n.hosts))
+	for i, h := range n.hosts {
+		pos[i] = h.mover.PositionAt(now)
+	}
+	r2 := n.cfg.Radius * n.cfg.Radius
+	visited := make([]bool, len(n.hosts))
+	stack := []int{int(src.id)}
+	visited[src.id] = true
+	count := 0
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for j := range n.hosts {
+			if visited[j] {
+				continue
+			}
+			dx := pos[i].X - pos[j].X
+			dy := pos[i].Y - pos[j].Y
+			if dx*dx+dy*dy <= r2 {
+				visited[j] = true
+				stack = append(stack, j)
+			}
+		}
+	}
+	return count
+}
+
+// record fetches the bookkeeping entry for a broadcast; unknown ids
+// (possible only through misuse) panic loudly rather than silently
+// skewing metrics.
+func (n *Network) record(bid packet.BroadcastID) *metrics.BroadcastRecord {
+	rec, ok := n.records[bid]
+	if !ok {
+		panic(fmt.Sprintf("manet: no record for %v", bid))
+	}
+	return rec
+}
+
+func (n *Network) noteReceived(bid packet.BroadcastID, h packet.NodeID) {
+	rec := n.record(bid)
+	rec.Received++
+	rec.NoteActivity(n.sched.Now())
+	if n.DeliveryHook != nil {
+		n.DeliveryHook(bid, h)
+	}
+	n.trace(trace.Deliver, bid, h)
+}
+
+// trace records an event if a Tracer is attached.
+func (n *Network) trace(kind trace.Kind, bid packet.BroadcastID, h packet.NodeID) {
+	if n.Tracer != nil {
+		n.Tracer.Record(n.sched.Now(), kind, bid, h)
+	}
+}
+
+func (n *Network) noteTransmitted(bid packet.BroadcastID) {
+	n.record(bid).Transmitted++
+}
+
+func (n *Network) noteActivity(bid packet.BroadcastID) {
+	n.record(bid).NoteActivity(n.sched.Now())
+}
+
+// summarize folds per-broadcast records and channel counters into the
+// run summary.
+func (n *Network) summarize() metrics.Summary {
+	recs := make([]*metrics.BroadcastRecord, 0, len(n.order))
+	for _, bid := range n.order {
+		recs = append(recs, n.records[bid])
+	}
+	s := metrics.Summarize(recs)
+	st := n.ch.Stats()
+	s.HelloSent = n.helloSent
+	s.RepairsRequested = n.repairsRequested
+	s.RepairsDelivered = n.repairsDelivered
+	s.Transmissions = st.Transmissions
+	s.Deliveries = st.Deliveries
+	s.Collisions = st.Collisions
+	s.SimulatedTime = n.sched.Now().Sub(0)
+	s.Events = n.sched.Executed()
+	return s
+}
+
+// Records returns the per-broadcast records in arrival order (available
+// after Run; used by tests and detailed analyses).
+func (n *Network) Records() []*metrics.BroadcastRecord {
+	recs := make([]*metrics.BroadcastRecord, 0, len(n.order))
+	for _, bid := range n.order {
+		recs = append(recs, n.records[bid])
+	}
+	return recs
+}
+
+// TrueNeighborCount returns the ground-truth number of hosts currently
+// within radio range of host i (tests compare HELLO-derived tables
+// against this).
+func (n *Network) TrueNeighborCount(i int) int {
+	count := 0
+	for j := range n.hosts {
+		if j != i && n.ch.InRange(n.hosts[i].mac.Radio(), n.hosts[j].mac.Radio()) {
+			count++
+		}
+	}
+	return count
+}
+
+// HostTableCount returns host i's HELLO-derived neighbor count.
+func (n *Network) HostTableCount(i int) int { return n.hosts[i].table.Count() }
+
+// Positions returns every host's current position (visualization,
+// topology inspection).
+func (n *Network) Positions() []geom.Point {
+	out := make([]geom.Point, len(n.hosts))
+	for i, h := range n.hosts {
+		out[i] = h.mover.Position()
+	}
+	return out
+}
+
+// Area returns the map dimensions in meters.
+func (n *Network) Area() (width, height float64) {
+	return n.area.Width, n.area.Height
+}
+
+// idealHelloDeliver implements the IdealHello ablation: src's beacon is
+// applied directly to every in-range host's neighbor table, bypassing
+// the channel entirely.
+func (n *Network) idealHelloDeliver(src *host, interval sim.Duration) {
+	n.helloSent++
+	neighbors := src.table.Neighbors()
+	for _, other := range n.hosts {
+		if other == src {
+			continue
+		}
+		if n.ch.InRange(src.mac.Radio(), other.mac.Radio()) {
+			other.table.OnHello(src.id, neighbors, interval)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package manet
+
+import (
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// This file implements the reliable-broadcast repair extension the paper
+// suggests its schemes can underpin ("the result in this paper may serve
+// as an underlying facility to implement reliable broadcast"). The
+// best-effort dissemination runs unchanged; on top of it:
+//
+//   - every host piggybacks the broadcast ids it received within
+//     RepairWindow onto its periodic HELLOs;
+//   - a host that hears an advertisement for a packet it missed unicasts
+//     a repair request (NACK) to the advertiser, at most once per packet;
+//   - the advertiser answers with a unicast retransmission of the packet,
+//     which counts as a delivery but is never rebroadcast further.
+//
+// Both control messages ride the MAC's unicast ARQ (DATA/ACK), so
+// repairs survive collisions that best-effort copies did not.
+
+// repairRequest asks the destination to retransmit a broadcast packet.
+type repairRequest struct {
+	ID packet.BroadcastID
+}
+
+// repairResponse carries the retransmitted packet.
+type repairResponse struct {
+	ID packet.BroadcastID
+}
+
+// Wire sizes: the request is a small control message; the response
+// carries the full broadcast payload.
+const (
+	repairRequestBytes  = 32
+	repairResponseBytes = packet.BroadcastBytes
+)
+
+// recentEntry is one advertised broadcast.
+type recentEntry struct {
+	id    packet.BroadcastID
+	heard sim.Time
+}
+
+// noteRecent records a received broadcast for future advertisement.
+func (h *host) noteRecent(bid packet.BroadcastID) {
+	if !h.net.cfg.Repair {
+		return
+	}
+	h.recent = append(h.recent, recentEntry{id: bid, heard: h.net.sched.Now()})
+}
+
+// recentIDs returns the ids still inside the advertisement window,
+// pruning expired entries in place.
+func (h *host) recentIDs() []packet.BroadcastID {
+	cutoff := h.net.sched.Now().Add(-sim.Duration(h.net.cfg.RepairWindow))
+	keep := h.recent[:0]
+	for _, e := range h.recent {
+		if e.heard >= cutoff {
+			keep = append(keep, e)
+		}
+	}
+	h.recent = keep
+	out := make([]packet.BroadcastID, len(keep))
+	for i, e := range keep {
+		out[i] = e.id
+	}
+	return out
+}
+
+// onHelloRecent reacts to a neighbor's advertisement: request any packet
+// we missed, once.
+func (h *host) onHelloRecent(from packet.NodeID, recent []packet.BroadcastID) {
+	for _, bid := range recent {
+		if h.dedup.Seen(bid) || h.nacked[bid] {
+			continue
+		}
+		h.nacked[bid] = true
+		h.net.repairsRequested++
+		f := packet.NewData(h.id, from, repairRequestBytes, repairRequest{ID: bid}, h.Position())
+		h.mac.Enqueue(f, nil, nil)
+	}
+}
+
+// onRepairFrame handles the repair control plane (KindData frames).
+func (h *host) onRepairFrame(f *packet.Frame) {
+	switch msg := f.Payload.(type) {
+	case repairRequest:
+		if f.Dest != h.id || !h.dedup.Seen(msg.ID) {
+			return
+		}
+		resp := packet.NewData(h.id, f.Sender, repairResponseBytes,
+			repairResponse{ID: msg.ID}, h.Position())
+		h.mac.Enqueue(resp, nil, nil)
+	case repairResponse:
+		if f.Dest != h.id {
+			return
+		}
+		if h.dedup.Observe(msg.ID) {
+			// A repaired delivery: counted as received, never forwarded
+			// (the best-effort wave has long passed).
+			h.net.repairsDelivered++
+			h.net.noteReceived(msg.ID, h.id)
+			h.noteRecent(msg.ID)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package manet
+
+import (
+	"testing"
+
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+// repairConfig builds a lossy workload where best-effort dissemination
+// misses hosts, so repairs have something to do.
+func repairConfig(repair bool, seed uint64) Config {
+	return Config{
+		Hosts:         60,
+		MapUnits:      5,
+		Scheme:        scheme.Counter{C: 2}, // aggressive suppression: misses hosts
+		Requests:      20,
+		LossRate:      0.15, // fading loss on top
+		Repair:        repair,
+		HelloMode:     HelloFixed,
+		HelloInterval: 1 * sim.Second,
+		Drain:         8 * sim.Second, // time for advertisement + repair rounds
+		Seed:          seed,
+	}
+}
+
+func TestRepairImprovesDeliveryUnderLoss(t *testing.T) {
+	nOff, err := New(repairConfig(false, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sOff := nOff.Run()
+
+	nOn, err := New(repairConfig(true, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sOn := nOn.Run()
+
+	if sOn.RepairsDelivered == 0 {
+		t.Fatal("repair extension never repaired anything under 15% loss")
+	}
+	if sOn.MeanRE <= sOff.MeanRE {
+		t.Errorf("repair RE %v not above best-effort RE %v", sOn.MeanRE, sOff.MeanRE)
+	}
+	if sOn.RepairsRequested < sOn.RepairsDelivered {
+		t.Errorf("delivered %d repairs for only %d requests",
+			sOn.RepairsDelivered, sOn.RepairsRequested)
+	}
+}
+
+func TestRepairIdleWithoutLoss(t *testing.T) {
+	// Flooding on a dense static cluster: everyone gets everything on
+	// the first wave; the repair machinery must stay (nearly) silent.
+	cfg := Config{
+		Hosts:         15,
+		MapUnits:      1,
+		Static:        true,
+		Placement:     cluster(15),
+		Scheme:        scheme.Flooding{},
+		Requests:      10,
+		Repair:        true,
+		HelloMode:     HelloFixed,
+		HelloInterval: 1 * sim.Second,
+		Seed:          5,
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := n.Run()
+	if s.MeanRE < 0.999 {
+		t.Fatalf("dense flooding RE = %v", s.MeanRE)
+	}
+	if s.RepairsRequested > 2 {
+		t.Errorf("repair machinery fired %d requests with nothing to repair",
+			s.RepairsRequested)
+	}
+}
+
+func TestRepairRequiresHello(t *testing.T) {
+	cfg := Config{Repair: true, HelloMode: HelloOff, Scheme: scheme.Flooding{}}
+	// Defaults auto-enable HELLO when repair is on.
+	if got := cfg.WithDefaults(); got.HelloMode == HelloOff {
+		t.Error("defaults left HELLO off with repair enabled")
+	}
+	// Bypassing defaults must fail validation.
+	bad := cfg.WithDefaults()
+	bad.HelloMode = HelloOff
+	if err := bad.Validate(); err == nil {
+		t.Error("repair without HELLO passed validation")
+	}
+}
+
+func TestRepairCountsAreConsistent(t *testing.T) {
+	n, err := New(repairConfig(true, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := n.Run()
+	// Every repaired delivery is a real delivery: t <= r still holds and
+	// r never exceeds the population.
+	for _, rec := range n.Records() {
+		if rec.Transmitted > rec.Received {
+			t.Errorf("t=%d > r=%d with repairs", rec.Transmitted, rec.Received)
+		}
+		if rec.Received > 60 {
+			t.Errorf("r=%d > population", rec.Received)
+		}
+	}
+	if s.RepairsDelivered > s.RepairsRequested {
+		t.Errorf("more repairs delivered (%d) than requested (%d)",
+			s.RepairsDelivered, s.RepairsRequested)
+	}
+}

@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+func rec(e, r, t int) *BroadcastRecord {
+	br := NewBroadcastRecord(packet.BroadcastID{Source: 1, Seq: 1}, 0, e)
+	br.Received = r
+	br.Transmitted = t
+	return br
+}
+
+func TestREDefinition(t *testing.T) {
+	if got := rec(10, 8, 3).RE(); got != 0.8 {
+		t.Errorf("RE = %v, want 0.8", got)
+	}
+	// Isolated source: e = r = 1.
+	if got := rec(1, 1, 1).RE(); got != 1 {
+		t.Errorf("isolated source RE = %v, want 1", got)
+	}
+	// Degenerate zero reachable set.
+	if got := rec(0, 0, 0).RE(); got != 0 {
+		t.Errorf("zero-reachable RE = %v", got)
+	}
+}
+
+func TestSRBDefinition(t *testing.T) {
+	// Flooding: everyone who receives transmits -> SRB 0.
+	if got := rec(10, 10, 10).SRB(); got != 0 {
+		t.Errorf("flooding SRB = %v, want 0", got)
+	}
+	if got := rec(10, 10, 4).SRB(); got != 0.6 {
+		t.Errorf("SRB = %v, want 0.6", got)
+	}
+	if got := rec(5, 0, 0).SRB(); got != 0 {
+		t.Errorf("no-receiver SRB = %v", got)
+	}
+}
+
+func TestLatencyTracking(t *testing.T) {
+	br := NewBroadcastRecord(packet.BroadcastID{}, sim.Time(100), 5)
+	br.NoteActivity(sim.Time(300))
+	br.NoteActivity(sim.Time(200)) // earlier activity must not shrink it
+	if got := br.Latency(); got != 200 {
+		t.Errorf("latency = %v, want 200", got)
+	}
+	fresh := NewBroadcastRecord(packet.BroadcastID{}, sim.Time(50), 1)
+	if fresh.Latency() != 0 {
+		t.Errorf("fresh record latency = %v, want 0", fresh.Latency())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	a := rec(10, 10, 10) // RE 1.0, SRB 0
+	b := rec(10, 5, 1)   // RE 0.5, SRB 0.8
+	a.NoteActivity(sim.Time(100))
+	b.NoteActivity(sim.Time(300))
+	s := Summarize([]*BroadcastRecord{a, b})
+	if s.Broadcasts != 2 {
+		t.Fatalf("broadcasts = %d", s.Broadcasts)
+	}
+	if math.Abs(s.MeanRE-0.75) > 1e-12 {
+		t.Errorf("mean RE = %v, want 0.75", s.MeanRE)
+	}
+	if math.Abs(s.MeanSRB-0.4) > 1e-12 {
+		t.Errorf("mean SRB = %v, want 0.4", s.MeanSRB)
+	}
+	if s.MeanLatency != 200 {
+		t.Errorf("mean latency = %v, want 200", s.MeanLatency)
+	}
+	if math.Abs(s.StdRE-0.25) > 1e-12 {
+		t.Errorf("std RE = %v, want 0.25", s.StdRE)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Broadcasts != 0 || s.MeanRE != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestMergeWeighting(t *testing.T) {
+	s1 := Summary{Broadcasts: 1, MeanRE: 1.0, MeanSRB: 0.0, MeanLatency: 100, HelloSent: 5}
+	s2 := Summary{Broadcasts: 3, MeanRE: 0.5, MeanSRB: 0.4, MeanLatency: 300, HelloSent: 7}
+	m := Merge([]Summary{s1, s2})
+	if m.Broadcasts != 4 {
+		t.Fatalf("merged broadcasts = %d", m.Broadcasts)
+	}
+	if math.Abs(m.MeanRE-0.625) > 1e-12 {
+		t.Errorf("merged RE = %v, want 0.625", m.MeanRE)
+	}
+	if math.Abs(m.MeanSRB-0.3) > 1e-12 {
+		t.Errorf("merged SRB = %v, want 0.3", m.MeanSRB)
+	}
+	if m.MeanLatency != 250 {
+		t.Errorf("merged latency = %v, want 250", m.MeanLatency)
+	}
+	if m.HelloSent != 12 {
+		t.Errorf("merged hello count = %d", m.HelloSent)
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	if m := Merge(nil); m.Broadcasts != 0 {
+		t.Errorf("merge of nothing = %+v", m)
+	}
+}
+
+// TestMetricBoundsProperty: RE in [0,1] and SRB in [0,1] for any
+// consistent record (t <= r <= e).
+func TestMetricBoundsProperty(t *testing.T) {
+	prop := func(e8, r8, t8 uint8) bool {
+		e := int(e8%50) + 1
+		r := int(r8) % (e + 1)
+		tt := 0
+		if r > 0 {
+			tt = int(t8) % (r + 1)
+		}
+		br := rec(e, r, tt)
+		re, srb := br.RE(), br.SRB()
+		return re >= 0 && re <= 1 && srb >= 0 && srb <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	var recs []*BroadcastRecord
+	for i := 1; i <= 100; i++ {
+		r := NewBroadcastRecord(packet.BroadcastID{Seq: uint32(i)}, 0, 2)
+		r.Received = 2
+		r.NoteActivity(sim.Time(i) * 1000)
+		recs = append(recs, r)
+	}
+	s := Summarize(recs)
+	if s.LatencyP50 != 50*1000 {
+		t.Errorf("p50 = %v, want 50ms-equivalent (50000us)", s.LatencyP50)
+	}
+	if s.LatencyP95 != 95*1000 {
+		t.Errorf("p95 = %v, want 95000us", s.LatencyP95)
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile nonzero")
+	}
+	one := []sim.Duration{42}
+	if percentile(one, 0.5) != 42 || percentile(one, 0.95) != 42 {
+		t.Error("single-element percentile wrong")
+	}
+}
+
+func TestMergePercentiles(t *testing.T) {
+	a := Summary{Broadcasts: 1, LatencyP50: 100, LatencyP95: 200}
+	b := Summary{Broadcasts: 3, LatencyP50: 300, LatencyP95: 400}
+	m := Merge([]Summary{a, b})
+	if m.LatencyP50 != 250 {
+		t.Errorf("merged p50 = %v, want weighted 250", m.LatencyP50)
+	}
+	if m.LatencyP95 != 350 {
+		t.Errorf("merged p95 = %v, want weighted 350", m.LatencyP95)
+	}
+}

@@ -1,0 +1,9 @@
+package mobility
+
+import "math"
+
+// Thin wrappers keep the call sites terse without a dot-import.
+
+func cos(x float64) float64      { return math.Cos(x) }
+func sin(x float64) float64      { return math.Sin(x) }
+func hypot(x, y float64) float64 { return math.Hypot(x, y) }

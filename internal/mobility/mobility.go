@@ -1,0 +1,170 @@
+// Package mobility implements the random-turn roaming model from the
+// paper's simulation section: each host moves as a series of turns; in
+// each turn the direction is uniform in [0, 360 degrees), the duration
+// uniform in [1, 100] seconds, and the speed uniform in [0, max]. Hosts
+// reflect off the map borders.
+//
+// Positions are computed lazily and exactly: a Roamer stores the segment
+// start state and derives the position at any queried time in O(1) using
+// the reflection-folding trick, so the simulator never has to tick
+// per-host position updates.
+package mobility
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// Map is the rectangular simulation area. The paper uses square maps of
+// k x k units where one unit is 500 m (the radio radius).
+type Map struct {
+	Width, Height float64 // meters
+}
+
+// NewSquareMap returns a units x units map with the given unit length in
+// meters (the paper's unit is the 500 m transmission radius).
+func NewSquareMap(units int, unitMeters float64) Map {
+	side := float64(units) * unitMeters
+	return Map{Width: side, Height: side}
+}
+
+// Contains reports whether p lies inside the map (inclusive borders).
+func (m Map) Contains(p geom.Point) bool {
+	return p.X >= 0 && p.X <= m.Width && p.Y >= 0 && p.Y <= m.Height
+}
+
+// Area returns the map area in square meters.
+func (m Map) Area() float64 { return m.Width * m.Height }
+
+// String describes the map in paper units if it is square.
+func (m Map) String() string {
+	return fmt.Sprintf("%.0fm x %.0fm", m.Width, m.Height)
+}
+
+// Config carries the turn-model parameters. The zero value is not
+// usable; use DefaultConfig as a base.
+type Config struct {
+	MaxSpeedMPS float64      // maximum speed, meters/second
+	MinTurn     sim.Duration // minimum turn duration
+	MaxTurn     sim.Duration // maximum turn duration
+}
+
+// DefaultConfig returns the paper's turn parameters: turn intervals
+// uniform in [1, 100] seconds and the given maximum speed in km/h.
+func DefaultConfig(maxSpeedKMH float64) Config {
+	return Config{
+		MaxSpeedMPS: KMHToMPS(maxSpeedKMH),
+		MinTurn:     1 * sim.Second,
+		MaxTurn:     100 * sim.Second,
+	}
+}
+
+// KMHToMPS converts km/h to m/s.
+func KMHToMPS(kmh float64) float64 { return kmh / 3.6 }
+
+// Roamer moves one host around a Map using the random-turn model. It is
+// driven by the shared scheduler: it schedules its own next-turn events.
+type Roamer struct {
+	area  Map
+	cfg   Config
+	rng   *sim.RNG
+	sched *sim.Scheduler
+
+	// Current segment: position at segStart moving with (vx, vy); the
+	// actual position reflects off the borders (handled by folding).
+	segStart sim.Time
+	origin   geom.Point
+	vx, vy   float64
+
+	turnEvent *sim.Event
+	stopped   bool
+}
+
+// NewRoamer places a host uniformly at random on the map and starts its
+// first movement turn. The roamer keeps scheduling turns until Stop.
+func NewRoamer(sched *sim.Scheduler, area Map, cfg Config, rng *sim.RNG) *Roamer {
+	r := &Roamer{
+		area:  area,
+		cfg:   cfg,
+		rng:   rng,
+		sched: sched,
+		origin: geom.Point{
+			X: rng.UniformFloat(0, area.Width),
+			Y: rng.UniformFloat(0, area.Height),
+		},
+		segStart: sched.Now(),
+	}
+	r.turn()
+	return r
+}
+
+// NewStaticRoamer places a host at a fixed point with no movement. It is
+// used by tests and by density-only experiments.
+func NewStaticRoamer(sched *sim.Scheduler, area Map, at geom.Point) *Roamer {
+	return &Roamer{
+		area:     area,
+		sched:    sched,
+		origin:   at,
+		segStart: sched.Now(),
+		stopped:  true,
+	}
+}
+
+// turn starts a new movement segment and schedules the following turn.
+func (r *Roamer) turn() {
+	now := r.sched.Now()
+	r.origin = r.rawPositionAt(now)
+	r.segStart = now
+
+	speed := r.rng.UniformFloat(0, r.cfg.MaxSpeedMPS)
+	dir := r.rng.Angle()
+	r.vx = speed * cos(dir)
+	r.vy = speed * sin(dir)
+
+	interval := r.rng.UniformDuration(r.cfg.MinTurn, r.cfg.MaxTurn)
+	r.turnEvent = r.sched.After(interval, r.turn)
+}
+
+// Stop cancels future turns; the host freezes at its current position.
+func (r *Roamer) Stop() {
+	if r.stopped {
+		return
+	}
+	r.origin = r.Position()
+	r.segStart = r.sched.Now()
+	r.vx, r.vy = 0, 0
+	r.stopped = true
+	if r.turnEvent != nil {
+		r.sched.Cancel(r.turnEvent)
+		r.turnEvent = nil
+	}
+}
+
+// rawPositionAt computes the reflected position at time t >= segStart.
+func (r *Roamer) rawPositionAt(t sim.Time) geom.Point {
+	dt := t.Sub(r.segStart).Seconds()
+	return geom.Point{
+		X: geom.FoldIntoRange(r.origin.X+r.vx*dt, r.area.Width),
+		Y: geom.FoldIntoRange(r.origin.Y+r.vy*dt, r.area.Height),
+	}
+}
+
+// Position returns the host position at the current simulated time.
+func (r *Roamer) Position() geom.Point {
+	return r.rawPositionAt(r.sched.Now())
+}
+
+// PositionAt returns the position at an arbitrary time within the current
+// segment. Querying a past time before the segment start extrapolates
+// backwards along the segment, which is adequate for the sub-millisecond
+// lookbacks the PHY performs.
+func (r *Roamer) PositionAt(t sim.Time) geom.Point {
+	return r.rawPositionAt(t)
+}
+
+// Speed returns the current speed in m/s.
+func (r *Roamer) Speed() float64 {
+	return hypot(r.vx, r.vy)
+}

@@ -1,0 +1,205 @@
+// Package neighbor implements the neighbor-discovery machinery the
+// paper's adaptive schemes depend on: a per-host neighbor table built
+// from periodic HELLO packets (one- and two-hop knowledge), entry expiry
+// after two missed hello intervals, the neighborhood-variation estimator
+// nv_x, and the dynamic hello interval (DHI) function
+//
+//	hi_x = max(himin, (nvmax - nv_x)/nvmax * himax).
+package neighbor
+
+import (
+	"sort"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// DefaultExpiryIntervals is the paper's rule: a neighbor is dropped when
+// no HELLO has been received for two of its hello intervals.
+const DefaultExpiryIntervals = 2
+
+// VariationWindow is the look-back window of the neighborhood-variation
+// estimator (the paper uses the past 10 seconds).
+const VariationWindow = 10 * sim.Second
+
+// DHIConfig parameterizes the dynamic hello interval. The values in
+// DefaultDHIConfig are the ones the paper simulates with.
+type DHIConfig struct {
+	NVMax float64      // maximum neighborhood variation (paper: 0.02)
+	HIMin sim.Duration // shortest hello interval (paper: 1,000 ms)
+	HIMax sim.Duration // longest hello interval (paper: 10,000 ms)
+}
+
+// DefaultDHIConfig returns the paper's DHI parameters.
+func DefaultDHIConfig() DHIConfig {
+	return DHIConfig{NVMax: 0.02, HIMin: 1 * sim.Second, HIMax: 10 * sim.Second}
+}
+
+// Interval evaluates the dynamic hello interval for a neighborhood
+// variation nv.
+func (c DHIConfig) Interval(nv float64) sim.Duration {
+	if c.NVMax <= 0 {
+		return c.HIMax
+	}
+	frac := (c.NVMax - nv) / c.NVMax
+	hi := sim.Duration(frac * float64(c.HIMax))
+	if hi < c.HIMin {
+		return c.HIMin
+	}
+	if hi > c.HIMax {
+		return c.HIMax
+	}
+	return hi
+}
+
+// entry is one one-hop neighbor record.
+type entry struct {
+	lastHeard sim.Time
+	interval  sim.Duration // the neighbor's announced hello interval
+	// twoHop is the neighbor set the host last announced. It aliases the
+	// HELLO frame's (immutable) slice, so storing it is O(1) even when
+	// hundreds of receivers hear the same beacon.
+	twoHop []packet.NodeID
+	expiry *sim.Event
+}
+
+// Table is one host's view of its neighborhood, fed by HELLO receptions.
+// All knowledge is local and possibly stale — exactly the information
+// the paper allows the schemes to use.
+type Table struct {
+	owner           packet.NodeID
+	sched           *sim.Scheduler
+	expiryIntervals int
+
+	entries map[packet.NodeID]*entry
+	changes []sim.Time // join/leave timestamps within the variation window
+}
+
+// NewTable creates an empty table for a host. expiryIntervals <= 0 uses
+// the paper's default of 2.
+func NewTable(owner packet.NodeID, sched *sim.Scheduler, expiryIntervals int) *Table {
+	if expiryIntervals <= 0 {
+		expiryIntervals = DefaultExpiryIntervals
+	}
+	return &Table{
+		owner:           owner,
+		sched:           sched,
+		expiryIntervals: expiryIntervals,
+		entries:         make(map[packet.NodeID]*entry),
+	}
+}
+
+// OnHello records a HELLO from host h announcing its neighbor set and
+// hello interval, refreshing (or creating) the one-hop entry and its
+// expiry timer. The neighbors slice is retained without copying; callers
+// must treat it as immutable (HELLO frames already are).
+func (t *Table) OnHello(h packet.NodeID, neighbors []packet.NodeID, interval sim.Duration) {
+	if h == t.owner {
+		return
+	}
+	now := t.sched.Now()
+	e, known := t.entries[h]
+	if !known {
+		e = &entry{}
+		t.entries[h] = e
+		t.recordChange(now)
+	}
+	e.lastHeard = now
+	if interval <= 0 {
+		interval = 1 * sim.Second
+	}
+	e.interval = interval
+	e.twoHop = neighbors
+	if e.expiry != nil {
+		t.sched.Cancel(e.expiry)
+	}
+	deadline := now.Add(sim.Duration(t.expiryIntervals) * interval)
+	e.expiry = t.sched.Schedule(deadline, func() { t.expire(h, deadline) })
+}
+
+// expire drops h if it has not been refreshed since the timer was set.
+func (t *Table) expire(h packet.NodeID, deadline sim.Time) {
+	e, ok := t.entries[h]
+	if !ok {
+		return
+	}
+	if e.lastHeard.Add(sim.Duration(t.expiryIntervals)*e.interval) > deadline {
+		return // refreshed since; the newer timer will handle it
+	}
+	delete(t.entries, h)
+	t.recordChange(t.sched.Now())
+}
+
+// recordChange logs a join/leave for the variation estimator, pruning
+// events that fell out of the window.
+func (t *Table) recordChange(now sim.Time) {
+	t.changes = append(t.changes, now)
+	cut := 0
+	for cut < len(t.changes) && t.changes[cut].Add(VariationWindow) < now {
+		cut++
+	}
+	if cut > 0 {
+		t.changes = append(t.changes[:0], t.changes[cut:]...)
+	}
+}
+
+// Count returns the current number of one-hop neighbors |N_x| — the "n"
+// the adaptive threshold functions C(n) and A(n) consume.
+func (t *Table) Count() int { return len(t.entries) }
+
+// Contains reports whether h is currently a known one-hop neighbor.
+func (t *Table) Contains(h packet.NodeID) bool {
+	_, ok := t.entries[h]
+	return ok
+}
+
+// Neighbors returns the sorted one-hop neighbor set N_x.
+func (t *Table) Neighbors() []packet.NodeID {
+	out := make([]packet.NodeID, 0, len(t.entries))
+	for id := range t.entries {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TwoHop returns N_{x,h}: h's neighbor set exactly as last announced to
+// this host (it may include the owner itself), or nil if h is unknown.
+// The returned slice is shared storage; callers must not modify it.
+func (t *Table) TwoHop(h packet.NodeID) []packet.NodeID {
+	e, ok := t.entries[h]
+	if !ok {
+		return nil
+	}
+	return e.twoHop
+}
+
+// Variation returns nv_x: the number of hosts that joined or left N_x
+// within the past VariationWindow, normalized by |N_x| times the window
+// length in seconds. An empty neighborhood uses |N_x| = 1 to keep the
+// estimator defined.
+func (t *Table) Variation() float64 {
+	now := t.sched.Now()
+	n := 0
+	for _, ts := range t.changes {
+		if ts.Add(VariationWindow) >= now {
+			n++
+		}
+	}
+	size := len(t.entries)
+	if size < 1 {
+		size = 1
+	}
+	return float64(n) / (float64(size) * VariationWindow.Seconds())
+}
+
+// Clear drops all entries and pending expiries (used between runs).
+func (t *Table) Clear() {
+	for _, e := range t.entries {
+		if e.expiry != nil {
+			t.sched.Cancel(e.expiry)
+		}
+	}
+	t.entries = make(map[packet.NodeID]*entry)
+	t.changes = nil
+}

@@ -1,0 +1,112 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+func TestDedupFirstThenDuplicate(t *testing.T) {
+	d := NewDedupTable()
+	id := BroadcastID{Source: 3, Seq: 17}
+	if !d.Observe(id) {
+		t.Fatal("first observation reported as duplicate")
+	}
+	if d.Observe(id) {
+		t.Fatal("second observation reported as first")
+	}
+	if !d.Seen(id) {
+		t.Fatal("Seen() = false after Observe")
+	}
+	if d.Seen(BroadcastID{Source: 3, Seq: 18}) {
+		t.Fatal("unseen id reported seen")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+}
+
+func TestDedupDistinguishesSourceAndSeq(t *testing.T) {
+	d := NewDedupTable()
+	ids := []BroadcastID{{1, 1}, {1, 2}, {2, 1}, {2, 2}}
+	for _, id := range ids {
+		if !d.Observe(id) {
+			t.Fatalf("id %v wrongly deduped", id)
+		}
+	}
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", d.Len())
+	}
+}
+
+func TestDedupProperty(t *testing.T) {
+	// Observing any sequence of ids: Observe returns true exactly once
+	// per distinct id.
+	prop := func(sources []uint8, seqs []uint8) bool {
+		n := len(sources)
+		if len(seqs) < n {
+			n = len(seqs)
+		}
+		d := NewDedupTable()
+		firsts := make(map[BroadcastID]int)
+		for i := 0; i < n; i++ {
+			id := BroadcastID{Source: NodeID(sources[i]), Seq: uint32(seqs[i])}
+			if d.Observe(id) {
+				firsts[id]++
+			}
+		}
+		for _, c := range firsts {
+			if c != 1 {
+				return false
+			}
+		}
+		return d.Len() == len(firsts)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewBroadcastFields(t *testing.T) {
+	id := BroadcastID{Source: 5, Seq: 9}
+	pos := geom.Point{X: 10, Y: 20}
+	f := NewBroadcast(id, 7, pos)
+	if f.Kind != KindBroadcast || f.Sender != 7 || f.Broadcast != id || f.SenderPos != pos {
+		t.Fatalf("broadcast frame fields wrong: %+v", f)
+	}
+	if f.Bytes != BroadcastBytes {
+		t.Errorf("broadcast size = %d, want %d (paper parameter)", f.Bytes, BroadcastBytes)
+	}
+}
+
+func TestNewHelloCopiesNeighbors(t *testing.T) {
+	neigh := []NodeID{1, 2, 3}
+	f := NewHello(9, geom.Point{}, neigh, 5*sim.Second)
+	neigh[0] = 99
+	if f.Neighbors[0] != 1 {
+		t.Error("NewHello aliased the caller's neighbor slice")
+	}
+	if f.Bytes != HelloBaseBytes+3*HelloPerNeighborBytes {
+		t.Errorf("hello size = %d", f.Bytes)
+	}
+	if f.HelloInterval != 5*sim.Second {
+		t.Errorf("hello interval = %v", f.HelloInterval)
+	}
+	if f.Kind != KindHello {
+		t.Errorf("kind = %v", f.Kind)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if NodeID(4).String() == "" || (BroadcastID{1, 2}).String() == "" {
+		t.Error("empty stringer output")
+	}
+	if KindBroadcast.String() != "broadcast" || KindHello.String() != "hello" {
+		t.Error("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind stringer empty")
+	}
+}

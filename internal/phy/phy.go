@@ -1,0 +1,381 @@
+// Package phy models the shared radio medium: a unit-disk channel in
+// which every host within the transmission radius of a sender hears its
+// frame, carrier sensing reports the medium busy to every host inside
+// any active sender's range, and two transmissions that overlap in time
+// at a receiver garble each other there (no capture effect, no collision
+// detection) — exactly the conditions the paper's collision analysis
+// assumes for broadcast frames.
+package phy
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Listener receives channel callbacks for one radio. Implemented by the
+// MAC layer.
+type Listener interface {
+	// CarrierBusy signals the medium transitioned idle -> busy at this
+	// radio (some in-range transmission started, possibly its own).
+	CarrierBusy()
+	// CarrierIdle signals the medium transitioned busy -> idle.
+	CarrierIdle()
+	// Deliver hands up a frame that was received intact (in range for
+	// the whole airtime and free of overlapping transmissions).
+	Deliver(f *packet.Frame)
+	// DeliverGarbled reports that a frame addressed into this radio's
+	// range was destroyed by a collision. MACs typically ignore it; the
+	// metrics layer counts it.
+	DeliverGarbled(f *packet.Frame)
+}
+
+// PositionFunc reports a radio's position at a simulated time.
+type PositionFunc func(t sim.Time) geom.Point
+
+// Timing describes the physical layer bit timing. The zero value is not
+// usable; use DSSSTiming for the paper's parameters.
+type Timing struct {
+	BitRateMbps   float64      // payload transmission rate
+	PLCPPreamble  sim.Duration // physical preamble airtime
+	PLCPHeader    sim.Duration // physical header airtime
+	SlotTime      sim.Duration // MAC slot (exposed here for convenience)
+	SIFS          sim.Duration
+	DIFS          sim.Duration
+	CWMin         int // minimum contention window (slots)
+	CWMax         int // maximum contention window (slots)
+	AssessmentMax int // scheme-level random assessment delay, slots (0..AssessmentMax)
+}
+
+// DSSSTiming returns the IEEE 802.11 DSSS timing used throughout the
+// paper's simulations: 1 Mbps, slot 20 us, SIFS 10 us, DIFS 50 us,
+// PLCP preamble 144 us, PLCP header 48 us, backoff window 31-1023.
+func DSSSTiming() Timing {
+	return Timing{
+		BitRateMbps:   1.0,
+		PLCPPreamble:  144 * sim.Microsecond,
+		PLCPHeader:    48 * sim.Microsecond,
+		SlotTime:      20 * sim.Microsecond,
+		SIFS:          10 * sim.Microsecond,
+		DIFS:          50 * sim.Microsecond,
+		CWMin:         31,
+		CWMax:         1023,
+		AssessmentMax: 31,
+	}
+}
+
+// Airtime returns the full transmission duration of a frame of the given
+// payload size: PLCP preamble + PLCP header + payload bits at the bit
+// rate. With the paper's parameters a 280-byte broadcast takes 2432 us.
+func (t Timing) Airtime(bytes int) sim.Duration {
+	bits := float64(bytes * 8)
+	payload := sim.Duration(bits / t.BitRateMbps) // 1 Mbps -> 1 us per bit
+	return t.PLCPPreamble + t.PLCPHeader + payload
+}
+
+// Stats aggregates channel-level counters across a run.
+type Stats struct {
+	Transmissions int // frames put on the air
+	Deliveries    int // intact frame receptions
+	Collisions    int // garbled frame receptions
+	Lost          int // receptions dropped by the random loss model
+}
+
+// transmission is one frame in flight.
+type transmission struct {
+	frame     *packet.Frame
+	sender    int        // radio index
+	senderPos geom.Point // sender position at transmission start
+	end       sim.Time
+	receivers []int        // radio indices in range at start (excluding sender)
+	garbled   map[int]bool // receivers whose copy was destroyed
+}
+
+// Channel is the shared medium. It is owned by a single Scheduler and is
+// not safe for concurrent use.
+type Channel struct {
+	// DisableCollisions, when set before any transmission, delivers
+	// every in-range copy intact even under temporal overlap. It exists
+	// for ablation studies that isolate how much of the broadcast storm
+	// damage is due to collisions (carrier sensing still operates).
+	DisableCollisions bool
+
+	// Random per-reception loss (fading/shadowing failure injection),
+	// configured with SetLoss. Zero rate means the pure unit-disk model.
+	lossRate float64
+	lossRNG  *sim.RNG
+
+	// captureRatio, when positive, enables the capture effect: of two
+	// overlapping frames at a receiver, the one whose sender is at least
+	// sqrt(captureRatio) times closer survives (a free-space power ratio
+	// of captureRatio). Zero keeps the paper's model: any overlap
+	// destroys both copies.
+	captureRatio float64
+
+	sched  *sim.Scheduler
+	timing Timing
+	radius float64
+	stats  Stats
+
+	positions []PositionFunc
+	listeners []Listener
+	// busyCount[i] is the number of active transmissions whose range
+	// covers radio i (including radio i's own transmission).
+	busyCount []int
+	// active transmissions currently on the air, for overlap checks.
+	active []*transmission
+	// transmitting[i] reports whether radio i is currently sending.
+	transmitting []bool
+}
+
+// NewChannel creates a channel with the given radio radius in meters.
+func NewChannel(sched *sim.Scheduler, timing Timing, radius float64) *Channel {
+	if radius <= 0 {
+		panic("phy: non-positive radio radius")
+	}
+	return &Channel{sched: sched, timing: timing, radius: radius}
+}
+
+// Timing returns the channel's PHY timing parameters.
+func (c *Channel) Timing() Timing { return c.timing }
+
+// Radius returns the transmission radius in meters.
+func (c *Channel) Radius() float64 { return c.radius }
+
+// Stats returns the channel counters accumulated so far.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// Attach registers a radio and returns its index. All radios must be
+// attached before the simulation starts transmitting.
+func (c *Channel) Attach(pos PositionFunc, l Listener) int {
+	if pos == nil || l == nil {
+		panic("phy: Attach with nil position or listener")
+	}
+	c.positions = append(c.positions, pos)
+	c.listeners = append(c.listeners, l)
+	c.busyCount = append(c.busyCount, 0)
+	c.transmitting = append(c.transmitting, false)
+	return len(c.positions) - 1
+}
+
+// NumRadios returns the number of attached radios.
+func (c *Channel) NumRadios() int { return len(c.positions) }
+
+// PositionOf returns radio i's current position.
+func (c *Channel) PositionOf(i int) geom.Point {
+	return c.positions[i](c.sched.Now())
+}
+
+// InRange reports whether radios i and j are currently within radio
+// range of each other.
+func (c *Channel) InRange(i, j int) bool {
+	now := c.sched.Now()
+	return c.positions[i](now).Dist2(c.positions[j](now)) <= c.radius*c.radius
+}
+
+// Transmit puts a frame on the air from the given radio, returning the
+// airtime. The MAC must have done its carrier-sense/backoff work; the
+// channel does not police access timing. onDone, if non-nil, runs when
+// the transmission ends (after delivery callbacks).
+func (c *Channel) Transmit(radio int, f *packet.Frame, onDone func()) sim.Duration {
+	if c.transmitting[radio] {
+		panic(fmt.Sprintf("phy: radio %d transmitting twice", radio))
+	}
+	now := c.sched.Now()
+	air := c.timing.Airtime(f.Bytes)
+	tx := &transmission{
+		frame:   f,
+		sender:  radio,
+		end:     now.Add(air),
+		garbled: make(map[int]bool),
+	}
+	c.stats.Transmissions++
+	c.transmitting[radio] = true
+
+	senderPos := c.positions[radio](now)
+	tx.senderPos = senderPos
+	r2 := c.radius * c.radius
+	for i := range c.positions {
+		if i == radio {
+			continue
+		}
+		if c.positions[i](now).Dist2(senderPos) <= r2 {
+			tx.receivers = append(tx.receivers, i)
+		}
+	}
+
+	// Collision rule: any temporal overlap at a common receiver garbles
+	// both copies (unless the capture effect lets the much-stronger one
+	// through); a receiver that is itself transmitting cannot decode.
+	for _, other := range c.active {
+		overlap := intersect(tx.receivers, other.receivers)
+		for _, i := range overlap {
+			c.resolveOverlap(tx, other, i)
+		}
+		// The new sender cannot receive the ongoing frame (half-duplex).
+		if contains(other.receivers, radio) {
+			other.garbled[radio] = true
+		}
+		// An ongoing sender cannot receive the new frame.
+		if contains(tx.receivers, other.sender) {
+			tx.garbled[other.sender] = true
+		}
+	}
+	// A receiver already transmitting cannot decode the new frame.
+	for _, i := range tx.receivers {
+		if c.transmitting[i] {
+			tx.garbled[i] = true
+		}
+	}
+	c.active = append(c.active, tx)
+
+	// Carrier becomes busy for the sender and all in-range radios.
+	c.raiseBusy(radio)
+	for _, i := range tx.receivers {
+		c.raiseBusy(i)
+	}
+
+	c.sched.Schedule(tx.end, func() {
+		c.finish(tx, onDone)
+	})
+	return air
+}
+
+// resolveOverlap applies the collision/capture rule for one receiver
+// covered by two overlapping transmissions.
+func (c *Channel) resolveOverlap(a, b *transmission, i int) {
+	if c.captureRatio > 0 {
+		rxPos := c.positions[i](c.sched.Now())
+		da := a.senderPos.Dist2(rxPos)
+		db := b.senderPos.Dist2(rxPos)
+		// Free-space power goes as 1/d^2, so a power ratio of R means a
+		// squared-distance ratio of R.
+		switch {
+		case db >= da*c.captureRatio:
+			b.garbled[i] = true // a captures
+			return
+		case da >= db*c.captureRatio:
+			a.garbled[i] = true // b captures
+			return
+		}
+	}
+	a.garbled[i] = true
+	b.garbled[i] = true
+}
+
+// SetCapture enables the capture effect with the given power ratio
+// (e.g. 4 = a 6 dB advantage lets the stronger frame survive). ratio <=
+// 1 panics; call with 0 via the zero value to keep capture off.
+func (c *Channel) SetCapture(ratio float64) {
+	if ratio != 0 && ratio <= 1 {
+		panic("phy: capture ratio must exceed 1 (or be 0 to disable)")
+	}
+	c.captureRatio = ratio
+}
+
+// finish ends a transmission: delivers intact copies, reports garbled
+// ones, and releases the carrier.
+func (c *Channel) finish(tx *transmission, onDone func()) {
+	// Remove from active list first so deliveries that trigger immediate
+	// new transmissions (same instant) do not overlap with this one.
+	for i, a := range c.active {
+		if a == tx {
+			c.active = append(c.active[:i], c.active[i+1:]...)
+			break
+		}
+	}
+	c.transmitting[tx.sender] = false
+
+	c.lowerBusy(tx.sender)
+	for _, i := range tx.receivers {
+		c.lowerBusy(i)
+	}
+	for _, i := range tx.receivers {
+		switch {
+		case tx.garbled[i] && !c.DisableCollisions:
+			c.stats.Collisions++
+			c.listeners[i].DeliverGarbled(tx.frame)
+		case c.lossRate > 0 && c.lossRNG.Float64() < c.lossRate:
+			// Fading loss: the copy silently vanishes (the receiver still
+			// sensed carrier, so MAC timing is unaffected).
+			c.stats.Lost++
+		default:
+			c.stats.Deliveries++
+			c.listeners[i].Deliver(tx.frame)
+		}
+	}
+	if onDone != nil {
+		onDone()
+	}
+}
+
+func (c *Channel) raiseBusy(i int) {
+	c.busyCount[i]++
+	if c.busyCount[i] == 1 {
+		c.listeners[i].CarrierBusy()
+	}
+}
+
+func (c *Channel) lowerBusy(i int) {
+	c.busyCount[i]--
+	if c.busyCount[i] < 0 {
+		panic("phy: busy count underflow")
+	}
+	if c.busyCount[i] == 0 {
+		c.listeners[i].CarrierIdle()
+	}
+}
+
+// SetLoss enables independent per-reception Bernoulli loss with the
+// given probability, modeling fading/shadowing beyond the unit-disk
+// abstraction. rate outside [0, 1) or a nil rng panics.
+func (c *Channel) SetLoss(rate float64, rng *sim.RNG) {
+	if rate < 0 || rate >= 1 {
+		panic("phy: loss rate must be in [0, 1)")
+	}
+	if rate > 0 && rng == nil {
+		panic("phy: loss model needs an RNG")
+	}
+	c.lossRate = rate
+	c.lossRNG = rng
+}
+
+// CarrierBusyAt reports whether the medium is currently sensed busy at
+// radio i.
+func (c *Channel) CarrierBusyAt(i int) bool { return c.busyCount[i] > 0 }
+
+// intersect returns the elements present in both slices. Receiver lists
+// are built in ascending radio order, so a linear merge suffices.
+func intersect(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// contains reports membership in an ascending slice by binary search.
+func contains(s []int, x int) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == x
+}

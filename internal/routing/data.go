@@ -1,0 +1,119 @@
+package routing
+
+import (
+	"repro/internal/mac"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// This file adds data traffic and route maintenance on top of discovery:
+// once a route is established, the originator pushes data packets along
+// it hop by hop. A relay that cannot forward — its route expired, or the
+// MAC exhausted its retransmissions (the link broke) — invalidates the
+// route and reports a route error (RERR) back toward the source, which
+// counts a path break. This is the AODV maintenance loop reduced to its
+// observable effects.
+
+// dataPacket is one payload packet of an established flow.
+type dataPacket struct {
+	Flow   RequestID // the discovery that created the route
+	Seq    int
+	Target packet.NodeID
+}
+
+// routeError reports a broken route back to the flow's originator.
+type routeError struct {
+	Flow        RequestID
+	Unreachable packet.NodeID
+}
+
+// Wire sizes.
+const (
+	dataBytes = 512
+	rerrBytes = 32
+)
+
+// startFlow begins pushing data packets after a successful discovery.
+func (h *rhost) startFlow(flow RequestID, target packet.NodeID) {
+	cfg := h.net.cfg
+	if cfg.DataPerRoute <= 0 {
+		return
+	}
+	for k := 1; k <= cfg.DataPerRoute; k++ {
+		seq := k
+		h.net.sched.After(sim.Duration(k)*cfg.DataInterval, func() {
+			h.sendData(flow, target, seq)
+		})
+	}
+}
+
+// sendData originates one data packet toward target.
+func (h *rhost) sendData(flow RequestID, target packet.NodeID, seq int) {
+	h.net.dataSent++
+	h.forwardData(dataPacket{Flow: flow, Seq: seq, Target: target})
+}
+
+// forwardData relays a data packet one hop along the current route. The
+// MAC's ARQ verdict doubles as link-failure detection: a frame that
+// exhausts its retransmissions means the next hop is gone.
+func (h *rhost) forwardData(msg dataPacket) {
+	e, ok := h.route(msg.Target)
+	if !ok {
+		h.routeBroken(msg.Flow, msg.Target)
+		return
+	}
+	f := packet.NewData(h.id, e.nextHop, dataBytes, msg, h.Position())
+	var p *mac.Pending
+	p = h.mac.Enqueue(f, nil, func() {
+		if p.Failed() {
+			h.routeBroken(msg.Flow, msg.Target)
+		}
+	})
+}
+
+// routeBroken invalidates the local route and reports the break.
+func (h *rhost) routeBroken(flow RequestID, target packet.NodeID) {
+	delete(h.routes, target)
+	if flow.Origin == h.id {
+		h.net.notePathBreak()
+		return
+	}
+	// Relay: RERR back toward the origin if we still know how.
+	e, ok := h.route(flow.Origin)
+	if !ok {
+		h.net.notePathBreak() // unreportable break still counts
+		return
+	}
+	f := packet.NewData(h.id, e.nextHop, rerrBytes, routeError{Flow: flow, Unreachable: target}, h.Position())
+	h.mac.Enqueue(f, nil, nil)
+}
+
+// onDataFrame handles the data/maintenance plane.
+func (h *rhost) onDataFrame(f *packet.Frame) {
+	switch msg := f.Payload.(type) {
+	case dataPacket:
+		if f.Dest != h.id {
+			return
+		}
+		if msg.Target == h.id {
+			h.net.noteDataDelivered()
+			return
+		}
+		h.forwardData(msg)
+	case routeError:
+		if f.Dest != h.id {
+			return
+		}
+		delete(h.routes, msg.Unreachable)
+		if msg.Flow.Origin == h.id {
+			h.net.notePathBreak()
+			return
+		}
+		if e, ok := h.route(msg.Flow.Origin); ok {
+			fwd := packet.NewData(h.id, e.nextHop, rerrBytes, msg, h.Position())
+			h.mac.Enqueue(fwd, nil, nil)
+		} else {
+			h.net.notePathBreak()
+		}
+	}
+}

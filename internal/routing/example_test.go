@@ -1,0 +1,32 @@
+package routing_test
+
+import (
+	"fmt"
+
+	"repro/internal/routing"
+	"repro/internal/scheme"
+)
+
+// Route discovery rides the broadcast schemes: the request floods under
+// a suppression scheme, the reply unicasts back with link-layer ARQ.
+func Example() {
+	n, err := routing.New(routing.Config{
+		Hosts:       40,
+		MapUnits:    3,
+		Static:      true,
+		Scheme:      scheme.AdaptiveCounter{},
+		Discoveries: 10,
+		Seed:        5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	r := n.Run()
+	fmt.Println("discoveries:", r.Discoveries)
+	fmt.Println("most succeeded:", r.Succeeded >= 8)
+	fmt.Println("multihop routes:", r.MeanRouteHops > 1)
+	// Output:
+	// discoveries: 10
+	// most succeeded: true
+	// multihop routes: true
+}

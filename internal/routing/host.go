@@ -1,0 +1,240 @@
+package routing
+
+import (
+	"repro/internal/geom"
+	"repro/internal/mac"
+	"repro/internal/mobility"
+	"repro/internal/neighbor"
+	"repro/internal/packet"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+// routeEntry is one row of a host's route table.
+type routeEntry struct {
+	nextHop packet.NodeID
+	hops    int
+	expires sim.Time
+}
+
+// rhost is one routing-capable mobile node. It reuses the broadcast
+// substrate (MAC, mobility, HELLO tables) and runs the RREQ/RREP state
+// machines on top.
+type rhost struct {
+	id    packet.NodeID
+	net   *Network
+	mac   *mac.MAC
+	mover mobility.Mover
+	table *neighbor.Table
+	rng   *sim.RNG
+
+	routes  map[packet.NodeID]routeEntry
+	seen    map[RequestID]bool
+	pending map[RequestID]*pendingForward
+}
+
+// pendingForward mirrors the broadcast layer's per-packet waiting state
+// for an RREQ rebroadcast.
+type pendingForward struct {
+	judge    scheme.Judge
+	assess   *sim.Event
+	mp       *mac.Pending
+	started  bool
+	resolved bool
+}
+
+var _ scheme.HostView = (*rhost)(nil)
+
+// scheme.HostView implementation (identical role to manet.host).
+
+func (h *rhost) ID() packet.NodeID          { return h.id }
+func (h *rhost) Position() geom.Point       { return h.mover.Position() }
+func (h *rhost) Radius() float64            { return h.net.ch.Radius() }
+func (h *rhost) NeighborCount() int         { return h.table.Count() }
+func (h *rhost) Neighbors() []packet.NodeID { return h.table.Neighbors() }
+func (h *rhost) TwoHop(n packet.NodeID) []packet.NodeID {
+	return h.table.TwoHop(n)
+}
+
+// onFrame dispatches intact receptions.
+func (h *rhost) onFrame(f *packet.Frame) {
+	switch f.Kind {
+	case packet.KindHello:
+		h.table.OnHello(f.Sender, f.Neighbors, f.HelloInterval)
+	case packet.KindData:
+		switch msg := f.Payload.(type) {
+		case RouteRequest:
+			h.onRequest(f, msg)
+		case RouteReply:
+			if f.Dest == h.id {
+				h.onReply(f, msg)
+			}
+		default:
+			h.onDataFrame(f)
+		}
+		_ = f
+	}
+}
+
+// recordRoute installs (or improves) a route learned from a received
+// frame: the frame's sender is one hop away and leads to dst in hops.
+func (h *rhost) recordRoute(dst, nextHop packet.NodeID, hops int) {
+	if dst == h.id {
+		return
+	}
+	now := h.net.sched.Now()
+	cur, ok := h.routes[dst]
+	if ok && cur.expires > now && cur.hops <= hops {
+		return
+	}
+	h.routes[dst] = routeEntry{
+		nextHop: nextHop,
+		hops:    hops,
+		expires: now.Add(h.net.cfg.RouteLifetime),
+	}
+}
+
+// route returns the live route entry for dst, if any.
+func (h *rhost) route(dst packet.NodeID) (routeEntry, bool) {
+	e, ok := h.routes[dst]
+	if !ok || e.expires <= h.net.sched.Now() {
+		return routeEntry{}, false
+	}
+	return e, true
+}
+
+// onRequest handles an RREQ reception: install the reverse route, answer
+// if we are the target, otherwise run the suppression scheme and maybe
+// forward.
+func (h *rhost) onRequest(f *packet.Frame, req RouteRequest) {
+	// Reverse route to the originator through whoever relayed to us.
+	h.recordRoute(req.ID.Origin, f.Sender, req.HopCount+1)
+
+	rx := scheme.Reception{From: f.Sender, SenderPos: f.SenderPos, U: h.rng.Float64()}
+	if h.seen[req.ID] {
+		// Duplicate: feed the pending judge, as in the broadcast layer.
+		p := h.pending[req.ID]
+		if p == nil || p.started || p.resolved {
+			return
+		}
+		if p.judge.OnDuplicate(rx) == scheme.Inhibit {
+			h.cancelForward(req.ID, p)
+		}
+		return
+	}
+	h.seen[req.ID] = true
+
+	if req.ID.Origin == h.id {
+		return // our own request echoed back
+	}
+	if req.Target == h.id {
+		h.net.noteRequestReachedTarget(req.ID)
+		h.sendReply(req)
+		return
+	}
+
+	if req.TTL > 0 && req.HopCount+1 >= req.TTL {
+		return // ring boundary: record routes and reply, but do not forward
+	}
+	judge := h.net.cfg.Scheme.NewJudge(h, rx)
+	if judge.Initial() == scheme.Inhibit {
+		return
+	}
+	p := &pendingForward{judge: judge}
+	h.pending[req.ID] = p
+	slots := h.rng.IntN(h.net.cfg.AssessmentSlots + 1)
+	delay := sim.Duration(slots) * h.net.ch.Timing().SlotTime
+	p.assess = h.net.sched.After(delay, func() { h.forwardRequest(req, p) })
+}
+
+// forwardRequest submits the rebroadcast of an RREQ after the assessment
+// delay.
+func (h *rhost) forwardRequest(req RouteRequest, p *pendingForward) {
+	p.assess = nil
+	if p.resolved {
+		return
+	}
+	fwd := req
+	fwd.HopCount++
+	frame := packet.NewData(h.id, packet.DestBroadcast, RequestBytes, fwd, h.Position())
+	p.mp = h.mac.Enqueue(frame,
+		func() {
+			p.started = true
+			h.net.noteRequestForwarded()
+		},
+		func() {
+			p.resolved = true
+			delete(h.pending, req.ID)
+		},
+	)
+}
+
+// cancelForward is the scheme's inhibit action for RREQs.
+func (h *rhost) cancelForward(id RequestID, p *pendingForward) {
+	p.resolved = true
+	if p.assess != nil {
+		h.net.sched.Cancel(p.assess)
+		p.assess = nil
+	}
+	if p.mp != nil {
+		h.mac.Cancel(p.mp)
+	}
+	delete(h.pending, id)
+}
+
+// sendReply originates an RREP back toward the request's originator.
+func (h *rhost) sendReply(req RouteRequest) {
+	rep := RouteReply{Request: req.ID, Target: h.id, HopCount: 0}
+	h.forwardReply(rep)
+}
+
+// forwardReply unicasts an RREP one hop along the reverse route.
+func (h *rhost) forwardReply(rep RouteReply) {
+	e, ok := h.route(rep.Request.Origin)
+	if !ok {
+		h.net.noteReplyDropped()
+		return
+	}
+	frame := packet.NewData(h.id, e.nextHop, ReplyBytes, rep, h.Position())
+	h.mac.Enqueue(frame, nil, nil)
+}
+
+// onReply handles an RREP addressed to this host: install the forward
+// route, complete the discovery at the originator or relay onward.
+func (h *rhost) onReply(f *packet.Frame, rep RouteReply) {
+	h.recordRoute(rep.Target, f.Sender, rep.HopCount+1)
+	if rep.Request.Origin == h.id {
+		h.net.noteDiscoveryComplete(rep.Request, rep.HopCount+1)
+		return
+	}
+	next := rep
+	next.HopCount++
+	h.forwardReply(next)
+}
+
+// scheduleHello runs the same beaconing as the broadcast layer.
+func (h *rhost) scheduleHello() {
+	if h.net.cfg.HelloInterval <= 0 {
+		return
+	}
+	phase := h.rng.UniformDuration(0, h.net.cfg.HelloInterval)
+	h.net.sched.After(phase, h.sendHello)
+}
+
+func (h *rhost) sendHello() {
+	if h.net.sched.Now() >= h.net.endTime {
+		return
+	}
+	f := packet.NewHello(h.id, h.Position(), h.table.Neighbors(), h.net.cfg.HelloInterval)
+	h.mac.Enqueue(f, func() { h.net.helloSent++ }, nil)
+	h.net.sched.After(h.net.cfg.HelloInterval, h.sendHello)
+}
+
+// originateDiscovery starts a route discovery from this host with the
+// given flood radius (ttl 0 = unlimited).
+func (h *rhost) originateDiscovery(id RequestID, target packet.NodeID, ttl int) {
+	h.seen[id] = true
+	req := RouteRequest{ID: id, Target: target, HopCount: 0, TTL: ttl}
+	frame := packet.NewData(h.id, packet.DestBroadcast, RequestBytes, req, h.Position())
+	h.mac.Enqueue(frame, func() { h.net.noteRequestForwarded() }, nil)
+}

@@ -1,0 +1,56 @@
+// Package routing implements an AODV-style on-demand route discovery
+// protocol on top of the broadcast-storm substrate — the application the
+// paper's introduction motivates. A route_request (RREQ) is disseminated
+// by broadcasting, with the rebroadcast decision delegated to any of the
+// paper's suppression schemes; the target answers with a route_reply
+// (RREP) unicast hop by hop along the reverse path the request installed.
+//
+// The protocol is deliberately minimal (no sequence-number freshness, no
+// route maintenance/error messages, no expanding-ring search): it exists
+// to measure how the broadcast schemes behave as the route-discovery
+// transport, which is exactly what the MANET routing papers the paper
+// cites use flooding for.
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+)
+
+// RequestID names one route discovery attempt: originator plus a
+// per-network sequence number.
+type RequestID struct {
+	Origin packet.NodeID
+	Seq    uint32
+}
+
+// String formats the id for traces.
+func (r RequestID) String() string {
+	return fmt.Sprintf("rreq(%v,#%d)", r.Origin, r.Seq)
+}
+
+// RouteRequest is the flooded discovery packet (RREQ).
+type RouteRequest struct {
+	ID       RequestID
+	Target   packet.NodeID
+	HopCount int // hops traversed so far
+	// TTL bounds the flood radius in hops; 0 means unlimited. The
+	// expanding-ring search issues the same request with growing TTLs.
+	TTL int
+}
+
+// RouteReply is the hop-by-hop unicast answer (RREP).
+type RouteReply struct {
+	Request  RequestID
+	Target   packet.NodeID // the host that was searched for
+	HopCount int           // hops from the target so far
+}
+
+// Wire sizes, bytes. RREQs use the paper's broadcast packet size so the
+// storm dynamics match the broadcast experiments; RREPs are small
+// control frames.
+const (
+	RequestBytes = packet.BroadcastBytes
+	ReplyBytes   = 44
+)

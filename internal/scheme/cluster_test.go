@@ -1,0 +1,115 @@
+package scheme
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/packet"
+)
+
+// clusterHost builds a fakeHost with explicit id and two-hop map.
+func clusterHost(id packet.NodeID, neighbors []packet.NodeID,
+	twoHop map[packet.NodeID][]packet.NodeID) *fakeHost {
+	if twoHop == nil {
+		twoHop = map[packet.NodeID][]packet.NodeID{}
+	}
+	return &fakeHost{id: id, radius: 500, neighbors: neighbors, twoHop: twoHop}
+}
+
+func TestClusterRoleHead(t *testing.T) {
+	// Host 1 with neighbors {2, 3}: lowest ID, so head.
+	h := clusterHost(1, []packet.NodeID{2, 3}, nil)
+	if got := ClusterRole(h); got != Head {
+		t.Errorf("role = %v, want head", got)
+	}
+}
+
+func TestClusterRoleMember(t *testing.T) {
+	// Host 3 with neighbors {1, 2}; everyone clusters under 1 as far as
+	// host 3 can see: 3's head is 1, and both neighbors' heads are 1.
+	h := clusterHost(3, []packet.NodeID{1, 2}, map[packet.NodeID][]packet.NodeID{
+		1: {2, 3},
+		2: {1, 3},
+	})
+	if got := ClusterRole(h); got != Member {
+		t.Errorf("role = %v, want member", got)
+	}
+}
+
+func TestClusterRoleGateway(t *testing.T) {
+	// Host 5's head is 1 (via neighbor 1); neighbor 7 belongs to head 7
+	// (it sees only {5, 9}... its own min is 5? choose ids so 7's head
+	// differs): neighbor 7's announced neighbors are {8, 9}, so its head
+	// estimate is 7 — a foreign cluster. Host 5 is a gateway.
+	h := clusterHost(5, []packet.NodeID{1, 7}, map[packet.NodeID][]packet.NodeID{
+		1: {5},
+		7: {8, 9},
+	})
+	if got := ClusterRole(h); got != Gateway {
+		t.Errorf("role = %v, want gateway", got)
+	}
+}
+
+func TestClusterIsolatedHostIsHead(t *testing.T) {
+	h := clusterHost(9, nil, nil)
+	if got := ClusterRole(h); got != Head {
+		t.Errorf("isolated host role = %v, want head (its own cluster)", got)
+	}
+}
+
+func TestClusterMemberInhibited(t *testing.T) {
+	h := clusterHost(3, []packet.NodeID{1, 2}, map[packet.NodeID][]packet.NodeID{
+		1: {2, 3}, 2: {1, 3},
+	})
+	j := Cluster{}.NewJudge(h, rx(1, geom.Point{X: 100}))
+	if j.Initial() != Inhibit {
+		t.Error("member proceeded")
+	}
+	if j.OnDuplicate(rx(2, geom.Point{})) != Inhibit {
+		t.Error("member un-inhibited on duplicate")
+	}
+}
+
+func TestClusterHeadUsesInnerScheme(t *testing.T) {
+	head := clusterHost(1, []packet.NodeID{2, 3}, nil)
+	// Default inner = flooding: always proceed.
+	j := Cluster{}.NewJudge(head, rx(2, geom.Point{X: 100}))
+	if j.Initial() != Proceed {
+		t.Error("head with flooding inner inhibited")
+	}
+	// Inner counter C=2: inhibit on first duplicate.
+	j = Cluster{Inner: Counter{C: 2}}.NewJudge(head, rx(2, geom.Point{X: 100}))
+	if j.Initial() != Proceed {
+		t.Fatal("head with counter inner inhibited immediately")
+	}
+	if j.OnDuplicate(rx(3, geom.Point{})) != Inhibit {
+		t.Error("inner counter threshold ignored")
+	}
+}
+
+func TestClusterMetadata(t *testing.T) {
+	if (Cluster{}).Name() != "cluster" {
+		t.Errorf("name = %s", Cluster{}.Name())
+	}
+	if (Cluster{Inner: Counter{C: 3}}).Name() != "cluster+C=3" {
+		t.Errorf("composed name = %s", Cluster{Inner: Counter{C: 3}}.Name())
+	}
+	if (Cluster{Label: "CL"}).Name() != "CL" {
+		t.Error("label override failed")
+	}
+	if !(Cluster{}).NeedsHello() {
+		t.Error("clustering needs HELLO")
+	}
+	if (Cluster{}).NeedsPosition() {
+		t.Error("cluster+flooding must not need GPS")
+	}
+	if !(Cluster{Inner: Location{A: 0.05}}).NeedsPosition() {
+		t.Error("cluster+location needs GPS")
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if Member.String() != "member" || Head.String() != "head" || Gateway.String() != "gateway" {
+		t.Error("role names wrong")
+	}
+}

@@ -1,0 +1,235 @@
+package scheme
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// --- Flooding ---
+
+// Flooding is the baseline: every host rebroadcasts every packet exactly
+// once, regardless of what it hears.
+type Flooding struct{}
+
+var _ Scheme = Flooding{}
+
+// Name implements Scheme.
+func (Flooding) Name() string { return "flooding" }
+
+// NeedsHello implements Scheme.
+func (Flooding) NeedsHello() bool { return false }
+
+// NeedsPosition implements Scheme.
+func (Flooding) NeedsPosition() bool { return false }
+
+// NewJudge implements Scheme.
+func (Flooding) NewJudge(HostView, Reception) Judge { return floodingJudge{} }
+
+type floodingJudge struct{}
+
+func (floodingJudge) Initial() Action              { return Proceed }
+func (floodingJudge) OnDuplicate(Reception) Action { return Proceed }
+
+// --- Counter-based ---
+
+// Counter is the fixed-threshold counter-based scheme: a host counts how
+// many times it has heard the packet (the first reception counts as 1)
+// and cancels its rebroadcast once the counter reaches C.
+type Counter struct {
+	C int
+}
+
+var _ Scheme = Counter{}
+
+// Name implements Scheme.
+func (s Counter) Name() string { return fmt.Sprintf("C=%d", s.C) }
+
+// NeedsHello implements Scheme.
+func (Counter) NeedsHello() bool { return false }
+
+// NeedsPosition implements Scheme.
+func (Counter) NeedsPosition() bool { return false }
+
+// NewJudge implements Scheme.
+func (s Counter) NewJudge(HostView, Reception) Judge {
+	return &counterJudge{c: 1, threshold: s.C}
+}
+
+type counterJudge struct {
+	c         int
+	threshold int
+}
+
+func (j *counterJudge) Initial() Action {
+	if j.c >= j.threshold {
+		return Inhibit
+	}
+	return Proceed
+}
+
+func (j *counterJudge) OnDuplicate(Reception) Action {
+	j.c++
+	if j.c >= j.threshold {
+		return Inhibit
+	}
+	return Proceed
+}
+
+// --- Distance-based ---
+
+// Distance is the fixed-threshold distance-based scheme: a host cancels
+// its rebroadcast when the nearest host it heard the packet from is
+// closer than D meters, because a nearby sender means little additional
+// coverage. Distances are derived from advertised sender positions, so
+// the scheme shares the location schemes' GPS assumption in this
+// implementation (the original paper derives distance from signal
+// strength; the decision rule is identical).
+type Distance struct {
+	D float64
+}
+
+var _ Scheme = Distance{}
+
+// Name implements Scheme.
+func (s Distance) Name() string { return fmt.Sprintf("D=%.0f", s.D) }
+
+// NeedsHello implements Scheme.
+func (Distance) NeedsHello() bool { return false }
+
+// NeedsPosition implements Scheme.
+func (Distance) NeedsPosition() bool { return true }
+
+// NewJudge implements Scheme.
+func (s Distance) NewJudge(host HostView, first Reception) Judge {
+	return &distanceJudge{
+		own:       host.Position(),
+		threshold: s.D,
+		minDist:   host.Position().Dist(first.SenderPos),
+	}
+}
+
+type distanceJudge struct {
+	own       geom.Point
+	threshold float64
+	minDist   float64
+}
+
+func (j *distanceJudge) Initial() Action {
+	if j.minDist < j.threshold {
+		return Inhibit
+	}
+	return Proceed
+}
+
+func (j *distanceJudge) OnDuplicate(r Reception) Action {
+	if d := j.own.Dist(r.SenderPos); d < j.minDist {
+		j.minDist = d
+	}
+	if j.minDist < j.threshold {
+		return Inhibit
+	}
+	return Proceed
+}
+
+// --- Location-based ---
+
+// Location is the fixed-threshold location-based scheme: using the
+// advertised positions of every host it heard the packet from, a host
+// computes the additional coverage (as a fraction of pi*r^2) its own
+// rebroadcast would contribute, and cancels when that falls below A.
+type Location struct {
+	A float64
+}
+
+var _ Scheme = Location{}
+
+// Name implements Scheme.
+func (s Location) Name() string { return fmt.Sprintf("A=%.4f", s.A) }
+
+// NeedsHello implements Scheme.
+func (Location) NeedsHello() bool { return false }
+
+// NeedsPosition implements Scheme.
+func (Location) NeedsPosition() bool { return true }
+
+// NewJudge implements Scheme.
+func (s Location) NewJudge(host HostView, first Reception) Judge {
+	j := &locationJudge{
+		own:       host.Position(),
+		radius:    host.Radius(),
+		threshold: s.A,
+	}
+	j.senders = append(j.senders, first.SenderPos)
+	return j
+}
+
+type locationJudge struct {
+	own       geom.Point
+	radius    float64
+	threshold float64
+	senders   []geom.Point
+}
+
+// coverage returns the uncovered fraction of the host's disk given the
+// senders heard so far. The single-sender case uses the closed form; the
+// general case uses grid estimation.
+func (j *locationJudge) coverage() float64 {
+	if len(j.senders) == 1 {
+		return geom.AdditionalCoverageFraction(j.own.Dist(j.senders[0]), j.radius)
+	}
+	return geom.UncoveredFraction(j.own, j.senders, j.radius, CoverageResolution)
+}
+
+func (j *locationJudge) Initial() Action {
+	if j.coverage() < j.threshold {
+		return Inhibit
+	}
+	return Proceed
+}
+
+func (j *locationJudge) OnDuplicate(r Reception) Action {
+	j.senders = append(j.senders, r.SenderPos)
+	if j.coverage() < j.threshold {
+		return Inhibit
+	}
+	return Proceed
+}
+
+// --- Probabilistic ---
+
+// Probabilistic is the simplest randomized baseline from the MOBICOM '99
+// paper: on first reception a host rebroadcasts with probability P and
+// stays silent otherwise. P = 1 degenerates to flooding.
+type Probabilistic struct {
+	P float64
+}
+
+var _ Scheme = Probabilistic{}
+
+// Name implements Scheme.
+func (s Probabilistic) Name() string { return fmt.Sprintf("P=%.2f", s.P) }
+
+// NeedsHello implements Scheme.
+func (Probabilistic) NeedsHello() bool { return false }
+
+// NeedsPosition implements Scheme.
+func (Probabilistic) NeedsPosition() bool { return false }
+
+// NewJudge implements Scheme.
+func (s Probabilistic) NewJudge(_ HostView, first Reception) Judge {
+	return probabilisticJudge{rebroadcast: first.U < s.P}
+}
+
+type probabilisticJudge struct {
+	rebroadcast bool
+}
+
+func (j probabilisticJudge) Initial() Action {
+	if j.rebroadcast {
+		return Proceed
+	}
+	return Inhibit
+}
+
+func (probabilisticJudge) OnDuplicate(Reception) Action { return Proceed }

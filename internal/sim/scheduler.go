@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a handle to a scheduled callback. It can be cancelled any time
+// before it fires; cancelling an already-fired or already-cancelled event
+// is a no-op. Event handles are only valid for the Scheduler that created
+// them.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // position in the heap, -1 when not queued
+	fired  bool
+	cancel bool
+}
+
+// At returns the simulated time the event is (or was) scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// Fired reports whether the event's callback has run.
+func (e *Event) Fired() bool { return e.fired }
+
+// Scheduler is a deterministic discrete-event executor. Events scheduled
+// for the same instant fire in FIFO order of scheduling, which makes runs
+// reproducible. Scheduler is not safe for concurrent use; a simulation is
+// single-threaded by design (parallelism belongs at the replica level).
+type Scheduler struct {
+	now      Time
+	seq      uint64
+	queue    eventHeap
+	executed uint64
+}
+
+// NewScheduler returns a scheduler with the clock at time zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Executed returns the number of events that have fired so far. It is
+// useful for progress accounting and benchmarks.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// Pending returns the number of events currently queued.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Schedule queues fn to run at the absolute time at. Scheduling in the
+// past (before Now) panics: it always indicates a logic error in a model,
+// and silently clamping would hide it.
+func (s *Scheduler) Schedule(at Time, fn func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("sim: schedule with nil callback")
+	}
+	s.seq++
+	e := &Event{at: at, seq: s.seq, fn: fn, index: -1}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After queues fn to run d after the current time. Negative d panics.
+func (s *Scheduler) After(d Duration, fn func()) *Event {
+	return s.Schedule(s.now.Add(d), fn)
+}
+
+// Cancel removes a pending event so it will never fire. It is safe to
+// call multiple times and on already-fired events.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.fired || e.cancel {
+		return
+	}
+	e.cancel = true
+	if e.index >= 0 {
+		heap.Remove(&s.queue, e.index)
+	}
+}
+
+// Step fires the single earliest pending event, advancing the clock to
+// its timestamp. It returns false when the queue is empty.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		s.now = e.at
+		e.fired = true
+		s.executed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in order until the queue is empty or the next
+// event is strictly after deadline. The clock finishes at the later of
+// its current value and deadline.
+func (s *Scheduler) RunUntil(deadline Time) {
+	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Run fires events until the queue drains.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// eventHeap orders events by (time, sequence) so same-instant events fire
+// in scheduling order.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,67 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses to report uncertainty: means, standard deviations, and
+// t-based 95% confidence intervals over replica means.
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// SampleStd returns the sample (n-1) standard deviation; 0 for fewer
+// than two values.
+func SampleStd(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// t95 holds two-sided 95% Student-t critical values by degrees of
+// freedom (1-30); larger dof use the normal approximation.
+var t95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% t critical value for the given
+// degrees of freedom.
+func TCritical95(dof int) float64 {
+	if dof < 1 {
+		return math.NaN()
+	}
+	if dof <= len(t95) {
+		return t95[dof-1]
+	}
+	return 1.960
+}
+
+// CI95 returns the mean and the half-width of the t-based 95% confidence
+// interval of the mean over independent samples. With fewer than two
+// samples the half-width is 0 (no spread information).
+func CI95(xs []float64) (mean, half float64) {
+	mean = Mean(xs)
+	n := len(xs)
+	if n < 2 {
+		return mean, 0
+	}
+	se := SampleStd(xs) / math.Sqrt(float64(n))
+	return mean, TCritical95(n-1) * se
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean nonzero")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestSampleStd(t *testing.T) {
+	if SampleStd([]float64{5}) != 0 {
+		t.Error("single-sample std nonzero")
+	}
+	// Known value: {2,4,4,4,5,5,7,9} has sample std sqrt(32/7).
+	got := SampleStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("std = %v, want %v", got, want)
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	cases := map[int]float64{1: 12.706, 2: 4.303, 10: 2.228, 30: 2.042, 1000: 1.960}
+	for dof, want := range cases {
+		if got := TCritical95(dof); got != want {
+			t.Errorf("t(%d) = %v, want %v", dof, got, want)
+		}
+	}
+	if !math.IsNaN(TCritical95(0)) {
+		t.Error("t(0) should be NaN")
+	}
+}
+
+func TestCI95KnownCase(t *testing.T) {
+	// Three identical values: zero-width interval.
+	if _, half := CI95([]float64{3, 3, 3}); half != 0 {
+		t.Errorf("identical values: half = %v", half)
+	}
+	// Two values a, b: mean (a+b)/2, half = t(1)*std/sqrt(2).
+	mean, half := CI95([]float64{0, 2})
+	if mean != 1 {
+		t.Errorf("mean = %v", mean)
+	}
+	want := 12.706 * math.Sqrt2 / math.Sqrt2 // std of {0,2} is sqrt(2)
+	if math.Abs(half-want) > 1e-9 {
+		t.Errorf("half = %v, want %v", half, want)
+	}
+}
+
+func TestCI95ContainsMeanProperty(t *testing.T) {
+	// The interval is symmetric around the mean and non-negative.
+	prop := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e9 {
+				xs = append(xs, v)
+			}
+		}
+		mean, half := CI95(xs)
+		if half < 0 {
+			return false
+		}
+		if len(xs) == 0 {
+			return mean == 0
+		}
+		return !math.IsNaN(mean)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCI95SingleSample(t *testing.T) {
+	mean, half := CI95([]float64{7})
+	if mean != 7 || half != 0 {
+		t.Errorf("single sample: %v ± %v", mean, half)
+	}
+}

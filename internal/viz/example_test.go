@@ -1,0 +1,22 @@
+package viz_test
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/viz"
+)
+
+// Topology renders host positions as a density grid (bottom-left origin).
+func ExampleTopology() {
+	pts := []geom.Point{
+		{X: 50, Y: 50}, {X: 60, Y: 55}, // two hosts, bottom-left cell
+		{X: 950, Y: 950}, // one host, top-right cell
+	}
+	fmt.Print(viz.Topology(pts, 1000, 1000, 8))
+	// Output:
+	// .......1
+	// ........
+	// ........
+	// 2.......
+}

@@ -1,0 +1,105 @@
+// Package viz renders simulation topologies as ASCII maps for CLI
+// output and debugging: a density grid of host positions and a summary
+// of the unit-disk connectivity structure.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/geom"
+)
+
+// Topology renders host positions on a width x height meter area as a
+// character grid with the given number of columns (rows follow from the
+// aspect ratio). Each cell shows its host count: '.' for none, digits
+// 1-9, '+' for ten or more. The origin is the bottom-left corner, as in
+// the geometry.
+func Topology(points []geom.Point, width, height float64, cols int) string {
+	if cols < 2 {
+		cols = 2
+	}
+	if width <= 0 || height <= 0 {
+		return "(empty area)\n"
+	}
+	// Terminal cells are roughly twice as tall as wide; halve the row
+	// count for a visually square map.
+	rows := int(float64(cols) * height / width / 2)
+	if rows < 1 {
+		rows = 1
+	}
+	grid := make([][]int, rows)
+	for i := range grid {
+		grid[i] = make([]int, cols)
+	}
+	for _, p := range points {
+		c := int(p.X / width * float64(cols))
+		r := int(p.Y / height * float64(rows))
+		c = clampInt(c, 0, cols-1)
+		r = clampInt(r, 0, rows-1)
+		grid[r][c]++
+	}
+	var b strings.Builder
+	for r := rows - 1; r >= 0; r-- { // top row = largest Y
+		for c := 0; c < cols; c++ {
+			switch n := grid[r][c]; {
+			case n == 0:
+				b.WriteByte('.')
+			case n < 10:
+				b.WriteByte(byte('0' + n))
+			default:
+				b.WriteByte('+')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ConnectivitySummary describes the unit-disk graph built on the given
+// positions: component count and sizes, mean degree, and isolated hosts.
+func ConnectivitySummary(points []geom.Point, radius float64) string {
+	adj := analysis.UnitDiskAdjacency(points, radius)
+	n := len(points)
+	if n == 0 {
+		return "no hosts\n"
+	}
+	visited := make([]bool, n)
+	var sizes []int
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		comp := analysis.Component(adj, i)
+		for _, v := range comp {
+			visited[v] = true
+		}
+		sizes = append(sizes, len(comp))
+	}
+	degSum, isolated, largest := 0, 0, 0
+	for i := range adj {
+		degSum += len(adj[i])
+		if len(adj[i]) == 0 {
+			isolated++
+		}
+	}
+	for _, s := range sizes {
+		if s > largest {
+			largest = s
+		}
+	}
+	return fmt.Sprintf(
+		"%d hosts, %d component(s), largest %d, mean degree %.1f, %d isolated\n",
+		n, len(sizes), largest, float64(degSum)/float64(n), isolated)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,67 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestTopologyPlacesHosts(t *testing.T) {
+	pts := []geom.Point{
+		{X: 10, Y: 10},   // bottom-left
+		{X: 990, Y: 990}, // top-right
+		{X: 990, Y: 985}, // same cell as above
+	}
+	out := Topology(pts, 1000, 1000, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // 10 cols * (1000/1000) / 2
+		t.Fatalf("rows = %d, want 5:\n%s", len(lines), out)
+	}
+	// Bottom-left host renders in the last line's first column.
+	if lines[len(lines)-1][0] != '1' {
+		t.Errorf("bottom-left cell = %c, want 1\n%s", lines[len(lines)-1][0], out)
+	}
+	// Two hosts share the top-right cell.
+	if lines[0][len(lines[0])-1] != '2' {
+		t.Errorf("top-right cell = %c, want 2\n%s", lines[0][len(lines[0])-1], out)
+	}
+}
+
+func TestTopologyDenseCellSaturates(t *testing.T) {
+	var pts []geom.Point
+	for i := 0; i < 15; i++ {
+		pts = append(pts, geom.Point{X: 5, Y: 5})
+	}
+	out := Topology(pts, 1000, 1000, 10)
+	if !strings.Contains(out, "+") {
+		t.Errorf("15 hosts in one cell should render '+':\n%s", out)
+	}
+}
+
+func TestTopologyDegenerateInputs(t *testing.T) {
+	if out := Topology(nil, 0, 100, 10); !strings.Contains(out, "empty") {
+		t.Errorf("degenerate area output: %q", out)
+	}
+	// Out-of-bounds points must clamp, not panic.
+	out := Topology([]geom.Point{{X: -50, Y: 2000}}, 1000, 1000, 4)
+	if !strings.Contains(out, "1") {
+		t.Errorf("out-of-bounds host not clamped into the grid:\n%s", out)
+	}
+}
+
+func TestConnectivitySummary(t *testing.T) {
+	pts := []geom.Point{
+		{X: 0}, {X: 400}, {X: 800}, // one chain component
+		{X: 5000}, // isolated
+	}
+	out := ConnectivitySummary(pts, 500)
+	for _, want := range []string{"4 hosts", "2 component(s)", "largest 3", "1 isolated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q: %s", want, out)
+		}
+	}
+	if got := ConnectivitySummary(nil, 500); !strings.Contains(got, "no hosts") {
+		t.Errorf("empty summary: %q", got)
+	}
+}
