@@ -2,6 +2,7 @@ package repro
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"repro/internal/experiment"
@@ -220,26 +221,78 @@ func BenchmarkRouteDiscovery(b *testing.B) {
 	}
 }
 
-// BenchmarkScaling measures how simulation cost grows with population
-// (the channel's range scans are O(hosts) per transmission, so total
-// cost per broadcast is roughly quadratic in density).
+// BenchmarkScaling measures how simulation cost grows with population at
+// the paper's density (4 hosts per unit cell). The grid arm routes every
+// unit-disk query through the spatial index; the linear arm forces the
+// original O(hosts) scans, so the ratio between the two at each scale is
+// the index's speedup (it widens with population, since the grid's query
+// cost tracks local density rather than the total count).
 func BenchmarkScaling(b *testing.B) {
-	for _, hosts := range []int{50, 100, 200} {
-		hosts := hosts
-		b.Run(fmt.Sprintf("hosts=%d", hosts), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				n, err := manet.New(manet.Config{
-					Hosts:    hosts,
-					MapUnits: 5,
-					Scheme:   scheme.AdaptiveCounter{},
-					Requests: 10,
-					Seed:     uint64(i + 1),
-				})
-				if err != nil {
-					b.Fatal(err)
+	cases := []struct{ hosts, mapUnits int }{
+		{100, 5}, {400, 10}, {1000, 16},
+	}
+	for _, tc := range cases {
+		for _, mode := range []struct {
+			name   string
+			linear bool
+		}{{"grid", false}, {"linear", true}} {
+			tc, mode := tc, mode
+			b.Run(fmt.Sprintf("hosts=%d/%s", tc.hosts, mode.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					n, err := manet.New(manet.Config{
+						Hosts:               tc.hosts,
+						MapUnits:            tc.mapUnits,
+						Scheme:              scheme.AdaptiveCounter{},
+						Requests:            10,
+						Seed:                uint64(i + 1),
+						DisableSpatialIndex: mode.linear,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					n.Run()
 				}
-				n.Run()
+			})
+		}
+	}
+}
+
+// BenchmarkGridQuery isolates the index itself: one full round of
+// neighbor queries (every point asks for its unit-disk neighborhood,
+// grid rebuild included) against the brute-force scan, at the paper's
+// density.
+func BenchmarkGridQuery(b *testing.B) {
+	for _, n := range []int{100, 400, 1000, 4000} {
+		rng := sim.NewRNG(1)
+		side := 500 * math.Sqrt(float64(n)/4) // 4 hosts per 500m cell
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: rng.UniformFloat(0, side), Y: rng.UniformFloat(0, side)}
+		}
+		b.Run(fmt.Sprintf("n=%d/grid", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var g geom.Grid
+			var buf []int
+			for i := 0; i < b.N; i++ {
+				g.Rebuild(pts, 500)
+				for j := range pts {
+					buf = g.Neighbors(j, 500, buf[:0])
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/linear", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var buf []int
+			for i := 0; i < b.N; i++ {
+				for j := range pts {
+					buf = buf[:0]
+					for k := range pts {
+						if k != j && pts[k].Dist2(pts[j]) <= 500*500 {
+							buf = append(buf, k)
+						}
+					}
+				}
 			}
 		})
 	}

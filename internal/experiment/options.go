@@ -10,7 +10,17 @@
 // scales; raise Requests/Replicas to approach the paper's precision.
 package experiment
 
-import "runtime"
+import (
+	"fmt"
+	"runtime"
+)
+
+// SeedStride is the seed-space distance between adjacent matrix points:
+// replica r of point p runs with Seed = BaseSeed + SeedStride*p + r.
+// Replicas must stay below the stride or point p's high replicas would
+// reuse point p+1's low seeds, silently correlating what are supposed to
+// be independent data points; WithDefaults enforces this.
+const SeedStride = 1000
 
 // Options scales the reproduction harness.
 type Options struct {
@@ -21,7 +31,9 @@ type Options struct {
 	// Replicas is how many independently seeded repetitions are merged
 	// per data point.
 	Replicas int
-	// BaseSeed seeds replica r of point p with BaseSeed + 1000*p + r.
+	// BaseSeed seeds replica r of point p with BaseSeed + SeedStride*p
+	// + r, giving every (point, replica) pair a distinct deterministic
+	// seed as long as Replicas < SeedStride.
 	BaseSeed uint64
 	// Workers bounds simulation parallelism; 0 uses GOMAXPROCS.
 	Workers int
@@ -42,8 +54,17 @@ type Options struct {
 	CI bool
 }
 
-// WithDefaults fills in the harness defaults.
+// WithDefaults fills in the harness defaults. It panics if Replicas
+// reaches SeedStride: the seed layout would then assign the same seed to
+// two different matrix points, merging runs that must be independent,
+// and experiment specs are code, so a spec that asks for that is a
+// programming error.
 func (o Options) WithDefaults() Options {
+	if o.Replicas >= SeedStride {
+		panic(fmt.Sprintf(
+			"experiment: Replicas = %d but the seed layout BaseSeed + %d*point + replica supports at most %d replicas per point without cross-point seed collisions",
+			o.Replicas, SeedStride, SeedStride-1))
+	}
 	if o.Hosts == 0 {
 		o.Hosts = 100
 	}

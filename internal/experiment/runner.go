@@ -11,8 +11,10 @@ import (
 // RunMatrix executes every configuration with o.Replicas independent
 // seeds, spreading the replica runs over a worker pool, and returns the
 // merged summary for each configuration in input order. Any construction
-// error aborts the whole matrix via panic: experiment specs are code, and
-// a config they build that fails validation is a programming error.
+// error or simulation panic aborts the whole matrix via a single panic
+// from the calling goroutine, annotated with the failing (point,
+// replica, seed): experiment specs are code, and a config they build
+// that fails validation is a programming error.
 func RunMatrix(cfgs []manet.Config, o Options) []metrics.Summary {
 	merged, _ := RunMatrixSpread(cfgs, o)
 	return merged
@@ -37,7 +39,7 @@ func RunMatrixSpread(cfgs []manet.Config, o Options) ([]metrics.Summary, [][]flo
 		}
 		for r := 0; r < o.Replicas; r++ {
 			c := cfg
-			c.Seed = o.BaseSeed + 1000*uint64(p) + uint64(r)
+			c.Seed = o.BaseSeed + SeedStride*uint64(p) + uint64(r)
 			tasks = append(tasks, task{point: p, replica: r, cfg: c})
 		}
 	}
@@ -54,28 +56,63 @@ func RunMatrixSpread(cfgs []manet.Config, o Options) ([]metrics.Summary, [][]flo
 	if workers < 1 {
 		workers = 1
 	}
-	ch := make(chan task)
-	var wg sync.WaitGroup
+
 	var mu sync.Mutex
 	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+
+	// runTask executes one replica, converting construction errors and
+	// simulation panics into an error carrying the failing coordinates.
+	// Without the recover, a panic inside manet.Network.Run would kill
+	// the whole process from a worker goroutine with no indication of
+	// which (point, replica, seed) died.
+	runTask := func(tk task) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("point %d replica %d (seed %d): panic: %v",
+					tk.point, tk.replica, tk.cfg.Seed, r)
+			}
+		}()
+		n, err := manet.New(tk.cfg)
+		if err != nil {
+			return fmt.Errorf("point %d replica %d (seed %d): %w",
+				tk.point, tk.replica, tk.cfg.Seed, err)
+		}
+		s := n.Run()
+		mu.Lock()
+		results[tk.point][tk.replica] = s
+		mu.Unlock()
+		return nil
+	}
+
+	ch := make(chan task)
+	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for tk := range ch {
-				n, err := manet.New(tk.cfg)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("experiment: point %d: %w", tk.point, err)
-					}
-					mu.Unlock()
+				// Fail fast: once any replica has failed the matrix is
+				// doomed to panic below, so drain the remaining tasks
+				// instead of burning minutes of simulation on results
+				// that will be thrown away.
+				if failed() {
 					continue
 				}
-				s := n.Run()
-				mu.Lock()
-				results[tk.point][tk.replica] = s
-				mu.Unlock()
+				if err := runTask(tk); err != nil {
+					fail(err)
+				}
 			}
 		}()
 	}
@@ -85,7 +122,9 @@ func RunMatrixSpread(cfgs []manet.Config, o Options) ([]metrics.Summary, [][]flo
 	close(ch)
 	wg.Wait()
 	if firstErr != nil {
-		panic(firstErr)
+		// Re-panic exactly once, from the coordinating goroutine, after
+		// the pool has shut down cleanly.
+		panic(fmt.Errorf("experiment: %w", firstErr))
 	}
 
 	merged := make([]metrics.Summary, len(cfgs))

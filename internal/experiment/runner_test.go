@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/manet"
+	"repro/internal/scheme"
+)
+
+// panicScheme detonates on the first rebroadcast decision, simulating a
+// bug deep inside a simulation run on a worker goroutine.
+type panicScheme struct{}
+
+func (panicScheme) Name() string                                      { return "panic" }
+func (panicScheme) NeedsHello() bool                                  { return false }
+func (panicScheme) NeedsPosition() bool                               { return false }
+func (panicScheme) NewJudge(scheme.HostView, scheme.Reception) scheme.Judge {
+	panic("panicScheme detonated")
+}
+
+// countScheme counts decisions so tests can observe whether a matrix
+// point actually simulated.
+type countScheme struct{ judges *atomic.Int64 }
+
+func (countScheme) Name() string        { return "count" }
+func (countScheme) NeedsHello() bool    { return false }
+func (countScheme) NeedsPosition() bool { return false }
+func (c countScheme) NewJudge(scheme.HostView, scheme.Reception) scheme.Judge {
+	c.judges.Add(1)
+	return scheme.Flooding{}.NewJudge(nil, scheme.Reception{})
+}
+
+// recoverMatrixPanic runs fn (which must panic) and returns the panic
+// message. The worker pool must have shut down by the time the panic
+// reaches us, so a hung test here means the pool deadlocked.
+func recoverMatrixPanic(t *testing.T, fn func()) (msg string) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("matrix with failing point did not panic")
+		}
+		msg = fmt.Sprint(r)
+	}()
+	fn()
+	return ""
+}
+
+func TestRunMatrixReportsInvalidConfigContext(t *testing.T) {
+	cfgs := []manet.Config{
+		{Scheme: scheme.Flooding{}, MapUnits: 1, Hosts: 8, Requests: 2},
+		{Scheme: scheme.Flooding{}, MapUnits: 1, Hosts: -1, Requests: 2}, // fails Validate
+	}
+	o := Options{Replicas: 2, BaseSeed: 50, Workers: 2}
+	msg := recoverMatrixPanic(t, func() { RunMatrix(cfgs, o) })
+	if !strings.Contains(msg, "point 1 replica 0 (seed 1050)") {
+		t.Errorf("panic lacks failing coordinates: %q", msg)
+	}
+	if !strings.Contains(msg, "at least one host") {
+		t.Errorf("panic lacks the underlying error: %q", msg)
+	}
+}
+
+func TestRunMatrixRecoversSimulationPanic(t *testing.T) {
+	cfgs := []manet.Config{
+		{Scheme: panicScheme{}, MapUnits: 1, Hosts: 8, Requests: 2},
+	}
+	o := Options{Replicas: 1, BaseSeed: 7, Workers: 2}
+	msg := recoverMatrixPanic(t, func() { RunMatrix(cfgs, o) })
+	if !strings.Contains(msg, "point 0 replica 0 (seed 7)") {
+		t.Errorf("panic lacks failing coordinates: %q", msg)
+	}
+	if !strings.Contains(msg, "panic: panicScheme detonated") {
+		t.Errorf("panic lacks the recovered panic value: %q", msg)
+	}
+}
+
+func TestRunMatrixFailsFastAfterError(t *testing.T) {
+	var judges atomic.Int64
+	cfgs := []manet.Config{
+		{Scheme: scheme.Flooding{}, MapUnits: 1, Hosts: -1, Requests: 2}, // fails immediately
+		{Scheme: countScheme{&judges}, MapUnits: 1, Hosts: 8, Requests: 2},
+		{Scheme: countScheme{&judges}, MapUnits: 1, Hosts: 8, Requests: 2},
+	}
+	// One worker makes the schedule deterministic: the failing point is
+	// consumed first, so every later task must be drained unrun.
+	o := Options{Replicas: 2, Workers: 1}
+	recoverMatrixPanic(t, func() { RunMatrix(cfgs, o) })
+	if n := judges.Load(); n != 0 {
+		t.Errorf("matrix kept simulating after the error: %d decisions ran", n)
+	}
+}
+
+func TestOptionsRejectSeedCollision(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Replicas = %d did not panic", SeedStride)
+		}
+	}()
+	// SeedStride-1 replicas per point is the documented maximum.
+	_ = Options{Replicas: SeedStride - 1}.WithDefaults()
+	_ = Options{Replicas: SeedStride}.WithDefaults()
+}

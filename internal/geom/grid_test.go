@@ -1,0 +1,132 @@
+package geom_test
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// bruteWithin is the reference implementation Grid must match exactly.
+func bruteWithin(pts []geom.Point, p geom.Point, r float64) []int {
+	var out []int
+	for i, q := range pts {
+		if q.Dist2(p) <= r*r {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func randomPoints(rng *rand.Rand, n int, w, h float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * w, Y: rng.Float64() * h}
+	}
+	return pts
+}
+
+func TestGridMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var g geom.Grid
+	for _, tc := range []struct {
+		n    int
+		w, h float64
+		r    float64
+	}{
+		{1, 100, 100, 50},
+		{10, 1000, 1000, 500},
+		{100, 2500, 2500, 500},
+		{300, 500, 5500, 500},   // thin strip: degenerate aspect ratio
+		{200, 5500, 500, 250},   // radius smaller than cell occupancy
+		{150, 2500, 2500, 6000}, // radius covering the whole map
+	} {
+		pts := randomPoints(rng, tc.n, tc.w, tc.h)
+		g.Rebuild(pts, tc.r)
+		if g.Len() != tc.n {
+			t.Fatalf("Len = %d, want %d", g.Len(), tc.n)
+		}
+		// Query from every indexed point and from a few arbitrary ones.
+		for i := range pts {
+			got := g.Within(pts[i], tc.r, nil)
+			want := bruteWithin(pts, pts[i], tc.r)
+			if !slices.Equal(got, want) {
+				t.Fatalf("n=%d r=%g Within(%d): got %v want %v", tc.n, tc.r, i, got, want)
+			}
+			nbr := g.Neighbors(i, tc.r, nil)
+			want = slices.DeleteFunc(want, func(j int) bool { return j == i })
+			if !slices.Equal(nbr, want) {
+				t.Fatalf("n=%d r=%g Neighbors(%d): got %v want %v", tc.n, tc.r, i, nbr, want)
+			}
+		}
+		for k := 0; k < 20; k++ {
+			p := geom.Point{X: rng.Float64()*tc.w*1.2 - 0.1*tc.w, Y: rng.Float64()*tc.h*1.2 - 0.1*tc.h}
+			got := g.Within(p, tc.r, nil)
+			if want := bruteWithin(pts, p, tc.r); !slices.Equal(got, want) {
+				t.Fatalf("n=%d r=%g Within(off-grid %v): got %v want %v", tc.n, tc.r, p, got, want)
+			}
+		}
+	}
+}
+
+func TestGridRebuildReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var g geom.Grid
+	// Rebuilding over snapshots of varying size and geometry must not
+	// leak state from earlier builds.
+	for round := 0; round < 10; round++ {
+		n := 1 + rng.Intn(200)
+		pts := randomPoints(rng, n, 3000, 3000)
+		g.Rebuild(pts, 500)
+		for k := 0; k < 5; k++ {
+			i := rng.Intn(n)
+			got := g.Within(pts[i], 500, nil)
+			if want := bruteWithin(pts, pts[i], 500); !slices.Equal(got, want) {
+				t.Fatalf("round %d: got %v want %v", round, got, want)
+			}
+		}
+	}
+}
+
+func TestGridCoincidentPoints(t *testing.T) {
+	pts := make([]geom.Point, 8)
+	for i := range pts {
+		pts[i] = geom.Point{X: 10, Y: 20}
+	}
+	var g geom.Grid
+	g.Rebuild(pts, 500)
+	got := g.Neighbors(3, 500, nil)
+	if want := []int{0, 1, 2, 4, 5, 6, 7}; !slices.Equal(got, want) {
+		t.Fatalf("coincident Neighbors = %v, want %v", got, want)
+	}
+}
+
+func TestGridEmpty(t *testing.T) {
+	var g geom.Grid
+	g.Rebuild(nil, 500)
+	if got := g.Within(geom.Point{}, 500, nil); len(got) != 0 {
+		t.Fatalf("empty grid returned %v", got)
+	}
+}
+
+func TestGridAppendsToBuffer(t *testing.T) {
+	pts := []geom.Point{{X: 0}, {X: 100}, {X: 9999}}
+	var g geom.Grid
+	g.Rebuild(pts, 500)
+	buf := []int{-1}
+	buf = g.Within(geom.Point{X: 50}, 500, buf)
+	if want := []int{-1, 0, 1}; !slices.Equal(buf, want) {
+		t.Fatalf("append semantics broken: %v, want %v", buf, want)
+	}
+}
+
+func TestGridBadCellPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive cell size did not panic")
+		}
+	}()
+	var g geom.Grid
+	g.Rebuild([]geom.Point{{}}, 0)
+}

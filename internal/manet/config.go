@@ -146,6 +146,13 @@ type Config struct {
 	// in-range host instantly without consuming airtime, isolating the
 	// cost and staleness of running neighbor discovery over the real MAC.
 	IdealHello bool
+	// DisableSpatialIndex answers every unit-disk range query (receiver
+	// discovery, reachability, neighbor ground truth) with the original
+	// O(hosts) linear scans instead of the spatial grid index. The index
+	// is a pure optimization with no model effect, so results must be
+	// identical either way; the switch exists for the equivalence tests
+	// and benchmarks that verify exactly that.
+	DisableSpatialIndex bool
 	// LossRate injects independent per-reception Bernoulli loss
 	// (fading/shadowing) on top of the unit-disk collision model.
 	// 0 (the paper's model) disables it; must stay below 1.

@@ -1,0 +1,96 @@
+package manet
+
+import (
+	"testing"
+
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+// The spatial grid index must be a pure optimization: a run with the
+// index answers every unit-disk query identically to the linear scans it
+// replaced, so for a fixed seed the two modes must produce the same
+// Summary value field for field — same deliveries, same collisions, same
+// latencies, same event count. Any divergence means the index changed
+// the model, not just its cost.
+func TestGridMatchesLinearScan(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"flooding-mobile", Config{
+			Scheme: scheme.Flooding{}, MapUnits: 3, Hosts: 40, Requests: 12,
+		}},
+		{"adaptive-counter-hello", Config{
+			Scheme: scheme.AdaptiveCounter{}, MapUnits: 5, Hosts: 50, Requests: 12,
+		}},
+		{"location-waypoint", Config{
+			Scheme: scheme.AdaptiveLocation{}, MapUnits: 5, Hosts: 40, Requests: 10,
+			Mobility: MobilityWaypoint,
+		}},
+		{"counter-loss-capture", Config{
+			Scheme: scheme.Counter{C: 3}, MapUnits: 3, Hosts: 40, Requests: 12,
+			LossRate: 0.1, CaptureRatio: 4,
+		}},
+		{"neighbor-coverage-groups", Config{
+			Scheme: scheme.NeighborCoverage{}, MapUnits: 3, Hosts: 30, Requests: 8,
+			Groups: 3,
+		}},
+		{"flooding-static-dense", Config{
+			Scheme: scheme.Flooding{}, MapUnits: 1, Hosts: 60, Requests: 10,
+			Static: true,
+		}},
+		{"repair-dynamic-hello", Config{
+			Scheme: scheme.AdaptiveCounter{}, MapUnits: 5, Hosts: 30, Requests: 8,
+			HelloMode: HelloDynamic, Repair: true, Warmup: 5 * sim.Second,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 3; seed++ {
+				grid := tc.cfg
+				grid.Seed = seed
+				linear := tc.cfg
+				linear.Seed = seed
+				linear.DisableSpatialIndex = true
+
+				gn, err := New(grid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ln, err := New(linear)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gs, ls := gn.Run(), ln.Run()
+				if gs != ls {
+					t.Fatalf("seed %d: grid and linear summaries diverge:\ngrid:   %+v\nlinear: %+v", seed, gs, ls)
+				}
+			}
+		})
+	}
+}
+
+// The ground-truth neighbor query must agree between the two modes at an
+// arbitrary mid-run instant, not just in end-of-run aggregates.
+func TestGridNeighborGroundTruthMatchesLinear(t *testing.T) {
+	mk := func(disable bool) *Network {
+		n, err := New(Config{
+			Scheme: scheme.Flooding{}, MapUnits: 3, Hosts: 40, Requests: 0,
+			Seed: 9, DisableSpatialIndex: disable,
+			Warmup: 1 * sim.Second, Drain: 1 * sim.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	gn, ln := mk(false), mk(true)
+	gn.Run()
+	ln.Run()
+	for i := 0; i < 40; i++ {
+		if g, l := gn.TrueNeighborCount(i), ln.TrueNeighborCount(i); g != l {
+			t.Fatalf("host %d: grid neighbor count %d != linear %d", i, g, l)
+		}
+	}
+}

@@ -35,6 +35,12 @@ type Network struct {
 	// inhibit decisions, collision-garbled copies).
 	Tracer *trace.Recorder
 
+	// Scratch reused by reachableFrom and the other unit-disk queries so
+	// per-origination bookkeeping does not allocate.
+	bfsVisited []bool
+	bfsStack   []int
+	nbrScratch []int
+
 	records          map[packet.BroadcastID]*metrics.BroadcastRecord
 	order            []packet.BroadcastID
 	helloSent        int
@@ -61,6 +67,7 @@ func New(cfg Config) (*Network, error) {
 		records: make(map[packet.BroadcastID]*metrics.BroadcastRecord, cfg.Requests),
 	}
 	n.ch.DisableCollisions = cfg.DisableCollisions
+	n.ch.DisableIndex = cfg.DisableSpatialIndex
 	if cfg.CaptureRatio > 0 {
 		n.ch.SetCapture(cfg.CaptureRatio)
 	}
@@ -73,8 +80,9 @@ func New(cfg Config) (*Network, error) {
 	hostRNG := root.Fork(3)
 
 	var groups []*mobility.Group
+	var gcfg mobility.GroupConfig
 	if cfg.Groups > 0 {
-		gcfg := mobility.DefaultGroupConfig(cfg.MaxSpeedKMH)
+		gcfg = mobility.DefaultGroupConfig(cfg.MaxSpeedKMH)
 		if cfg.GroupSpread > 0 {
 			gcfg.Spread = cfg.GroupSpread
 		}
@@ -82,6 +90,21 @@ func New(cfg Config) (*Network, error) {
 		for gi := range groups {
 			groups[gi] = mobility.NewGroup(sched, n.area, gcfg, moveRNG.Fork(1000+uint64(gi)))
 		}
+	}
+
+	// Declare how fast hosts can move so the channel's spatial index can
+	// amortize snapshot rebuilds over a drift budget instead of
+	// re-snapshotting every radio at every distinct timestamp. The bound
+	// must cover the fastest possible mover: group members ride the
+	// center's motion plus their own jitter; all other models cap at
+	// MaxSpeedKMH.
+	switch {
+	case cfg.Static:
+		n.ch.SetMaxSpeed(0)
+	case cfg.Groups > 0:
+		n.ch.SetMaxSpeed(gcfg.Center.MaxSpeedMPS + gcfg.JitterSpeedMPS)
+	default:
+		n.ch.SetMaxSpeed(mobility.KMHToMPS(cfg.MaxSpeedKMH))
 	}
 
 	n.hosts = make([]*host, cfg.Hosts)
@@ -120,6 +143,12 @@ func New(cfg Config) (*Network, error) {
 			if n.Tracer != nil && f.Kind == packet.KindBroadcast {
 				n.Tracer.Record(sched.Now(), trace.Garbled, f.Broadcast, hid)
 			}
+		}
+		// The unit-disk query paths (reachableFrom, idealHelloDeliver)
+		// identify hosts by radio index, which holds because radios are
+		// attached in host order.
+		if h.mac.Radio() != i {
+			panic(fmt.Sprintf("manet: host %d attached as radio %d", i, h.mac.Radio()))
 		}
 		n.hosts[i] = h
 	}
@@ -186,34 +215,34 @@ func (n *Network) originate(src *host) {
 }
 
 // reachableFrom computes e: the number of hosts (including src) in src's
-// connected component of the current unit-disk graph.
+// connected component of the current unit-disk graph. The walk expands
+// through the channel's spatial index, so each visited host costs its
+// degree rather than a scan of the whole population, and the visited /
+// stack / neighbor buffers are reused across originations.
 func (n *Network) reachableFrom(src *host) int {
-	now := n.sched.Now()
-	pos := make([]geom.Point, len(n.hosts))
-	for i, h := range n.hosts {
-		pos[i] = h.mover.PositionAt(now)
+	if len(n.bfsVisited) < n.ch.NumRadios() {
+		n.bfsVisited = make([]bool, n.ch.NumRadios())
 	}
-	r2 := n.cfg.Radius * n.cfg.Radius
-	visited := make([]bool, len(n.hosts))
-	stack := []int{int(src.id)}
-	visited[src.id] = true
+	visited := n.bfsVisited
+	clear(visited)
+	stack := n.bfsStack[:0]
+	start := src.mac.Radio()
+	visited[start] = true
+	stack = append(stack, start)
 	count := 0
 	for len(stack) > 0 {
 		i := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		count++
-		for j := range n.hosts {
-			if visited[j] {
-				continue
-			}
-			dx := pos[i].X - pos[j].X
-			dy := pos[i].Y - pos[j].Y
-			if dx*dx+dy*dy <= r2 {
+		n.nbrScratch = n.ch.Neighbors(i, n.nbrScratch[:0])
+		for _, j := range n.nbrScratch {
+			if !visited[j] {
 				visited[j] = true
 				stack = append(stack, j)
 			}
 		}
 	}
+	n.bfsStack = stack
 	return count
 }
 
@@ -287,13 +316,8 @@ func (n *Network) Records() []*metrics.BroadcastRecord {
 // within radio range of host i (tests compare HELLO-derived tables
 // against this).
 func (n *Network) TrueNeighborCount(i int) int {
-	count := 0
-	for j := range n.hosts {
-		if j != i && n.ch.InRange(n.hosts[i].mac.Radio(), n.hosts[j].mac.Radio()) {
-			count++
-		}
-	}
-	return count
+	n.nbrScratch = n.ch.Neighbors(n.hosts[i].mac.Radio(), n.nbrScratch[:0])
+	return len(n.nbrScratch)
 }
 
 // HostTableCount returns host i's HELLO-derived neighbor count.
@@ -320,12 +344,8 @@ func (n *Network) Area() (width, height float64) {
 func (n *Network) idealHelloDeliver(src *host, interval sim.Duration) {
 	n.helloSent++
 	neighbors := src.table.Neighbors()
-	for _, other := range n.hosts {
-		if other == src {
-			continue
-		}
-		if n.ch.InRange(src.mac.Radio(), other.mac.Radio()) {
-			other.table.OnHello(src.id, neighbors, interval)
-		}
+	n.nbrScratch = n.ch.Neighbors(src.mac.Radio(), n.nbrScratch[:0])
+	for _, j := range n.nbrScratch {
+		n.hosts[j].table.OnHello(src.id, neighbors, interval)
 	}
 }

@@ -102,6 +102,13 @@ type Channel struct {
 	// damage is due to collisions (carrier sensing still operates).
 	DisableCollisions bool
 
+	// DisableIndex, when set before any transmission, answers every
+	// range query with the original O(radios) linear scan instead of the
+	// spatial grid. The grid is a pure optimization — both paths must
+	// produce identical results — so this switch exists only for the
+	// equivalence tests and benchmarks that prove it.
+	DisableIndex bool
+
 	// Random per-reception loss (fading/shadowing failure injection),
 	// configured with SetLoss. Zero rate means the pure unit-disk model.
 	lossRate float64
@@ -128,6 +135,28 @@ type Channel struct {
 	active []*transmission
 	// transmitting[i] reports whether radio i is currently sending.
 	transmitting []bool
+
+	// Spatial index over a position snapshot. Positions are pure
+	// functions of simulated time, so a snapshot taken at one clock
+	// value serves every query at that instant exactly; with a declared
+	// speed bound (SetMaxSpeed) it additionally serves later instants as
+	// a candidate prefilter, with the query radius inflated by the
+	// maximum distance any radio can have drifted since the snapshot
+	// and every candidate re-checked against its live position.
+	grid       geom.Grid
+	snapTime   sim.Time
+	gridOK     bool
+	snap       []geom.Point
+	speedBound float64
+	hasBound   bool
+
+	// Scratch reused across Transmit calls so the hot path does not
+	// allocate: member marks the current frame's receiver set for O(deg)
+	// overlap checks against each active transmission, and txFree
+	// recycles finished transmission records (receiver slices and
+	// garbled maps included).
+	member []bool
+	txFree []*transmission
 }
 
 // NewChannel creates a channel with the given radio radius in meters.
@@ -169,10 +198,120 @@ func (c *Channel) PositionOf(i int) geom.Point {
 }
 
 // InRange reports whether radios i and j are currently within radio
-// range of each other.
+// range of each other. A single pairwise check needs exactly the two
+// live positions, which is already cheaper than any index lookup, so it
+// bypasses the grid entirely (and is therefore trivially identical
+// between the indexed and linear modes).
 func (c *Channel) InRange(i, j int) bool {
 	now := c.sched.Now()
 	return c.positions[i](now).Dist2(c.positions[j](now)) <= c.radius*c.radius
+}
+
+// SetMaxSpeed declares an upper bound, in meters per second, on how fast
+// any attached radio can move. The bound lets the spatial index serve
+// queries from a slightly stale snapshot — candidates are gathered with
+// the query radius inflated by the maximum possible drift and then
+// re-checked against live positions — so the O(radios) snapshot rebuild
+// amortizes over many transmissions instead of recurring at every
+// distinct timestamp. An underestimate would silently drop receivers;
+// callers must bound the fastest mover, not the average. Zero is valid
+// and means the radios never move. Without a declared bound the index
+// stays exact by rebuilding whenever the clock advances.
+func (c *Channel) SetMaxSpeed(mps float64) {
+	if mps < 0 {
+		panic("phy: negative speed bound")
+	}
+	c.speedBound = mps
+	c.hasBound = true
+	c.gridOK = false
+}
+
+// maxStaleFraction bounds snapshot staleness: the index is rebuilt once
+// radios could have drifted further than this fraction of the radio
+// radius, keeping the candidate over-approximation (and hence the
+// per-query live re-check work) small.
+const maxStaleFraction = 0.25
+
+// driftEpsilon absorbs floating-point slack between a mover's computed
+// displacement and the analytic speed*age bound.
+const driftEpsilon = 1e-6
+
+// Neighbors appends to buf the radios currently within range of radio i
+// (excluding i itself), in ascending order, and returns the extended
+// slice. The result is a snapshot valid only at the current simulated
+// time.
+func (c *Channel) Neighbors(i int, buf []int) []int {
+	if c.DisableIndex {
+		now := c.sched.Now()
+		pi := c.positions[i](now)
+		r2 := c.radius * c.radius
+		for j := range c.positions {
+			if j != i && c.positions[j](now).Dist2(pi) <= r2 {
+				buf = append(buf, j)
+			}
+		}
+		return buf
+	}
+	c.refresh()
+	now := c.sched.Now()
+	if now == c.snapTime {
+		return c.grid.Neighbors(i, c.radius, buf)
+	}
+	return c.staleNeighbors(i, c.positions[i](now), now, buf)
+}
+
+// refresh ensures the spatial index is usable at the current clock
+// value: fresh enough that the drift margin stays within budget, and
+// covering every attached radio. Movers are continuous at their segment
+// boundaries, so a snapshot taken at time t is identical no matter where
+// within t's event cascade it is taken.
+func (c *Channel) refresh() {
+	now := c.sched.Now()
+	if c.gridOK && len(c.snap) == len(c.positions) {
+		if now == c.snapTime {
+			return
+		}
+		if c.hasBound && c.driftMargin(now) <= c.radius*maxStaleFraction {
+			return
+		}
+	}
+	c.snap = c.snap[:0]
+	for _, pos := range c.positions {
+		c.snap = append(c.snap, pos(now))
+	}
+	c.grid.Rebuild(c.snap, c.radius)
+	c.snapTime = now
+	c.gridOK = true
+}
+
+// driftMargin returns how far any radio can have moved since the
+// snapshot was taken.
+func (c *Channel) driftMargin(now sim.Time) float64 {
+	age := now.Sub(c.snapTime)
+	if age <= 0 {
+		return 0
+	}
+	return c.speedBound*age.Seconds() + driftEpsilon
+}
+
+// staleNeighbors answers a neighbor query for radio i (live position pi)
+// from a stale snapshot: the inflated-radius grid query yields a
+// guaranteed superset of the true in-range set, which is then filtered
+// by exact live distance — so the result is identical to a linear scan,
+// at the cost of O(local density) live position evaluations instead of
+// O(radios).
+func (c *Channel) staleNeighbors(i int, pi geom.Point, now sim.Time, buf []int) []int {
+	m := c.driftMargin(now)
+	from := len(buf)
+	buf = c.grid.Within(pi, c.radius+m, buf)
+	out := buf[:from]
+	r2 := c.radius * c.radius
+	for _, j := range buf[from:] {
+		if j != i && c.positions[j](now).Dist2(pi) <= r2 {
+			out = append(out, j)
+		}
+	}
+	return out
 }
 
 // Transmit puts a frame on the air from the given radio, returning the
@@ -185,46 +324,62 @@ func (c *Channel) Transmit(radio int, f *packet.Frame, onDone func()) sim.Durati
 	}
 	now := c.sched.Now()
 	air := c.timing.Airtime(f.Bytes)
-	tx := &transmission{
-		frame:   f,
-		sender:  radio,
-		end:     now.Add(air),
-		garbled: make(map[int]bool),
-	}
+	tx := c.newTransmission(f, radio, now.Add(air))
 	c.stats.Transmissions++
 	c.transmitting[radio] = true
 
-	senderPos := c.positions[radio](now)
-	tx.senderPos = senderPos
-	r2 := c.radius * c.radius
-	for i := range c.positions {
-		if i == radio {
-			continue
+	if c.DisableIndex {
+		senderPos := c.positions[radio](now)
+		tx.senderPos = senderPos
+		r2 := c.radius * c.radius
+		for i := range c.positions {
+			if i == radio {
+				continue
+			}
+			if c.positions[i](now).Dist2(senderPos) <= r2 {
+				tx.receivers = append(tx.receivers, i)
+			}
 		}
-		if c.positions[i](now).Dist2(senderPos) <= r2 {
-			tx.receivers = append(tx.receivers, i)
+	} else {
+		c.refresh()
+		if now == c.snapTime {
+			tx.senderPos = c.snap[radio]
+			tx.receivers = c.grid.Neighbors(radio, c.radius, tx.receivers)
+		} else {
+			tx.senderPos = c.positions[radio](now)
+			tx.receivers = c.staleNeighbors(radio, tx.senderPos, now, tx.receivers)
 		}
 	}
 
 	// Collision rule: any temporal overlap at a common receiver garbles
 	// both copies (unless the capture effect lets the much-stronger one
 	// through); a receiver that is itself transmitting cannot decode.
+	// The scratch membership table makes each pairwise check O(deg of
+	// the other transmission) with no per-pair allocation.
+	if len(c.member) < len(c.positions) {
+		c.member = make([]bool, len(c.positions))
+	}
+	for _, i := range tx.receivers {
+		c.member[i] = true
+	}
 	for _, other := range c.active {
-		overlap := intersect(tx.receivers, other.receivers)
-		for _, i := range overlap {
-			c.resolveOverlap(tx, other, i)
+		for _, i := range other.receivers {
+			if c.member[i] {
+				c.resolveOverlap(tx, other, i)
+			}
 		}
 		// The new sender cannot receive the ongoing frame (half-duplex).
 		if contains(other.receivers, radio) {
 			other.garbled[radio] = true
 		}
 		// An ongoing sender cannot receive the new frame.
-		if contains(tx.receivers, other.sender) {
+		if c.member[other.sender] {
 			tx.garbled[other.sender] = true
 		}
 	}
-	// A receiver already transmitting cannot decode the new frame.
 	for _, i := range tx.receivers {
+		c.member[i] = false
+		// A receiver already transmitting cannot decode the new frame.
 		if c.transmitting[i] {
 			tx.garbled[i] = true
 		}
@@ -241,6 +396,25 @@ func (c *Channel) Transmit(radio int, f *packet.Frame, onDone func()) sim.Durati
 		c.finish(tx, onDone)
 	})
 	return air
+}
+
+// newTransmission takes a transmission record off the free list (or
+// allocates one), so steady-state transmissions reuse their receiver
+// slices and garbled maps instead of allocating per frame.
+func (c *Channel) newTransmission(f *packet.Frame, radio int, end sim.Time) *transmission {
+	var tx *transmission
+	if n := len(c.txFree); n > 0 {
+		tx = c.txFree[n-1]
+		c.txFree = c.txFree[:n-1]
+		tx.receivers = tx.receivers[:0]
+		clear(tx.garbled)
+	} else {
+		tx = &transmission{garbled: make(map[int]bool)}
+	}
+	tx.frame = f
+	tx.sender = radio
+	tx.end = end
+	return tx
 }
 
 // resolveOverlap applies the collision/capture rule for one receiver
@@ -309,6 +483,11 @@ func (c *Channel) finish(tx *transmission, onDone func()) {
 	if onDone != nil {
 		onDone()
 	}
+	// Recycle last: the delivery and onDone callbacks above may have
+	// started new transmissions, which must not have been handed this
+	// record while it was still being read.
+	tx.frame = nil
+	c.txFree = append(c.txFree, tx)
 }
 
 func (c *Channel) raiseBusy(i int) {
@@ -345,26 +524,6 @@ func (c *Channel) SetLoss(rate float64, rng *sim.RNG) {
 // CarrierBusyAt reports whether the medium is currently sensed busy at
 // radio i.
 func (c *Channel) CarrierBusyAt(i int) bool { return c.busyCount[i] > 0 }
-
-// intersect returns the elements present in both slices. Receiver lists
-// are built in ascending radio order, so a linear merge suffices.
-func intersect(a, b []int) []int {
-	var out []int
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	return out
-}
 
 // contains reports membership in an ascending slice by binary search.
 func contains(s []int, x int) bool {
