@@ -8,6 +8,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/geom"
 	"repro/internal/manet"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/routing"
 	"repro/internal/scheme"
@@ -255,6 +256,40 @@ func BenchmarkScaling(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkTelemetry measures the cost of the run-telemetry subsystem:
+// the off arm leaves Config.Telemetry nil (the instrument points reduce
+// to untaken branches, so it must match pre-instrumentation
+// BenchmarkScaling timings), the on arm samples every series on the
+// default tick plus the channel busy-time integral on every carrier
+// transition.
+func BenchmarkTelemetry(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		enabled bool
+	}{{"off", false}, {"on", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := manet.Config{
+					MapUnits: 5,
+					Scheme:   scheme.AdaptiveCounter{},
+					Requests: 10,
+					Seed:     uint64(i + 1),
+				}
+				if mode.enabled {
+					cfg.Telemetry = obs.New(0)
+				}
+				n, err := manet.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n.Run()
+			}
+		})
 	}
 }
 

@@ -5,10 +5,16 @@
 //	figures -list
 //	figures -fig fig7 [-requests 200] [-replicas 3] [-hosts 100] [-csv]
 //	figures -fig all
+//	figures -compare "flooding counter:C=3 ac"     # ad-hoc scheme sweep
+//	figures -telemetry run.jsonl                   # channel-load report
 //
 // Each figure prints one or more tables with the same rows/series the
 // paper plots. The -paper flag prints the result the paper reports next
 // to each figure so shapes can be compared at a glance.
+//
+// -compare takes scheme registry specs separated by whitespace (specs
+// themselves contain commas; run -schemes for the syntax) and sweeps
+// them over every map size like the paper figures do.
 package main
 
 import (
@@ -16,9 +22,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
+	"repro/internal/scheme"
 )
 
 func main() {
@@ -35,9 +44,26 @@ func main() {
 		out      = flag.String("out", "", "also write each table as CSV into this directory")
 		ci       = flag.Bool("ci", false, "show 95% confidence half-widths on RE (use with -replicas >= 3)")
 		paper    = flag.Bool("paper", true, "print the paper's reported result for comparison")
+		compare  = flag.String("compare", "", "whitespace-separated scheme specs to sweep over all maps (run -schemes for syntax)")
+		schemes  = flag.Bool("schemes", false, "print the scheme spec syntax and exit")
+		telem    = flag.String("telemetry", "", "print a channel-load report for a stormsim -telemetry JSONL file instead of simulating")
+		progress = flag.Bool("progress", false, "report matrix progress (replicas done, events/s, ETA) on stderr")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
+	if *schemes {
+		fmt.Print("scheme specs:\n", scheme.Usage())
+		return
+	}
+	if *telem != "" {
+		if err := loadReport(*telem, *csv); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, s := range experiment.Registry() {
 			fmt.Printf("%-13s  %s\n", s.ID, s.Title)
@@ -47,8 +73,8 @@ func main() {
 		}
 		return
 	}
-	if *fig == "" {
-		fmt.Fprintln(os.Stderr, "figures: -fig or -list required (try -fig fig7)")
+	if *fig == "" && *compare == "" {
+		fmt.Fprintln(os.Stderr, "figures: -fig, -compare, or -list required (try -fig fig7)")
 		os.Exit(2)
 	}
 
@@ -61,12 +87,32 @@ func main() {
 		Trials:   *trials,
 		CI:       *ci,
 	}
+	if *progress {
+		opts.Progress = os.Stderr
+	}
+
+	stopProf, err := obs.StartProfiles(*cpuprof, *memprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
 
 	var specs []experiment.Spec
-	switch *fig {
-	case "all":
+	switch {
+	case *compare != "":
+		var parsed []scheme.Scheme
+		for _, spec := range strings.Fields(*compare) {
+			s, err := scheme.Parse(spec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(2)
+			}
+			parsed = append(parsed, s)
+		}
+		specs = []experiment.Spec{experiment.CompareSpec(parsed)}
+	case *fig == "all":
 		specs = experiment.Registry()
-	case "ablations":
+	case *fig == "ablations":
 		specs = experiment.Ablations()
 	default:
 		s, ok := experiment.LookupAny(*fig)
@@ -108,4 +154,33 @@ func main() {
 		}
 		fmt.Printf("(%s regenerated in %v)\n\n", s.ID, time.Since(start).Round(time.Millisecond))
 	}
+
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+// loadReport decodes a stormsim -telemetry export and prints its
+// per-interval channel-load table.
+func loadReport(path string, asCSV bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dump, err := obs.Decode(f)
+	if err != nil {
+		return err
+	}
+	t, err := experiment.LoadReport(dump)
+	if err != nil {
+		return err
+	}
+	if asCSV {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Print(t.Text())
+	}
+	return nil
 }

@@ -6,6 +6,8 @@
 //	routesim -scheme ac -map 5 -discoveries 100
 //	routesim -scheme flooding -ring 2,0      # expanding-ring search
 //	routesim -scheme nc -rts 1               # RTS/CTS on replies
+//
+// Schemes are given as registry specs (run with -schemes for syntax).
 package main
 
 import (
@@ -15,14 +17,15 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/routing"
 	"repro/internal/scheme"
 )
 
 func main() {
 	var (
-		schemeName  = flag.String("scheme", "flooding", "flooding|counter|ac|al|nc")
-		c           = flag.Int("C", 3, "counter threshold for -scheme counter")
+		schemeSpec  = flag.String("scheme", "flooding", "scheme spec, e.g. counter:C=3 (run -schemes for syntax)")
+		listSchemes = flag.Bool("schemes", false, "print the scheme spec syntax and exit")
 		mapUnits    = flag.Int("map", 5, "square map side in 500m units")
 		hosts       = flag.Int("hosts", 100, "number of mobile hosts")
 		discoveries = flag.Int("discoveries", 50, "route discoveries to attempt")
@@ -32,24 +35,26 @@ func main() {
 		ring        = flag.String("ring", "", "expanding-ring TTLs, comma separated (e.g. 2,0); empty = full flood")
 		data        = flag.Int("data", 0, "data packets to push along each established route (route maintenance)")
 		seed        = flag.Uint64("seed", 1, "random seed")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
-	var sch scheme.Scheme
-	switch *schemeName {
-	case "flooding":
-		sch = scheme.Flooding{}
-	case "counter":
-		sch = scheme.Counter{C: *c}
-	case "ac":
-		sch = scheme.AdaptiveCounter{}
-	case "al":
-		sch = scheme.AdaptiveLocation{}
-	case "nc":
-		sch = scheme.NeighborCoverage{}
-	default:
-		fmt.Fprintf(os.Stderr, "routesim: unknown scheme %q\n", *schemeName)
+	if *listSchemes {
+		fmt.Print("scheme specs:\n", scheme.Usage())
+		return
+	}
+
+	sch, err := scheme.Parse(*schemeSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routesim:", err)
 		os.Exit(2)
+	}
+
+	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routesim:", err)
+		os.Exit(1)
 	}
 
 	var ttls []int
@@ -100,6 +105,11 @@ func main() {
 	}
 	fmt.Printf("hello packets           %d\n", r.HelloSent)
 	fmt.Printf("total tx / collisions   %d / %d\n", r.Transmissions, r.Collisions)
+
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "routesim:", err)
+		os.Exit(1)
+	}
 }
 
 func max(a, b int) int {

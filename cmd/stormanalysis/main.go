@@ -4,26 +4,50 @@
 //	stormanalysis -eac 10        EAC(k) for k=1..10      (paper Fig. 1)
 //	stormanalysis -cf 10         cf(n,k) for n=1..10     (paper Fig. 2)
 //	stormanalysis -constants     the analytic constants (0.61, 0.41, 0.59)
+//	stormanalysis -scheme ac:n1=3,n2=10 -funcs 15
+//	                             tabulate a spec's threshold function
+//
+// Schemes for -scheme are registry specs (run with -schemes for syntax).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/analysis"
 	"repro/internal/geom"
+	"repro/internal/scheme"
 	"repro/internal/sim"
 )
 
 func main() {
 	var (
-		eacMax    = flag.Int("eac", 0, "print EAC(k) for k=1..N")
-		cfMax     = flag.Int("cf", 0, "print cf(n,k) distributions for n=1..N")
-		constants = flag.Bool("constants", false, "print the paper's analytic constants")
-		trials    = flag.Int("trials", 20000, "Monte-Carlo trials")
-		seed      = flag.Uint64("seed", 1, "random seed")
+		eacMax      = flag.Int("eac", 0, "print EAC(k) for k=1..N")
+		cfMax       = flag.Int("cf", 0, "print cf(n,k) distributions for n=1..N")
+		constants   = flag.Bool("constants", false, "print the paper's analytic constants")
+		trials      = flag.Int("trials", 20000, "Monte-Carlo trials")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		schemeSpec  = flag.String("scheme", "", "scheme spec to analyze with -funcs (run -schemes for syntax)")
+		funcsMax    = flag.Int("funcs", 0, "tabulate the -scheme spec's threshold/decision function for n=0..N")
+		listSchemes = flag.Bool("schemes", false, "print the scheme spec syntax and exit")
 	)
 	flag.Parse()
+
+	if *listSchemes {
+		fmt.Print("scheme specs:\n", scheme.Usage())
+		return
+	}
+	if *schemeSpec != "" {
+		if *funcsMax == 0 {
+			*funcsMax = 15
+		}
+		if err := printSchemeFuncs(*schemeSpec, *funcsMax); err != nil {
+			fmt.Fprintln(os.Stderr, "stormanalysis:", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	if !*constants && *eacMax == 0 && *cfMax == 0 {
 		*constants = true
@@ -52,21 +76,68 @@ func main() {
 		fmt.Println()
 	}
 
-	if *cfMax > 0 {
-		rng := sim.NewRNG(*seed + 1)
-		fmt.Printf("cf(n,k), %d trials (paper Fig. 2):\n", *trials)
-		table := analysis.ContentionFreeTable(*cfMax, *trials, rng)
-		fmt.Printf("  %-3s", "n")
-		for k := 0; k <= 4; k++ {
-			fmt.Printf("  k=%-6d", k)
+	printCF(*cfMax, *trials, *seed)
+}
+
+// printSchemeFuncs tabulates the decision threshold a parsed spec would
+// apply at each neighbor count n — the paper's C(n) and A(n) curves
+// (Figs. 5, 7) for the adaptive schemes, or the constant threshold for
+// the fixed ones.
+func printSchemeFuncs(spec string, maxN int) error {
+	s, err := scheme.Parse(spec)
+	if err != nil {
+		return err
+	}
+	switch v := s.(type) {
+	case scheme.AdaptiveCounter:
+		fn := v.C
+		if fn == nil {
+			fn = scheme.DefaultCounterFunc()
+		}
+		fmt.Printf("%s counter threshold C(n):\n", v.Name())
+		for n := 0; n <= maxN; n++ {
+			fmt.Printf("  n=%-3d  C=%d\n", n, fn(n))
+		}
+	case scheme.AdaptiveLocation:
+		fn := v.A
+		if fn == nil {
+			fn = scheme.DefaultLocationFunc()
+		}
+		fmt.Printf("%s coverage threshold A(n), fraction of pi*r^2:\n", v.Name())
+		for n := 0; n <= maxN; n++ {
+			fmt.Printf("  n=%-3d  A=%.4f\n", n, fn(n))
+		}
+	case scheme.Counter:
+		fmt.Printf("%s: fixed counter threshold C=%d for all n\n", v.Name(), v.C)
+	case scheme.Distance:
+		fmt.Printf("%s: fixed distance threshold D=%g m for all n\n", v.Name(), v.D)
+	case scheme.Location:
+		fmt.Printf("%s: fixed coverage threshold A=%g for all n\n", v.Name(), v.A)
+	case scheme.Probabilistic:
+		fmt.Printf("%s: rebroadcast probability P=%g for all n\n", v.Name(), v.P)
+	default:
+		fmt.Printf("%s: no tunable threshold function (decision is structural)\n", s.Name())
+	}
+	return nil
+}
+
+func printCF(cfMax, trials int, seed uint64) {
+	if cfMax <= 0 {
+		return
+	}
+	rng := sim.NewRNG(seed + 1)
+	fmt.Printf("cf(n,k), %d trials (paper Fig. 2):\n", trials)
+	table := analysis.ContentionFreeTable(cfMax, trials, rng)
+	fmt.Printf("  %-3s", "n")
+	for k := 0; k <= 4; k++ {
+		fmt.Printf("  k=%-6d", k)
+	}
+	fmt.Println()
+	for n := 1; n <= cfMax; n++ {
+		fmt.Printf("  %-3d", n)
+		for k := 0; k <= 4 && k < len(table[n-1]); k++ {
+			fmt.Printf("  %.4f  ", table[n-1][k])
 		}
 		fmt.Println()
-		for n := 1; n <= *cfMax; n++ {
-			fmt.Printf("  %-3d", n)
-			for k := 0; k <= 4 && k < len(table[n-1]); k++ {
-				fmt.Printf("  %.4f  ", table[n-1][k])
-			}
-			fmt.Println()
-		}
 	}
 }

@@ -4,61 +4,69 @@
 // Usage:
 //
 //	stormsim -scheme ac -map 7 -requests 200
-//	stormsim -scheme counter -C 3 -map 5 -speed 50
+//	stormsim -scheme counter:C=3 -map 5 -speed 50
 //	stormsim -scheme nc -hello dynamic -map 9
+//	stormsim -scheme al -progress -telemetry run.jsonl
 //
-// Schemes: flooding, counter (-C), distance (-D), location (-A),
-// ac (adaptive counter), al (adaptive location), nc (neighbor coverage).
+// Schemes are given as registry specs (run with -schemes for the full
+// syntax): flooding, prob:P=0.7, counter:C=3, distance:D=40,
+// location:A=0.0469, ac[:n1=..,n2=..], al[:n1=..,n2=..,max=..], nc,
+// cluster[:inner=..].
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/manet"
+	"repro/internal/obs"
 	"repro/internal/scheme"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/viz"
 )
 
 func main() {
 	var (
-		schemeName = flag.String("scheme", "flooding", "flooding|counter|distance|location|ac|al|nc")
-		c          = flag.Int("C", 3, "counter threshold for -scheme counter")
-		d          = flag.Float64("D", 40, "distance threshold (meters) for -scheme distance")
-		a          = flag.Float64("A", 0.0469, "coverage threshold for -scheme location")
-		mapUnits   = flag.Int("map", 5, "square map side in 500m units (1,3,5,7,9,11)")
-		hosts      = flag.Int("hosts", 100, "number of mobile hosts")
-		requests   = flag.Int("requests", 100, "broadcast operations to simulate")
-		speed      = flag.Float64("speed", 0, "max host speed km/h (0 = paper rule: 10 per map unit)")
-		hello      = flag.String("hello", "auto", "off|fixed|dynamic|auto (auto enables fixed when the scheme needs it)")
-		helloMS    = flag.Int("hello-interval", 1000, "fixed hello interval, milliseconds")
-		seed       = flag.Uint64("seed", 1, "random seed")
-		static     = flag.Bool("static", false, "freeze hosts (no mobility)")
-		topo       = flag.Bool("topo", false, "print the final topology as an ASCII map")
+		schemeSpec  = flag.String("scheme", "flooding", "scheme spec, e.g. counter:C=3 (run -schemes for syntax)")
+		listSchemes = flag.Bool("schemes", false, "print the scheme spec syntax and exit")
+		c           = flag.Int("C", 3, "counter threshold shorthand for -scheme counter")
+		d           = flag.Float64("D", 40, "distance threshold shorthand for -scheme distance")
+		a           = flag.Float64("A", 0.0469, "coverage threshold shorthand for -scheme location")
+		mapUnits    = flag.Int("map", 5, "square map side in 500m units (1,3,5,7,9,11)")
+		hosts       = flag.Int("hosts", 100, "number of mobile hosts")
+		requests    = flag.Int("requests", 100, "broadcast operations to simulate")
+		speed       = flag.Float64("speed", 0, "max host speed km/h (0 = paper rule: 10 per map unit)")
+		hello       = flag.String("hello", "auto", "off|fixed|dynamic|auto (auto enables fixed when the scheme needs it)")
+		helloMS     = flag.Int("hello-interval", 1000, "fixed hello interval, milliseconds")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		static      = flag.Bool("static", false, "freeze hosts (no mobility)")
+		topo        = flag.Bool("topo", false, "print the final topology as an ASCII map")
+		progress    = flag.Bool("progress", false, "report simulated-time progress on stderr")
+		telemetry   = flag.String("telemetry", "", "write run telemetry (time series + trace events) as JSONL to this file")
+		tickMS      = flag.Int("telemetry-tick", 100, "telemetry sampling tick, simulated milliseconds")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
-	var sch scheme.Scheme
-	switch *schemeName {
-	case "flooding":
-		sch = scheme.Flooding{}
-	case "counter":
-		sch = scheme.Counter{C: *c}
-	case "distance":
-		sch = scheme.Distance{D: *d}
-	case "location":
-		sch = scheme.Location{A: *a}
-	case "ac":
-		sch = scheme.AdaptiveCounter{}
-	case "al":
-		sch = scheme.AdaptiveLocation{}
-	case "nc":
-		sch = scheme.NeighborCoverage{}
-	default:
-		fmt.Fprintf(os.Stderr, "stormsim: unknown scheme %q\n", *schemeName)
+	if *listSchemes {
+		fmt.Print("scheme specs:\n", scheme.Usage())
+		return
+	}
+
+	sch, err := scheme.Parse(legacySpec(*schemeSpec, *c, *d, *a))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stormsim:", err)
 		os.Exit(2)
+	}
+
+	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stormsim:", err)
+		os.Exit(1)
 	}
 
 	cfg := manet.Config{
@@ -85,10 +93,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	var col *obs.Collector
+	if *telemetry != "" {
+		col = obs.New(sim.Duration(*tickMS) * sim.Millisecond)
+		cfg.Telemetry = col
+	}
+
 	n, err := manet.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stormsim:", err)
 		os.Exit(1)
+	}
+	var rec *trace.Recorder
+	if *telemetry != "" {
+		rec = trace.NewRecorder(0)
+		n.Tracer = rec
+	}
+	if *progress {
+		n.Progress = os.Stderr
 	}
 	s := n.Run()
 
@@ -105,6 +127,15 @@ func main() {
 	fmt.Printf("simulated time            %.1f s (%d events)\n",
 		s.SimulatedTime.Seconds(), s.Events)
 
+	if *telemetry != "" {
+		if err := writeTelemetry(*telemetry, n.Config(), sch, col, rec); err != nil {
+			fmt.Fprintln(os.Stderr, "stormsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry                 %s (%d samples, %d events)\n",
+			*telemetry, len(col.Samples()), rec.Len())
+	}
+
 	if *topo {
 		pts := n.Positions()
 		w, h := n.Area()
@@ -113,4 +144,54 @@ func main() {
 		fmt.Print(viz.Topology(pts, w, h, 72))
 		fmt.Print(viz.ConnectivitySummary(pts, n.Config().Radius))
 	}
+
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "stormsim:", err)
+		os.Exit(1)
+	}
+}
+
+// legacySpec folds the pre-registry -C/-D/-A shorthand flags into the
+// spec, so `-scheme counter -C 5` keeps working. The shorthand only
+// applies when the spec itself carries no parameters.
+func legacySpec(spec string, c int, d, a float64) string {
+	if strings.ContainsRune(spec, ':') {
+		return spec
+	}
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	switch strings.ToLower(strings.TrimSpace(spec)) {
+	case "counter":
+		if set["C"] {
+			return fmt.Sprintf("%s:C=%d", spec, c)
+		}
+	case "distance":
+		if set["D"] {
+			return fmt.Sprintf("%s:D=%g", spec, d)
+		}
+	case "location":
+		if set["A"] {
+			return fmt.Sprintf("%s:A=%g", spec, a)
+		}
+	}
+	return spec
+}
+
+// writeTelemetry exports the run's series and event stream as JSONL.
+func writeTelemetry(path string, cfg manet.Config, sch scheme.Scheme, col *obs.Collector, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	meta := obs.Meta{
+		Scheme:   sch.Name(),
+		Hosts:    cfg.Hosts,
+		MapUnits: cfg.MapUnits,
+		Seed:     cfg.Seed,
+	}
+	if err := obs.Export(f, meta, col, rec.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -5,6 +5,10 @@
 //
 //	stormtrace -scheme flooding -map 1 -requests 2     # watch the storm
 //	stormtrace -scheme ac -map 7 -requests 3           # watch suppression
+//	stormtrace -scheme counter:C=2 -jsonl trace.jsonl  # machine-readable
+//	stormtrace -decode trace.jsonl                     # re-render a dump
+//
+// Schemes are given as registry specs (run with -schemes for syntax).
 package main
 
 import (
@@ -13,35 +17,39 @@ import (
 	"os"
 
 	"repro/internal/manet"
+	"repro/internal/obs"
 	"repro/internal/scheme"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		schemeName = flag.String("scheme", "flooding", "flooding|counter|ac|al|nc")
-		c          = flag.Int("C", 3, "counter threshold for -scheme counter")
-		mapUnits   = flag.Int("map", 3, "square map side in 500m units")
-		hosts      = flag.Int("hosts", 30, "number of mobile hosts")
-		requests   = flag.Int("requests", 3, "broadcasts to trace")
-		seed       = flag.Uint64("seed", 1, "random seed")
+		schemeSpec  = flag.String("scheme", "flooding", "scheme spec, e.g. counter:C=3 (run -schemes for syntax)")
+		listSchemes = flag.Bool("schemes", false, "print the scheme spec syntax and exit")
+		mapUnits    = flag.Int("map", 3, "square map side in 500m units")
+		hosts       = flag.Int("hosts", 30, "number of mobile hosts")
+		requests    = flag.Int("requests", 3, "broadcasts to trace")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		jsonl       = flag.String("jsonl", "", "also write the event stream as JSONL to this file")
+		decode      = flag.String("decode", "", "decode a JSONL telemetry/trace file and print its event totals instead of simulating")
 	)
 	flag.Parse()
 
-	var sch scheme.Scheme
-	switch *schemeName {
-	case "flooding":
-		sch = scheme.Flooding{}
-	case "counter":
-		sch = scheme.Counter{C: *c}
-	case "ac":
-		sch = scheme.AdaptiveCounter{}
-	case "al":
-		sch = scheme.AdaptiveLocation{}
-	case "nc":
-		sch = scheme.NeighborCoverage{}
-	default:
-		fmt.Fprintf(os.Stderr, "stormtrace: unknown scheme %q\n", *schemeName)
+	if *listSchemes {
+		fmt.Print("scheme specs:\n", scheme.Usage())
+		return
+	}
+	if *decode != "" {
+		if err := decodeFile(*decode); err != nil {
+			fmt.Fprintln(os.Stderr, "stormtrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	sch, err := scheme.Parse(*schemeSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stormtrace:", err)
 		os.Exit(2)
 	}
 
@@ -67,10 +75,65 @@ func main() {
 			br.Latency().Milliseconds())
 	}
 
-	counts := rec.CountByKind()
+	printTotals(rec.CountByKind())
+	fmt.Printf("channel: %d transmissions, %d deliveries, %d collisions\n",
+		s.Transmissions, s.Deliveries, s.Collisions)
+
+	if *jsonl != "" {
+		f, err := os.Create(*jsonl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stormtrace:", err)
+			os.Exit(1)
+		}
+		err = rec.EncodeJSONL(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stormtrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d events to %s (schema v%d)\n", rec.Len(), *jsonl, trace.JSONLVersion)
+	}
+}
+
+// decodeFile reads a JSONL stream written by -jsonl (or by stormsim
+// -telemetry / obs.Export — non-event lines are skipped) and prints its
+// event totals, proving the stream round-trips.
+func decodeFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	// A full telemetry export (stormsim -telemetry) opens with a meta
+	// line; a bare -jsonl trace has events only. Try the richer format
+	// first, then fall back to the plain event stream.
+	var events []trace.Event
+	if dump, obsErr := obs.Decode(f); obsErr == nil {
+		events = dump.Events
+		fmt.Printf("telemetry export: scheme=%s hosts=%d map=%d seed=%d, %d samples\n",
+			dump.Meta.Scheme, dump.Meta.Hosts, dump.Meta.MapUnits, dump.Meta.Seed, len(dump.Samples))
+	} else {
+		if _, err := f.Seek(0, 0); err != nil {
+			return err
+		}
+		events, err = trace.DecodeJSONL(f)
+		if err != nil {
+			return err
+		}
+	}
+	counts := map[trace.Kind]int{}
+	for _, e := range events {
+		counts[e.Kind]++
+	}
+	fmt.Printf("%s: %d events\n", path, len(events))
+	printTotals(counts)
+	return nil
+}
+
+func printTotals(counts map[trace.Kind]int) {
 	fmt.Printf("totals: %d originate, %d deliver, %d duplicate, %d transmit, %d inhibit, %d garbled\n",
 		counts[trace.Originate], counts[trace.Deliver], counts[trace.Duplicate],
 		counts[trace.Transmit], counts[trace.Inhibit], counts[trace.Garbled])
-	fmt.Printf("channel: %d transmissions, %d deliveries, %d collisions\n",
-		s.Transmissions, s.Deliveries, s.Collisions)
 }

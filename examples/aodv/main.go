@@ -14,8 +14,7 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/routing"
-	"repro/internal/scheme"
+	"repro/storm"
 )
 
 func main() {
@@ -29,20 +28,20 @@ func main() {
 	fmt.Printf("%-10s  %-9s  %-7s  %-9s  %-11s  %s\n",
 		"scheme", "success", "hops", "latency", "RREQ tx/d", "collisions")
 
-	for _, sch := range []scheme.Scheme{
-		scheme.Flooding{},
-		scheme.Counter{C: 3},
-		scheme.AdaptiveCounter{},
-		scheme.NeighborCoverage{},
+	for _, sch := range []storm.Scheme{
+		storm.Flooding{},
+		storm.Counter{C: 3},
+		storm.AdaptiveCounter{},
+		storm.NeighborCoverage{},
 	} {
-		cfg := routing.Config{
+		cfg := storm.RoutingConfig{
 			Hosts:       hosts,
 			MapUnits:    mapUnits,
 			Scheme:      sch,
 			Discoveries: discoveries,
 			Seed:        21,
 		}
-		n, err := routing.New(cfg)
+		n, err := storm.NewRouting(cfg)
 		if err != nil {
 			panic(err)
 		}
@@ -61,7 +60,7 @@ func main() {
 	fmt.Println("and its collisions while keeping discovery success close to flooding.")
 
 	// Expanding-ring search: TTL-scoped floods escalate only when the
-	// target is far, composing with any suppression scheme.
+	// target is far, composing with any suppression storm.
 	fmt.Println()
 	fmt.Println("Expanding-ring search (TTL 2, then unlimited) on the same workload:")
 	fmt.Printf("%-22s  %-9s  %-11s  %s\n", "variant", "success", "RREQ tx/d", "escalations")
@@ -72,15 +71,15 @@ func main() {
 		{"full flood", nil},
 		{"ring 2 -> unlimited", []int{2, 0}},
 	} {
-		cfg := routing.Config{
+		cfg := storm.RoutingConfig{
 			Hosts:       hosts,
 			MapUnits:    mapUnits,
-			Scheme:      scheme.AdaptiveCounter{},
+			Scheme:      storm.AdaptiveCounter{},
 			Discoveries: discoveries,
 			RingTTLs:    ring.ttls,
 			Seed:        21,
 		}
-		n, err := routing.New(cfg)
+		n, err := storm.NewRouting(cfg)
 		if err != nil {
 			panic(err)
 		}

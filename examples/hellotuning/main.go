@@ -15,9 +15,7 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/manet"
-	"repro/internal/scheme"
-	"repro/internal/sim"
+	"repro/storm"
 )
 
 func main() {
@@ -29,33 +27,33 @@ func main() {
 
 	type policy struct {
 		name string
-		cfg  func(c *manet.Config)
+		cfg  func(c *storm.Config)
 	}
 	policies := []policy{
-		{"fixed 1s", func(c *manet.Config) {
-			c.HelloMode = manet.HelloFixed
-			c.HelloInterval = 1 * sim.Second
+		{"fixed 1s", func(c *storm.Config) {
+			c.HelloMode = storm.HelloFixed
+			c.HelloInterval = 1 * storm.Second
 		}},
-		{"fixed 10s", func(c *manet.Config) {
-			c.HelloMode = manet.HelloFixed
-			c.HelloInterval = 10 * sim.Second
+		{"fixed 10s", func(c *storm.Config) {
+			c.HelloMode = storm.HelloFixed
+			c.HelloInterval = 10 * storm.Second
 		}},
-		{"dynamic (paper DHI)", func(c *manet.Config) {
-			c.HelloMode = manet.HelloDynamic
+		{"dynamic (paper DHI)", func(c *storm.Config) {
+			c.HelloMode = storm.HelloDynamic
 		}},
 	}
 
 	for _, p := range policies {
 		for _, sp := range speeds {
-			cfg := manet.Config{
+			cfg := storm.Config{
 				MapUnits:    mapUnits,
 				MaxSpeedKMH: sp,
-				Scheme:      scheme.NeighborCoverage{},
+				Scheme:      storm.NeighborCoverage{},
 				Requests:    60,
 				Seed:        5,
 			}
 			p.cfg(&cfg)
-			net, err := manet.New(cfg)
+			net, err := storm.New(cfg)
 			if err != nil {
 				panic(err)
 			}

@@ -8,8 +8,7 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/manet"
-	"repro/internal/scheme"
+	"repro/storm"
 )
 
 func main() {
@@ -17,19 +16,19 @@ func main() {
 	fmt.Println("(map unit = 500 m radio radius, IEEE 802.11 DSSS timing)")
 	fmt.Println()
 
-	for _, sch := range []scheme.Scheme{
-		scheme.Flooding{},
-		scheme.Counter{C: 3},
-		scheme.AdaptiveCounter{},
+	for _, sch := range []storm.Scheme{
+		storm.Flooding{},
+		storm.Counter{C: 3},
+		storm.AdaptiveCounter{},
 	} {
-		cfg := manet.Config{
+		cfg := storm.Config{
 			MapUnits: 5,   // 2.5 km x 2.5 km
 			Hosts:    100, // the paper's population
 			Scheme:   sch, // rebroadcast decision scheme under test
 			Requests: 60,  // broadcast operations (paper: 10,000)
 			Seed:     42,  // deterministic: same seed, same run
 		}
-		net, err := manet.New(cfg)
+		net, err := storm.New(cfg)
 		if err != nil {
 			panic(err)
 		}

@@ -13,9 +13,7 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/manet"
-	"repro/internal/scheme"
-	"repro/internal/sim"
+	"repro/storm"
 )
 
 func main() {
@@ -25,19 +23,19 @@ func main() {
 		"variant", "RE", "requests", "repaired", "hello tx")
 
 	for _, repair := range []bool{false, true} {
-		cfg := manet.Config{
+		cfg := storm.Config{
 			Hosts:         80,
 			MapUnits:      5,
-			Scheme:        scheme.Counter{C: 2},
+			Scheme:        storm.Counter{C: 2},
 			Requests:      40,
 			LossRate:      0.15,
 			Repair:        repair,
-			HelloMode:     manet.HelloFixed,
-			HelloInterval: 1 * sim.Second,
-			Drain:         8 * sim.Second,
+			HelloMode:     storm.HelloFixed,
+			HelloInterval: 1 * storm.Second,
+			Drain:         8 * storm.Second,
 			Seed:          9,
 		}
-		net, err := manet.New(cfg)
+		net, err := storm.New(cfg)
 		if err != nil {
 			panic(err)
 		}

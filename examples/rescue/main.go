@@ -15,18 +15,16 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/geom"
-	"repro/internal/manet"
-	"repro/internal/scheme"
+	"repro/storm"
 )
 
 // buildScene places a 40-host base camp in one corner of a 9x9 map and
 // three 20-host search chains fanning out from it.
-func buildScene() []geom.Point {
-	var pts []geom.Point
+func buildScene() []storm.Point {
+	var pts []storm.Point
 	// Base camp: a tight grid well inside one radio radius.
 	for i := 0; i < 40; i++ {
-		pts = append(pts, geom.Point{
+		pts = append(pts, storm.Point{
 			X: 400 + float64(i%8)*45,
 			Y: 400 + float64(i/8)*45,
 		})
@@ -36,7 +34,7 @@ func buildScene() []geom.Point {
 	for _, dir := range dirs {
 		for k := 1; k <= 20; k++ {
 			d := float64(k) * 400
-			pts = append(pts, geom.Point{
+			pts = append(pts, storm.Point{
 				X: 600 + d*math.Cos(dir),
 				Y: 600 + d*math.Sin(dir),
 			})
@@ -51,14 +49,14 @@ func main() {
 		len(placement))
 	fmt.Printf("%-10s  %-7s  %-7s  %s\n", "scheme", "RE", "SRB", "latency")
 
-	for _, sch := range []scheme.Scheme{
-		scheme.Flooding{},
-		scheme.Counter{C: 2},
-		scheme.Counter{C: 6},
-		scheme.AdaptiveCounter{},
-		scheme.NeighborCoverage{},
+	for _, sch := range []storm.Scheme{
+		storm.Flooding{},
+		storm.Counter{C: 2},
+		storm.Counter{C: 6},
+		storm.AdaptiveCounter{},
+		storm.NeighborCoverage{},
 	} {
-		cfg := manet.Config{
+		cfg := storm.Config{
 			Hosts:     len(placement),
 			MapUnits:  19, // big enough to contain the chains
 			Static:    true,
@@ -67,7 +65,7 @@ func main() {
 			Requests:  60,
 			Seed:      11,
 		}
-		net, err := manet.New(cfg)
+		net, err := storm.New(cfg)
 		if err != nil {
 			panic(err)
 		}

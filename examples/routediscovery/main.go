@@ -7,7 +7,7 @@
 //     destination host (when one was reachable at all)?
 //   - overhead: how many transmissions each discovery cost.
 //
-// It uses manet.Network's DeliveryHook to observe per-host dissemination.
+// It uses storm.Network's DeliveryHook to observe per-host dissemination.
 //
 //	go run ./examples/routediscovery
 package main
@@ -15,10 +15,7 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/manet"
-	"repro/internal/packet"
-	"repro/internal/scheme"
-	"repro/internal/sim"
+	"repro/storm"
 )
 
 func main() {
@@ -33,12 +30,12 @@ func main() {
 	fmt.Printf("%-10s  %-18s  %-14s  %s\n",
 		"scheme", "discovery success", "tx/discovery", "mean latency")
 
-	for _, sch := range []scheme.Scheme{
-		scheme.Flooding{},
-		scheme.Counter{C: 2},
-		scheme.AdaptiveCounter{},
-		scheme.AdaptiveLocation{},
-		scheme.NeighborCoverage{},
+	for _, sch := range []storm.Scheme{
+		storm.Flooding{},
+		storm.Counter{C: 2},
+		storm.AdaptiveCounter{},
+		storm.AdaptiveLocation{},
+		storm.NeighborCoverage{},
 	} {
 		success, txPer, lat := discover(sch, hosts, mapUnits, requests)
 		fmt.Printf("%-10s  %-18s  %-14.1f  %.1f ms\n",
@@ -53,31 +50,31 @@ func main() {
 
 // discover runs one simulation and treats each broadcast as a route
 // request to a pseudo-randomly chosen destination host.
-func discover(sch scheme.Scheme, hosts, mapUnits, requests int) (success, txPerDiscovery, latencyMS float64) {
-	cfg := manet.Config{
+func discover(sch storm.Scheme, hosts, mapUnits, requests int) (success, txPerDiscovery, latencyMS float64) {
+	cfg := storm.Config{
 		Hosts:    hosts,
 		MapUnits: mapUnits,
 		Scheme:   sch,
 		Requests: requests,
 		Seed:     7,
 	}
-	net, err := manet.New(cfg)
+	net, err := storm.New(cfg)
 	if err != nil {
 		panic(err)
 	}
 
 	// Choose a destination per request id, deterministically, and record
 	// which destinations were reached.
-	destRNG := sim.NewRNG(99)
-	dests := make(map[packet.BroadcastID]packet.NodeID)
-	reached := make(map[packet.BroadcastID]bool)
-	net.DeliveryHook = func(id packet.BroadcastID, h packet.NodeID) {
+	destRNG := storm.NewRNG(99)
+	dests := make(map[storm.BroadcastID]storm.NodeID)
+	reached := make(map[storm.BroadcastID]bool)
+	net.DeliveryHook = func(id storm.BroadcastID, h storm.NodeID) {
 		d, ok := dests[id]
 		if !ok {
 			// First delivery of a broadcast is always the source; pick
 			// the destination now, excluding the source itself.
 			for {
-				d = packet.NodeID(destRNG.IntN(hosts))
+				d = storm.NodeID(destRNG.IntN(hosts))
 				if d != id.Source {
 					break
 				}

@@ -9,8 +9,7 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/core"
-	"repro/internal/manet"
+	"repro/storm"
 )
 
 func main() {
@@ -19,10 +18,10 @@ func main() {
 	fmt.Printf("%-10s  %-8s  %-8s  %-10s  %-8s  %-8s  %s\n",
 		"scheme", "RE@1x1", "SRB@1x1", "|", "RE@9x9", "SRB@9x9", "needs")
 
-	for _, sch := range core.Schemes() {
+	for _, sch := range storm.Schemes() {
 		var cells []string
 		for _, units := range []int{1, 9} {
-			net, err := manet.New(manet.Config{
+			net, err := storm.New(storm.Config{
 				MapUnits: units,
 				Scheme:   sch,
 				Requests: 40,

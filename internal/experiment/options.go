@@ -12,7 +12,10 @@ package experiment
 
 import (
 	"fmt"
+	"io"
 	"runtime"
+
+	"repro/internal/obs"
 )
 
 // SeedStride is the seed-space distance between adjacent matrix points:
@@ -52,6 +55,15 @@ type Options struct {
 	// CI renders 95% confidence half-widths next to RE cells in the
 	// map-sweep tables (meaningful with Replicas >= 3).
 	CI bool
+	// Progress, when non-nil, receives one matrix progress line after
+	// each completed replica: completed/total counts, aggregate
+	// simulation event rate, and an ETA for the remaining replicas.
+	Progress io.Writer
+	// Telemetry, when non-nil, is called once per (point, replica) before
+	// that replica runs and may return a collector to attach to its
+	// config (nil skips that replica). It lets callers instrument chosen
+	// matrix cells without paying collection cost on the rest.
+	Telemetry func(point, replica int) *obs.Collector
 }
 
 // WithDefaults fills in the harness defaults. It panics if Replicas

@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/manet"
 	"repro/internal/metrics"
@@ -40,6 +41,9 @@ func RunMatrixSpread(cfgs []manet.Config, o Options) ([]metrics.Summary, [][]flo
 		for r := 0; r < o.Replicas; r++ {
 			c := cfg
 			c.Seed = o.BaseSeed + SeedStride*uint64(p) + uint64(r)
+			if o.Telemetry != nil {
+				c.Telemetry = o.Telemetry(p, r)
+			}
 			tasks = append(tasks, task{point: p, replica: r, cfg: c})
 		}
 	}
@@ -59,6 +63,25 @@ func RunMatrixSpread(cfgs []manet.Config, o Options) ([]metrics.Summary, [][]flo
 
 	var mu sync.Mutex
 	var firstErr error
+	// Matrix-level progress: completed replicas, aggregate simulated
+	// event rate, and an ETA extrapolated from the mean replica time.
+	// All counters are guarded by mu; the line is written under it too so
+	// concurrent workers cannot interleave partial lines.
+	startWall := time.Now()
+	completed := 0
+	var totalEvents int64
+	report := func(s metrics.Summary) {
+		completed++
+		totalEvents += int64(s.Events)
+		if o.Progress == nil {
+			return
+		}
+		elapsed := time.Since(startWall)
+		rate := float64(totalEvents) / elapsed.Seconds()
+		eta := time.Duration(float64(elapsed) / float64(completed) * float64(len(tasks)-completed))
+		fmt.Fprintf(o.Progress, "experiment %d/%d replicas  %.0f events/s  ETA %s\n",
+			completed, len(tasks), rate, eta.Round(time.Second))
+	}
 	fail := func(err error) {
 		mu.Lock()
 		if firstErr == nil {
@@ -92,6 +115,7 @@ func RunMatrixSpread(cfgs []manet.Config, o Options) ([]metrics.Summary, [][]flo
 		s := n.Run()
 		mu.Lock()
 		results[tk.point][tk.replica] = s
+		report(s)
 		mu.Unlock()
 		return nil
 	}

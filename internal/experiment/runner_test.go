@@ -14,9 +14,9 @@ import (
 // bug deep inside a simulation run on a worker goroutine.
 type panicScheme struct{}
 
-func (panicScheme) Name() string                                      { return "panic" }
-func (panicScheme) NeedsHello() bool                                  { return false }
-func (panicScheme) NeedsPosition() bool                               { return false }
+func (panicScheme) Name() string        { return "panic" }
+func (panicScheme) NeedsHello() bool    { return false }
+func (panicScheme) NeedsPosition() bool { return false }
 func (panicScheme) NewJudge(scheme.HostView, scheme.Reception) scheme.Judge {
 	panic("panicScheme detonated")
 }

@@ -53,6 +53,7 @@ type Stats struct {
 	AcksSent  int // link-layer ACKs transmitted for received unicasts
 	Retries   int // unicast retransmissions after a missing ACK
 	Dropped   int // unicast frames abandoned after RetryLimit retries
+	Stalls    int // scheduled attempts frozen by carrier (contention events)
 }
 
 // RetryLimit is the number of retransmissions a unicast frame gets
@@ -512,6 +513,7 @@ func (m *MAC) sendAck(to packet.NodeID) {
 func (m *MAC) CarrierBusy() {
 	m.busy = true
 	if m.txEvent != nil {
+		m.stats.Stalls++
 		m.interruptAttempt(true)
 	}
 }

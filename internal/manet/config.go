@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/neighbor"
+	"repro/internal/obs"
 	"repro/internal/phy"
 	"repro/internal/scheme"
 	"repro/internal/sim"
@@ -170,6 +171,13 @@ type Config struct {
 	// (default 10 s).
 	RepairWindow sim.Duration
 
+	// Telemetry, when non-nil, collects run time series (channel load,
+	// contention, scheme decisions) on the collector's tick. Sampling is
+	// observation-only: it schedules no events and draws no random
+	// numbers, so an instrumented run produces the identical Summary
+	// (asserted by TestTelemetryDoesNotPerturbSimulation).
+	Telemetry *obs.Collector
+
 	// Seed selects the deterministic random streams.
 	Seed uint64
 }
@@ -269,6 +277,15 @@ func (c Config) Validate() error {
 	}
 	if c.Repair && c.HelloMode == HelloOff {
 		return errors.New("manet: repair extension requires HELLO")
+	}
+	if c.LossRate < 0 || c.LossRate >= 1 {
+		return fmt.Errorf("manet: loss rate %g outside [0, 1)", c.LossRate)
+	}
+	if c.CaptureRatio != 0 && c.CaptureRatio <= 1 {
+		return fmt.Errorf("manet: capture ratio %g must be 0 (off) or greater than 1", c.CaptureRatio)
+	}
+	if c.RepairWindow < 0 {
+		return fmt.Errorf("manet: negative repair window %v", c.RepairWindow)
 	}
 	return nil
 }

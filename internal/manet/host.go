@@ -93,9 +93,15 @@ func (h *host) onBroadcast(f *packet.Frame) {
 		h.noteRecent(bid)
 		judge := h.net.cfg.Scheme.NewJudge(h, rx)
 		if judge.Initial() == scheme.Inhibit {
+			if h.net.obs != nil {
+				h.net.obs.Inc(h.net.obsInhibitInit)
+			}
 			h.net.noteActivity(bid)
 			h.net.trace(trace.Inhibit, bid, h.id)
 			return
+		}
+		if h.net.obs != nil {
+			h.net.obs.Inc(h.net.obsProceedInit)
 		}
 		p := &pendingRebroadcast{judge: judge}
 		h.pending[bid] = p
@@ -114,7 +120,12 @@ func (h *host) onBroadcast(f *packet.Frame) {
 		return
 	}
 	if p.judge.OnDuplicate(rx) == scheme.Inhibit {
+		if h.net.obs != nil {
+			h.net.obs.Inc(h.net.obsInhibitDup)
+		}
 		h.inhibit(bid, p)
+	} else if h.net.obs != nil {
+		h.net.obs.Inc(h.net.obsProceedDup)
 	}
 }
 

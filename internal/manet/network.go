@@ -2,12 +2,15 @@ package manet
 
 import (
 	"fmt"
+	"io"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/mac"
 	"repro/internal/metrics"
 	"repro/internal/mobility"
 	"repro/internal/neighbor"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/phy"
 	"repro/internal/sim"
@@ -34,6 +37,21 @@ type Network struct {
 	// timeline (originations, deliveries, duplicates, transmissions,
 	// inhibit decisions, collision-garbled copies).
 	Tracer *trace.Recorder
+
+	// Progress, if set before Run, receives one line per simulated
+	// second reporting the clock, executed events, and wall-clock event
+	// rate. It is pure output — written from the scheduler's tick hook —
+	// so it cannot affect results.
+	Progress io.Writer
+
+	// Telemetry plumbing (cfg.Telemetry): the collector plus the scheme
+	// decision counters the hosts bump. All access is gated on obs !=
+	// nil, so an uninstrumented run pays one pointer test per decision.
+	obs            *obs.Collector
+	obsProceedInit obs.CounterID
+	obsInhibitInit obs.CounterID
+	obsProceedDup  obs.CounterID
+	obsInhibitDup  obs.CounterID
 
 	// Scratch reused by reachableFrom and the other unit-disk queries so
 	// per-origination bookkeeping does not allocate.
@@ -152,7 +170,33 @@ func New(cfg Config) (*Network, error) {
 		}
 		n.hosts[i] = h
 	}
+	if cfg.Telemetry != nil {
+		n.observe(cfg.Telemetry)
+	}
 	return n, nil
+}
+
+// observe registers the network-level telemetry series. Counters are
+// bumped at the scheme decision points in host.go; gauges are pure
+// reads of already-maintained state, evaluated only when the tick hook
+// samples.
+func (n *Network) observe(o *obs.Collector) {
+	n.obs = o
+	n.obsProceedInit = o.Counter("scheme.proceed_initial")
+	n.obsInhibitInit = o.Counter("scheme.inhibit_initial")
+	n.obsProceedDup = o.Counter("scheme.proceed_duplicate")
+	n.obsInhibitDup = o.Counter("scheme.inhibit_duplicate")
+	o.Gauge("sim.pending_events", func() float64 { return float64(n.sched.Pending()) })
+	o.Gauge("mac.backoff_stalls", func() float64 {
+		s := 0
+		for _, h := range n.hosts {
+			s += h.mac.Stats().Stalls
+		}
+		return float64(s)
+	})
+	o.Gauge("manet.hello_sent", func() float64 { return float64(n.helloSent) })
+	o.Gauge("manet.broadcasts", func() float64 { return float64(len(n.order)) })
+	n.ch.Observe(o)
 }
 
 // randomPoint places a static host uniformly on the map.
@@ -195,7 +239,34 @@ func (n *Network) Run() metrics.Summary {
 		h.scheduleHello()
 	}
 
+	// Telemetry sampling and progress reporting ride the scheduler's
+	// tick hook: they run between events, schedule nothing, and draw no
+	// random numbers, so the event stream is identical to an unhooked
+	// run (TestTelemetryDoesNotPerturbSimulation asserts this).
+	if n.obs != nil || n.Progress != nil {
+		interval := n.obs.Tick()
+		if interval <= 0 {
+			interval = sim.Second
+		}
+		startWall := time.Now()
+		nextProgress := sim.Time(0).Add(sim.Second)
+		n.sched.SetTickHook(interval, func() {
+			now := n.sched.Now()
+			n.obs.Sample(now)
+			if n.Progress != nil && now >= nextProgress {
+				rate := 0.0
+				if elapsed := time.Since(startWall).Seconds(); elapsed > 0 {
+					rate = float64(n.sched.Executed()) / elapsed
+				}
+				fmt.Fprintf(n.Progress, "sim t=%.1fs/%.1fs  events=%d (%.0f/s)\n",
+					now.Seconds(), n.endTime.Seconds(), n.sched.Executed(), rate)
+				nextProgress = now.Add(sim.Second)
+			}
+		})
+	}
+
 	n.sched.RunUntil(n.endTime)
+	n.obs.Sample(n.sched.Now()) // close the series at end of run (nil-safe)
 	return n.summarize()
 }
 

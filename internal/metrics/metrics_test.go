@@ -170,3 +170,53 @@ func TestMergePercentiles(t *testing.T) {
 		t.Errorf("merged p95 = %v, want weighted 350", m.LatencyP95)
 	}
 }
+
+// TestMergeSkipsZeroBroadcastReplicas: a replica that completed no
+// broadcasts (e.g. a warmup-only run) contributes weight 0 to the
+// weighted means but still adds its channel counters.
+func TestMergeSkipsZeroBroadcastReplicas(t *testing.T) {
+	real := Summary{Broadcasts: 4, MeanRE: 0.8, MeanSRB: 0.4, MeanLatency: 100,
+		LatencyP50: 90, LatencyP95: 180, Transmissions: 40}
+	empty := Summary{Broadcasts: 0, Transmissions: 7, HelloSent: 3}
+	m := Merge([]Summary{empty, real, empty})
+	if m.Broadcasts != 4 {
+		t.Fatalf("Broadcasts = %d, want 4", m.Broadcasts)
+	}
+	if m.MeanRE != 0.8 || m.MeanSRB != 0.4 || m.MeanLatency != 100 {
+		t.Errorf("zero-broadcast replicas perturbed means: %+v", m)
+	}
+	if m.LatencyP50 != 90 || m.LatencyP95 != 180 {
+		t.Errorf("zero-broadcast replicas perturbed percentiles: %+v", m)
+	}
+	if m.Transmissions != 54 || m.HelloSent != 6 {
+		t.Errorf("counters not summed over all replicas: %+v", m)
+	}
+}
+
+// TestMergeAllZeroBroadcasts: merging only zero-broadcast replicas must
+// not divide by zero.
+func TestMergeAllZeroBroadcasts(t *testing.T) {
+	m := Merge([]Summary{{Transmissions: 1}, {Transmissions: 2}})
+	if m.Broadcasts != 0 || m.MeanRE != 0 || m.Transmissions != 3 {
+		t.Errorf("all-zero merge = %+v", m)
+	}
+}
+
+// TestSummarizeSingleRecord: with one record every percentile is that
+// record's latency and both deviations are zero.
+func TestSummarizeSingleRecord(t *testing.T) {
+	r := NewBroadcastRecord(packet.BroadcastID{Seq: 1}, 0, 3)
+	r.Received = 3
+	r.Transmitted = 2
+	r.NoteActivity(500)
+	s := Summarize([]*BroadcastRecord{r})
+	if s.Broadcasts != 1 {
+		t.Fatalf("Broadcasts = %d", s.Broadcasts)
+	}
+	if s.LatencyP50 != 500 || s.LatencyP95 != 500 || s.MeanLatency != 500 {
+		t.Errorf("single-record latency stats: %+v", s)
+	}
+	if s.StdRE != 0 || s.StdSRB != 0 {
+		t.Errorf("single-record deviations nonzero: %+v", s)
+	}
+}

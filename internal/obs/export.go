@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Meta is the header line of a telemetry export: one per stream, first
+// line, describing the run and the column order of every sample line.
+type Meta struct {
+	V        int      `json:"v"`
+	Type     string   `json:"type"`
+	Scheme   string   `json:"scheme,omitempty"`
+	Hosts    int      `json:"hosts,omitempty"`
+	MapUnits int      `json:"map_units,omitempty"`
+	Seed     uint64   `json:"seed,omitempty"`
+	TickUS   int64    `json:"tick_us,omitempty"`
+	Series   []string `json:"series"`
+}
+
+// sampleRecord is the wire form of one time-series row; values align
+// with Meta.Series.
+type sampleRecord struct {
+	V      int       `json:"v"`
+	Type   string    `json:"type"`
+	TUS    int64     `json:"t_us"`
+	Values []float64 `json:"values"`
+}
+
+// Dump is a decoded telemetry export.
+type Dump struct {
+	Meta    Meta
+	Samples []Sample
+	Events  []trace.Event
+}
+
+// Export writes one run's telemetry as versioned JSONL: a meta line,
+// then every sample, then the trace event stream (events may be nil).
+// The meta's version, type, tick, and series are filled in from the
+// collector; callers set the run-description fields.
+func Export(w io.Writer, meta Meta, c *Collector, events []trace.Event) error {
+	meta.V = trace.JSONLVersion
+	meta.Type = "meta"
+	meta.TickUS = int64(c.Tick())
+	meta.Series = c.SeriesNames()
+	if meta.Series == nil {
+		meta.Series = []string{}
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(meta); err != nil {
+		return err
+	}
+	for _, s := range c.Samples() {
+		rec := sampleRecord{V: trace.JSONLVersion, Type: "sample", TUS: int64(s.At), Values: s.Values}
+		if rec.Values == nil {
+			rec.Values = []float64{}
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return trace.EncodeJSONL(w, events)
+}
+
+// Decode reads a telemetry export back. It validates the schema version
+// on every line, requires the meta line to precede any samples, and
+// checks each sample row against the meta's series width. Unknown
+// record types are skipped (forward compatibility within a version).
+func Decode(r io.Reader) (*Dump, error) {
+	d := &Dump{}
+	sawMeta := false
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var eventLines bytes.Buffer
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var head struct {
+			V    int    `json:"v"`
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &head); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		if head.V != trace.JSONLVersion {
+			return nil, fmt.Errorf("obs: line %d: schema version %d, want %d", line, head.V, trace.JSONLVersion)
+		}
+		switch head.Type {
+		case "meta":
+			if sawMeta {
+				return nil, fmt.Errorf("obs: line %d: duplicate meta line", line)
+			}
+			if err := json.Unmarshal(raw, &d.Meta); err != nil {
+				return nil, fmt.Errorf("obs: line %d: %w", line, err)
+			}
+			sawMeta = true
+		case "sample":
+			if !sawMeta {
+				return nil, fmt.Errorf("obs: line %d: sample before meta line", line)
+			}
+			var rec sampleRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return nil, fmt.Errorf("obs: line %d: %w", line, err)
+			}
+			if len(rec.Values) != len(d.Meta.Series) {
+				return nil, fmt.Errorf("obs: line %d: sample has %d values, meta declares %d series",
+					line, len(rec.Values), len(d.Meta.Series))
+			}
+			d.Samples = append(d.Samples, Sample{At: sim.Time(rec.TUS), Values: rec.Values})
+		case "event":
+			// Batch event lines and hand them to the trace decoder so
+			// the two packages cannot drift on the event wire format.
+			eventLines.Write(raw)
+			eventLines.WriteByte('\n')
+		default:
+			// Skip unknown record types within a known version.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("obs: no meta line in stream")
+	}
+	if eventLines.Len() > 0 {
+		events, err := trace.DecodeJSONL(&eventLines)
+		if err != nil {
+			return nil, err
+		}
+		d.Events = events
+	}
+	return d, nil
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles wires the standard -cpuprofile/-memprofile flags for the
+// experiment-running commands. Either path may be empty. The returned
+// stop function flushes and closes whatever was started and must be
+// called before exit (deferring it through os.Exit loses the profiles,
+// so commands call it explicitly at the end of their run path).
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("obs: cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("obs: mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // capture live allocations, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("obs: mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -157,6 +157,16 @@ type Channel struct {
 	// garbled maps included).
 	member []bool
 	txFree []*transmission
+
+	// Channel-load accounting for the telemetry subsystem, gated on
+	// obsBusy so uninstrumented runs pay a single branch per carrier
+	// transition. busyRadios counts radios currently sensing carrier;
+	// busyIntegral accumulates radio-seconds of busy time up to
+	// busyLast, advanced at every transition.
+	obsBusy      bool
+	busyRadios   int
+	busyIntegral float64
+	busyLast     sim.Time
 }
 
 // NewChannel creates a channel with the given radio radius in meters.
@@ -493,6 +503,10 @@ func (c *Channel) finish(tx *transmission, onDone func()) {
 func (c *Channel) raiseBusy(i int) {
 	c.busyCount[i]++
 	if c.busyCount[i] == 1 {
+		if c.obsBusy {
+			c.accumBusy()
+			c.busyRadios++
+		}
 		c.listeners[i].CarrierBusy()
 	}
 }
@@ -503,9 +517,43 @@ func (c *Channel) lowerBusy(i int) {
 		panic("phy: busy count underflow")
 	}
 	if c.busyCount[i] == 0 {
+		if c.obsBusy {
+			c.accumBusy()
+			c.busyRadios--
+		}
 		c.listeners[i].CarrierIdle()
 	}
 }
+
+// accumBusy advances the busy-time integral to the current instant while
+// busyRadios is still the count that held since busyLast.
+func (c *Channel) accumBusy() {
+	now := c.sched.Now()
+	if c.busyRadios > 0 {
+		c.busyIntegral += float64(c.busyRadios) * now.Sub(c.busyLast).Seconds()
+	}
+	c.busyLast = now
+}
+
+// BusyRadioSeconds returns the cumulative radio-seconds of sensed-busy
+// carrier up to the current instant. Dividing a window's increment by
+// (window length x radios) gives the mean channel busy fraction — the
+// channel-load series the telemetry subsystem samples. Zero unless
+// Observe enabled the accounting before traffic started.
+func (c *Channel) BusyRadioSeconds() float64 {
+	if !c.obsBusy {
+		return 0
+	}
+	now := c.sched.Now()
+	s := c.busyIntegral
+	if c.busyRadios > 0 {
+		s += float64(c.busyRadios) * now.Sub(c.busyLast).Seconds()
+	}
+	return s
+}
+
+// ActiveTransmissions returns the number of frames currently on the air.
+func (c *Channel) ActiveTransmissions() int { return len(c.active) }
 
 // SetLoss enables independent per-reception Bernoulli loss with the
 // given probability, modeling fading/shadowing beyond the unit-disk

@@ -36,6 +36,15 @@ type Scheduler struct {
 	seq      uint64
 	queue    eventHeap
 	executed uint64
+
+	// Tick hook: an observation callback fired from Step whenever the
+	// clock crosses the next tick boundary. Unlike a scheduled event it
+	// does not enter the queue, does not count toward Executed, and
+	// cannot shift event ordering — which is what lets telemetry
+	// sampling run without perturbing a deterministic simulation.
+	hook         func()
+	hookInterval Duration
+	hookNext     Time
 }
 
 // NewScheduler returns a scheduler with the clock at time zero.
@@ -86,6 +95,26 @@ func (s *Scheduler) Cancel(e *Event) {
 	}
 }
 
+// SetTickHook installs fn to run inside Step each time the clock
+// reaches or passes the next multiple-of-interval boundary after the
+// point of installation, before that step's event fires. The hook must
+// only read simulation state: it runs outside the event queue, so
+// scheduling, cancelling, or mutating model state from it would break
+// the guarantee that hooked and hookless runs execute identically.
+// A nil fn removes the hook.
+func (s *Scheduler) SetTickHook(interval Duration, fn func()) {
+	if fn == nil {
+		s.hook = nil
+		return
+	}
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: tick hook interval %v must be positive", interval))
+	}
+	s.hook = fn
+	s.hookInterval = interval
+	s.hookNext = s.now.Add(interval)
+}
+
 // Step fires the single earliest pending event, advancing the clock to
 // its timestamp. It returns false when the queue is empty.
 func (s *Scheduler) Step() bool {
@@ -95,6 +124,10 @@ func (s *Scheduler) Step() bool {
 			continue
 		}
 		s.now = e.at
+		if s.hook != nil && e.at >= s.hookNext {
+			s.hook()
+			s.hookNext = e.at.Add(s.hookInterval)
+		}
 		e.fired = true
 		s.executed++
 		e.fn()

@@ -170,3 +170,75 @@ func TestSchedulerOrderingProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestTickHookFiresOnBoundaryCrossings(t *testing.T) {
+	s := NewScheduler()
+	var ticks []Time
+	s.SetTickHook(100, func() { ticks = append(ticks, s.Now()) })
+	var fired []Time
+	for _, at := range []Time{50, 99, 150, 151, 400} {
+		s.Schedule(at, func() { fired = append(fired, s.Now()) })
+	}
+	s.Run()
+	// Boundaries: installed at 0 → next=100. Event at 150 crosses it
+	// (next→250); 151 does not; 400 crosses 250 (next→500).
+	want := []Time{150, 400}
+	if len(ticks) != len(want) {
+		t.Fatalf("hook fired at %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Errorf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+	if s.Executed() != 5 {
+		t.Errorf("Executed = %d, want 5 (hook must not count as an event)", s.Executed())
+	}
+}
+
+func TestTickHookDoesNotChangeEventOrdering(t *testing.T) {
+	run := func(hook bool) ([]Time, uint64) {
+		s := NewScheduler()
+		if hook {
+			s.SetTickHook(7, func() {})
+		}
+		var fired []Time
+		for _, at := range []Time{3, 14, 14, 9, 100, 21} {
+			s.Schedule(at, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		return fired, s.Executed()
+	}
+	plain, pn := run(false)
+	hooked, hn := run(true)
+	if pn != hn {
+		t.Errorf("Executed differs with hook: %d vs %d", pn, hn)
+	}
+	for i := range plain {
+		if plain[i] != hooked[i] {
+			t.Fatalf("event order differs with hook: %v vs %v", plain, hooked)
+		}
+	}
+}
+
+func TestTickHookValidation(t *testing.T) {
+	s := NewScheduler()
+	defer func() {
+		if recover() == nil {
+			t.Error("SetTickHook with non-positive interval did not panic")
+		}
+	}()
+	s.SetTickHook(0, func() {})
+}
+
+func TestTickHookRemoval(t *testing.T) {
+	s := NewScheduler()
+	calls := 0
+	s.SetTickHook(10, func() { calls++ })
+	s.SetTickHook(0, nil) // nil fn removes the hook; interval is ignored
+	s.Schedule(100, func() {})
+	s.Run()
+	if calls != 0 {
+		t.Errorf("removed hook fired %d times", calls)
+	}
+}

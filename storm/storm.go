@@ -1,0 +1,134 @@
+// Package storm is the public face of the broadcast-storm reproduction.
+// It re-exports the handful of types and functions programs need —
+// configuration, schemes, the simulator entry points, metrics, and run
+// telemetry — so that examples and downstream code import one package
+// instead of reaching into internal/ layers.
+//
+// Quick start:
+//
+//	sch, _ := storm.ParseScheme("ac")
+//	sum, err := storm.Run(sch, 5, 100, 1)
+//
+// or, with full control over the configuration:
+//
+//	n, err := storm.New(storm.Config{Scheme: storm.AdaptiveCounter{}, MapUnits: 7})
+//	sum := n.Run()
+//
+// Everything here is an alias or thin wrapper: a storm.Config IS a
+// manet.Config, so values flow freely between this package and code
+// (such as internal/experiment) that uses the internal layers directly.
+package storm
+
+import (
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/manet"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/packet"
+	"repro/internal/routing"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+// Simulation configuration and results.
+type (
+	// Config configures one broadcast-storm simulation (see manet.Config
+	// for every knob; the zero value of most fields means "paper default").
+	Config = manet.Config
+	// Network is a configured simulation; call Run to execute it.
+	Network = manet.Network
+	// Summary holds the paper's metrics (RE, SRB, latency, ...) for a run.
+	Summary = metrics.Summary
+	// HelloMode selects how hosts run neighbor discovery.
+	HelloMode = manet.HelloMode
+)
+
+// Rebroadcast schemes. Scheme is the interface; the concrete types are
+// the paper's suppression policies.
+type (
+	Scheme           = scheme.Scheme
+	Flooding         = scheme.Flooding
+	Probabilistic    = scheme.Probabilistic
+	Counter          = scheme.Counter
+	Distance         = scheme.Distance
+	Location         = scheme.Location
+	Cluster          = scheme.Cluster
+	AdaptiveCounter  = scheme.AdaptiveCounter
+	AdaptiveLocation = scheme.AdaptiveLocation
+	NeighborCoverage = scheme.NeighborCoverage
+	// CounterFunc and LocationFunc are the adaptive schemes' threshold
+	// functions C(n) and A(n).
+	CounterFunc  = scheme.CounterFunc
+	LocationFunc = scheme.LocationFunc
+)
+
+// Identities, geometry, and simulated time.
+type (
+	Point       = geom.Point
+	NodeID      = packet.NodeID
+	BroadcastID = packet.BroadcastID
+	Time        = sim.Time
+	Duration    = sim.Duration
+	RNG         = sim.RNG
+)
+
+// Route-discovery experiments (AODV-lite over the storm substrate).
+type (
+	RoutingConfig  = routing.Config
+	RoutingNetwork = routing.Network
+	RoutingResult  = routing.Result
+)
+
+// Collector gathers run telemetry; attach one via Config.Telemetry.
+type Collector = obs.Collector
+
+// Simulated-time units.
+const (
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = sim.Minute
+)
+
+// Hello modes.
+const (
+	HelloOff     = manet.HelloOff
+	HelloFixed   = manet.HelloFixed
+	HelloDynamic = manet.HelloDynamic
+)
+
+// New builds a simulation network from a validated configuration.
+func New(cfg Config) (*Network, error) { return manet.New(cfg) }
+
+// Run simulates one broadcast workload with the paper's defaults: hosts
+// roaming a units x units map, issuing requests broadcasts under sch.
+func Run(sch Scheme, units, requests int, seed uint64) (Summary, error) {
+	return core.Run(sch, units, requests, seed)
+}
+
+// Schemes returns one representative instance of every scheme in the
+// study, in the paper's presentation order.
+func Schemes() []Scheme { return core.Schemes() }
+
+// ParseScheme builds a scheme from its textual spec (e.g. "flooding",
+// "counter:C=3", "al:n1=6,n2=12") — the same syntax every cmd tool uses.
+func ParseScheme(spec string) (Scheme, error) { return scheme.Parse(spec) }
+
+// SchemeNames returns the canonical spec names ParseScheme accepts.
+func SchemeNames() []string { return scheme.Names() }
+
+// SchemeUsage returns a multi-line description of the spec syntax.
+func SchemeUsage() string { return scheme.Usage() }
+
+// NewRouting builds a route-discovery experiment network.
+func NewRouting(cfg RoutingConfig) (*RoutingNetwork, error) { return routing.New(cfg) }
+
+// NewRNG returns the simulator's deterministic random source.
+func NewRNG(seed uint64) *RNG { return sim.NewRNG(seed) }
+
+// NewCollector creates a telemetry collector sampling every tick of
+// simulated time (tick <= 0 uses the default).
+func NewCollector(tick Duration) *Collector { return obs.New(tick) }
+
+// PaperMaxSpeedKMH is the paper's speed rule: 10 km/h per map unit.
+func PaperMaxSpeedKMH(units int) float64 { return manet.PaperMaxSpeedKMH(units) }
