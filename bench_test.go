@@ -3,6 +3,7 @@ package repro
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiment"
@@ -106,17 +107,106 @@ func BenchmarkAblGossip(b *testing.B)          { runAblation(b, "abl-prob") }
 
 // --- Substrate micro-benchmarks ---
 
-// BenchmarkScheduler measures raw event throughput of the DES kernel.
+// schedulerModes enumerates the two queue implementations so every
+// kernel benchmark runs as a ladder/heap pair; the ratio between the
+// arms is the ladder queue's speedup.
+var schedulerModes = []struct {
+	name string
+	mk   func() *sim.Scheduler
+}{
+	{"queue=ladder", sim.NewScheduler},
+	{"queue=heap", sim.NewHeapScheduler},
+}
+
+// BenchmarkScheduler measures raw event throughput of the DES kernel
+// under a standing population of 10k pending events: each operation
+// fires one event whose callback immediately re-arms it at a uniform
+// future offset, the simulation-kernel steady state.
 func BenchmarkScheduler(b *testing.B) {
-	s := sim.NewScheduler()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		s.After(sim.Duration(i%100), func() {})
-		if i%64 == 63 {
-			s.RunUntil(s.Now().Add(200))
-		}
+	const standing = 10_000
+	for _, mode := range schedulerModes {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			s := mode.mk()
+			rng := sim.NewRNG(1)
+			horizon := 1000 * sim.Millisecond
+			var rearm func()
+			rearm = func() { s.After(rng.UniformDuration(0, horizon), rearm) }
+			for i := 0; i < standing; i++ {
+				s.After(rng.UniformDuration(0, horizon), rearm)
+			}
+			for i := 0; i < 4*standing; i++ {
+				s.Step() // reach pool/rung steady state before measuring
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+		})
 	}
-	s.Run()
+}
+
+// BenchmarkSchedulerCancel measures the cancellation path against a 10k
+// standing load: each operation schedules one event and cancels it
+// (tombstone for the ladder, eager heap removal for the legacy queue),
+// with periodic clock advances so lazily cancelled events are collected
+// rather than accumulated.
+func BenchmarkSchedulerCancel(b *testing.B) {
+	const standing = 10_000
+	for _, mode := range schedulerModes {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			s := mode.mk()
+			rng := sim.NewRNG(1)
+			horizon := 1000 * sim.Millisecond
+			nop := func() {}
+			var rearm func()
+			rearm = func() { s.After(rng.UniformDuration(0, horizon), rearm) }
+			for i := 0; i < standing; i++ {
+				s.After(rng.UniformDuration(0, horizon), rearm)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := s.After(rng.UniformDuration(0, horizon), nop)
+				s.Cancel(e)
+				if i%1024 == 1023 {
+					// Let the queue consume a slice of the timeline so
+					// tombstones are recycled instead of piling up.
+					s.RunUntil(s.Now().Add(10 * sim.Millisecond))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSchedulerMixed interleaves the three kernel operations the
+// simulation actually issues — schedule, cancel, fire — against a 10k
+// standing load: each operation arms one surviving event, arms and
+// cancels a victim (an inhibited rebroadcast), and steps the clock.
+func BenchmarkSchedulerMixed(b *testing.B) {
+	const standing = 10_000
+	for _, mode := range schedulerModes {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			s := mode.mk()
+			rng := sim.NewRNG(1)
+			horizon := 1000 * sim.Millisecond
+			nop := func() {}
+			for i := 0; i < standing; i++ {
+				s.After(rng.UniformDuration(0, horizon), nop)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.After(rng.UniformDuration(0, horizon), nop)
+				victim := s.After(rng.UniformDuration(0, horizon), nop)
+				s.Cancel(victim)
+				s.Step()
+			}
+		})
+	}
 }
 
 // BenchmarkCoverageGrid measures the location schemes' multi-sender
@@ -129,20 +219,47 @@ func BenchmarkCoverageGrid(b *testing.B) {
 	}
 }
 
-// BenchmarkBroadcastSim measures end-to-end simulation cost per
-// broadcast (100 hosts, 5x5 map, adaptive counter).
+// BenchmarkBroadcastSim measures end-to-end simulation cost per run
+// (100 hosts, 5x5 map, adaptive counter), in a ladder/heap pair. The
+// timer and the allocation accounting cover only Run, not network
+// construction, so allocs/event is the steady-state per-event heap
+// traffic the zero-allocation core is pinned to (budget: at most 1).
 func BenchmarkBroadcastSim(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		n, err := manet.New(manet.Config{
-			MapUnits: 5,
-			Scheme:   scheme.AdaptiveCounter{},
-			Requests: 20,
-			Seed:     uint64(i + 1),
+	for _, mode := range []struct {
+		name string
+		heap bool
+	}{{"queue=ladder", false}, {"queue=heap", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var events, mallocs uint64
+			var ms0, ms1 runtime.MemStats
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				n, err := manet.New(manet.Config{
+					MapUnits:           5,
+					Scheme:             scheme.AdaptiveCounter{},
+					Requests:           20,
+					Seed:               uint64(i + 1),
+					DisableLadderQueue: mode.heap,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				runtime.ReadMemStats(&ms0)
+				b.StartTimer()
+				s := n.Run()
+				b.StopTimer()
+				runtime.ReadMemStats(&ms1)
+				events += s.Events
+				mallocs += ms1.Mallocs - ms0.Mallocs
+				b.StartTimer()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(events)/float64(b.N), "events/op")
+			b.ReportMetric(float64(mallocs)/float64(events), "allocs/event")
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		n.Run()
 	}
 }
 
@@ -201,6 +318,7 @@ func BenchmarkRouteDiscovery(b *testing.B) {
 	} {
 		sch := sch
 		b.Run(sch.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				n, err := routing.New(routing.Config{
 					Hosts:       100,

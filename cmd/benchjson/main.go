@@ -1,0 +1,166 @@
+// Command benchjson converts `go test -bench` output into a machine-
+// readable JSON record and enforces the zero-allocation event core's
+// budgets. CI pipes the benchmark-smoke output through it:
+//
+//	go test -run '^$' -bench . -benchtime 20x . | benchjson -out BENCH_3.json
+//
+// The exit status is nonzero when a budgeted benchmark is missing from
+// the input or exceeds its budget, so a regression (or a silent rename
+// that would stop the budget from being checked) fails the build:
+//
+//   - BenchmarkScheduler/queue=ladder must report 0 allocs/op: the
+//     steady-state schedule→fire cycle runs entirely off the event
+//     free-list.
+//   - BenchmarkBroadcastSim/queue=ladder must report at most 1
+//     allocs/event across a full end-to-end simulation.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line. Metrics holds every reported
+// unit — the standard ns/op, B/op, and allocs/op plus custom
+// b.ReportMetric units such as allocs/event and events/op.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// budget is an upper bound on one metric of one benchmark. The name is
+// matched with the trailing -GOMAXPROCS suffix stripped.
+type budget struct {
+	Bench  string
+	Metric string
+	Max    float64
+}
+
+var budgets = []budget{
+	{"BenchmarkScheduler/queue=ladder", "allocs/op", 0},
+	{"BenchmarkBroadcastSim/queue=ladder", "allocs/event", 1},
+}
+
+func main() {
+	in := flag.String("in", "", "benchmark output to read (default stdin)")
+	out := flag.String("out", "BENCH_3.json", "JSON file to write")
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	results, err := parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchjson: wrote %d results to %s\n", len(results), *out)
+
+	violations := enforce(results)
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "benchjson: BUDGET EXCEEDED:", v)
+	}
+	if len(violations) > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("benchjson: all allocation budgets met")
+}
+
+// parse extracts benchmark result lines of the form
+//
+//	BenchmarkName-8   1000   61.15 ns/op   0 B/op   0 allocs/op
+//
+// where the fields after the iteration count alternate value/unit.
+func parse(r io.Reader) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "BenchmarkX ... --- FAIL" lines
+		}
+		res := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parse %q: bad value %q", fields[0], fields[i])
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		results = append(results, res)
+	}
+	return results, sc.Err()
+}
+
+// enforce checks every budget against the parsed results and returns the
+// violations (including budgets whose benchmark never ran).
+func enforce(results []Result) []string {
+	var violations []string
+	for _, b := range budgets {
+		found := false
+		for _, r := range results {
+			if stripProcs(r.Name) != b.Bench {
+				continue
+			}
+			found = true
+			v, ok := r.Metrics[b.Metric]
+			if !ok {
+				violations = append(violations,
+					fmt.Sprintf("%s did not report %s", r.Name, b.Metric))
+				continue
+			}
+			if v > b.Max {
+				violations = append(violations,
+					fmt.Sprintf("%s: %s = %g, budget %g", r.Name, b.Metric, v, b.Max))
+			}
+		}
+		if !found {
+			violations = append(violations,
+				fmt.Sprintf("%s (%s budget) missing from benchmark output", b.Bench, b.Metric))
+		}
+	}
+	return violations
+}
+
+// stripProcs removes the -GOMAXPROCS suffix go test appends to names.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkScheduler/queue=ladder-8         	 1000000	        61.15 ns/op	       0 B/op	       0 allocs/op
+BenchmarkScheduler/queue=heap-8           	  500000	       379.6 ns/op	      48 B/op	       1 allocs/op
+BenchmarkBroadcastSim/queue=ladder-8      	      20	  15784327 ns/op	         0.886 allocs/event	     13063 events/op	 1128678 B/op	   11570 allocs/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	results, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	sim := results[2]
+	if sim.Name != "BenchmarkBroadcastSim/queue=ladder-8" || sim.Iterations != 20 {
+		t.Fatalf("identity: %+v", sim)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 15784327, "allocs/event": 0.886, "events/op": 13063, "allocs/op": 11570,
+	} {
+		if got := sim.Metrics[unit]; got != want {
+			t.Errorf("%s = %g, want %g", unit, got, want)
+		}
+	}
+}
+
+func TestEnforcePasses(t *testing.T) {
+	results, _ := parse(strings.NewReader(sample))
+	if v := enforce(results); len(v) != 0 {
+		t.Fatalf("budgets violated on passing input: %v", v)
+	}
+}
+
+func TestEnforceCatchesRegression(t *testing.T) {
+	bad := strings.Replace(sample,
+		"0.886 allocs/event", "1.52 allocs/event", 1)
+	results, _ := parse(strings.NewReader(bad))
+	v := enforce(results)
+	if len(v) != 1 || !strings.Contains(v[0], "allocs/event") {
+		t.Fatalf("violations = %v, want one allocs/event breach", v)
+	}
+}
+
+func TestEnforceCatchesMissingBenchmark(t *testing.T) {
+	results, _ := parse(strings.NewReader("BenchmarkOther-8 10 5 ns/op\n"))
+	if v := enforce(results); len(v) != len(budgets) {
+		t.Fatalf("violations = %v, want every budgeted benchmark reported missing", v)
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkScheduler/queue=ladder-8": "BenchmarkScheduler/queue=ladder",
+		"BenchmarkScheduler/queue=ladder":   "BenchmarkScheduler/queue=ladder",
+		"BenchmarkX-foo":                    "BenchmarkX-foo",
+	} {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

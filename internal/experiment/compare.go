@@ -60,11 +60,23 @@ func LoadReport(d *obs.Dump) (*Table, error) {
 	if len(d.Samples) < 2 {
 		return nil, fmt.Errorf("experiment: telemetry dump has %d samples, need at least 2 for rates", len(d.Samples))
 	}
+	// Event-core health columns are optional so dumps recorded before the
+	// scheduler exported them still render. Both are instantaneous gauges,
+	// shown at the sample instant rather than as interval rates.
+	pend, hasPend := idx["sim.pending_events"]
+	pool, hasPool := idx["sim.event_pool_hit_rate"]
 
+	columns := []string{"t(s)", "busy radios", "tx/s", "deliv/s", "coll/s"}
+	if hasPend {
+		columns = append(columns, "pending ev")
+	}
+	if hasPool {
+		columns = append(columns, "ev pool hit")
+	}
 	t := NewTable("telemetry",
 		fmt.Sprintf("channel load: %s, %d hosts, %dx%d map, seed %d",
 			d.Meta.Scheme, d.Meta.Hosts, d.Meta.MapUnits, d.Meta.MapUnits, d.Meta.Seed),
-		"t(s)", "busy radios", "tx/s", "deliv/s", "coll/s")
+		columns...)
 	for i := 1; i < len(d.Samples); i++ {
 		prev, cur := d.Samples[i-1], d.Samples[i]
 		dt := float64(cur.At-prev.At) / 1e6 // sim.Time is microseconds
@@ -72,13 +84,20 @@ func LoadReport(d *obs.Dump) (*Table, error) {
 			continue
 		}
 		rate := func(c int) float64 { return (cur.Values[c] - prev.Values[c]) / dt }
-		t.AddRow(
+		row := []string{
 			fmt.Sprintf("%.1f", float64(cur.At)/1e6),
 			fmt.Sprintf("%.3f", rate(busy)),
 			fmt.Sprintf("%.1f", rate(tx)),
 			fmt.Sprintf("%.1f", rate(del)),
 			fmt.Sprintf("%.1f", rate(coll)),
-		)
+		}
+		if hasPend {
+			row = append(row, fmt.Sprintf("%.0f", cur.Values[pend]))
+		}
+		if hasPool {
+			row = append(row, fmt.Sprintf("%.3f", cur.Values[pool]))
+		}
+		t.AddRow(row...)
 	}
 	return t, nil
 }

@@ -111,6 +111,37 @@ func TestLoadReport(t *testing.T) {
 	}
 }
 
+// TestLoadReportEventCoreColumns: dumps carrying the scheduler gauges
+// grow the pending-event depth and event-pool hit-rate columns, shown as
+// instantaneous values rather than interval rates.
+func TestLoadReportEventCoreColumns(t *testing.T) {
+	d := &obs.Dump{
+		Meta: obs.Meta{
+			Scheme: "test", Hosts: 2, MapUnits: 1,
+			Series: []string{
+				"phy.busy_radio_seconds", "phy.transmissions", "phy.deliveries",
+				"phy.collisions", "sim.pending_events", "sim.event_pool_hit_rate",
+			},
+		},
+		Samples: []obs.Sample{
+			{At: 0, Values: []float64{0, 0, 0, 0, 100, 0}},
+			{At: sim.Time(2 * sim.Second), Values: []float64{1, 10, 20, 4, 137, 0.875}},
+		},
+	}
+	tb, err := LoadReport(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCols := []string{"t(s)", "busy radios", "tx/s", "deliv/s", "coll/s", "pending ev", "ev pool hit"}
+	if len(tb.Columns) != len(wantCols) {
+		t.Fatalf("columns = %v, want %v", tb.Columns, wantCols)
+	}
+	row := tb.Rows[0]
+	if row[5] != "137" || row[6] != "0.875" {
+		t.Errorf("event-core cells = %q, %q, want 137, 0.875 (row %v)", row[5], row[6], row)
+	}
+}
+
 // TestLoadReportRejectsMissingSeries: a dump without the phy series
 // errors instead of reporting zeros.
 func TestLoadReportRejectsMissingSeries(t *testing.T) {

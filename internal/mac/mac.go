@@ -79,8 +79,22 @@ type MAC struct {
 	Receiver        func(f *packet.Frame)
 	GarbledReceiver func(f *packet.Frame)
 
+	// queue[qhead:] is the FIFO of waiting frames; consuming by index
+	// instead of reslicing keeps the backing array's capacity, so a
+	// steady-state MAC stops allocating queue storage.
 	queue        []*Pending
+	qhead        int
 	transmitting bool
+
+	// Opt-in Pending recycling (SetPendingPool) plus closures bound once
+	// at construction, so the per-frame path allocates nothing beyond the
+	// record itself (and not even that with the pool on).
+	pendingPool bool
+	pFree       []*Pending
+	inflight    *Pending // the frame whose airtime end finishTxFn awaits
+	startTx     func()
+	finishTxFn  func()
+	finishRTSFn func()
 
 	busy      bool
 	idleSince sim.Time
@@ -139,7 +153,44 @@ func New(sched *sim.Scheduler, ch *phy.Channel, pos phy.PositionFunc, rng *sim.R
 	m.cw = m.t.CWMin
 	m.radio = ch.Attach(pos, m)
 	m.addr = packet.NodeID(m.radio)
+	m.startTx = m.startTransmission
+	m.finishTxFn = func() { m.finishTransmission(m.inflight) }
+	m.finishRTSFn = func() { m.finishRTS(m.inflight) }
 	return m
+}
+
+// SetPendingPool enables recycling of Pending records once their frame
+// completes or is cancelled. Callers that enable it must not read a
+// handle after its transmission completed or after they cancelled it —
+// the record may already describe a later frame. The host layers
+// satisfy this (handles are only consulted while the rebroadcast
+// decision is open); code that inspects handles after the run must
+// leave the pool off.
+func (m *MAC) SetPendingPool(on bool) { m.pendingPool = on }
+
+// allocPending takes a record off the free list or allocates one.
+func (m *MAC) allocPending(f *packet.Frame, onStart, onDone func()) *Pending {
+	if l := len(m.pFree); l > 0 {
+		p := m.pFree[l-1]
+		m.pFree[l-1] = nil
+		m.pFree = m.pFree[:l-1]
+		*p = Pending{Frame: f, OnStart: onStart, OnDone: onDone}
+		return p
+	}
+	return &Pending{Frame: f, OnStart: onStart, OnDone: onDone}
+}
+
+// recyclePending returns a finished record to the free list (pool on).
+// Callback and frame references are dropped immediately; state flags
+// keep reporting the final outcome until the record is reused.
+func (m *MAC) recyclePending(p *Pending) {
+	if !m.pendingPool {
+		return
+	}
+	p.Frame = nil
+	p.OnStart = nil
+	p.OnDone = nil
+	m.pFree = append(m.pFree, p)
 }
 
 // SetAddr sets the link-layer address unicast destinations are matched
@@ -164,7 +215,7 @@ func (m *MAC) Stats() Stats { return m.stats }
 // QueueLen returns the number of frames waiting (not yet on the air).
 func (m *MAC) QueueLen() int {
 	n := 0
-	for _, p := range m.queue {
+	for _, p := range m.queue[m.qhead:] {
 		if !p.cancelled {
 			n++
 		}
@@ -174,7 +225,7 @@ func (m *MAC) QueueLen() int {
 
 // Enqueue submits a frame for transmission and returns its handle.
 func (m *MAC) Enqueue(f *packet.Frame, onStart, onDone func()) *Pending {
-	p := &Pending{Frame: f, OnStart: onStart, OnDone: onDone}
+	p := m.allocPending(f, onStart, onDone)
 	m.queue = append(m.queue, p)
 	m.stats.Enqueued++
 	// A frame arriving to a busy medium owes a fresh backoff draw, per
@@ -209,13 +260,17 @@ func (m *MAC) Cancel(p *Pending) bool {
 // headPending returns the first non-cancelled queued frame, trimming
 // cancelled entries from the front.
 func (m *MAC) headPending() *Pending {
-	for len(m.queue) > 0 && m.queue[0].cancelled {
-		m.queue = m.queue[1:]
+	for m.qhead < len(m.queue) && m.queue[m.qhead].cancelled {
+		m.recyclePending(m.queue[m.qhead])
+		m.queue[m.qhead] = nil
+		m.qhead++
 	}
-	if len(m.queue) == 0 {
+	if m.qhead == len(m.queue) {
+		m.queue = m.queue[:0]
+		m.qhead = 0
 		return nil
 	}
-	return m.queue[0]
+	return m.queue[m.qhead]
 }
 
 // drawBackoff samples a fresh backoff in [0, cw] slots. The contention
@@ -259,7 +314,7 @@ func (m *MAC) maybeSchedule() {
 			// least DIFS, so the frame goes out right away.
 			m.txEventBase = now
 			m.txEventSlots = -1
-			m.txEvent = m.sched.Schedule(now, m.startTransmission)
+			m.txEvent = m.sched.Schedule(now, m.startTx)
 			return
 		}
 		// The medium has not been idle long enough: the DCF requires a
@@ -282,7 +337,7 @@ func (m *MAC) maybeSchedule() {
 	at := effStart.Add(sim.Duration(m.backoffRemaining) * m.t.SlotTime)
 	m.txEventBase = effStart
 	m.txEventSlots = m.backoffRemaining
-	m.txEvent = m.sched.Schedule(at, m.startTransmission)
+	m.txEvent = m.sched.Schedule(at, m.startTx)
 }
 
 // interruptAttempt cancels the scheduled attempt. If freeze is true the
@@ -324,7 +379,12 @@ func (m *MAC) startTransmission() {
 	if p == nil {
 		return
 	}
-	m.queue = m.queue[1:]
+	m.queue[m.qhead] = nil
+	m.qhead++
+	if m.qhead == len(m.queue) {
+		m.queue = m.queue[:0]
+		m.qhead = 0
+	}
 	m.transmitting = true
 	m.backoffRemaining = -1
 	p.started = true
@@ -332,14 +392,18 @@ func (m *MAC) startTransmission() {
 	if p.OnStart != nil && !p.retransmit {
 		p.OnStart()
 	}
+	// At most one transmission with a completion callback is outstanding
+	// per MAC (guarded by m.transmitting), so the bound finish closures
+	// can read the frame from m.inflight instead of capturing it.
+	m.inflight = p
 	if m.useRTS(p.Frame) {
 		// Reserve the medium first: RTS now, data after the CTS.
 		nav := m.exchangeNAV(p.Frame)
 		rts := packet.NewRTS(m.addr, p.Frame.Dest, nav, m.ch.PositionOf(m.radio))
-		m.ch.Transmit(m.radio, rts, func() { m.finishRTS(p) })
+		m.ch.Transmit(m.radio, rts, m.finishRTSFn)
 		return
 	}
-	m.ch.Transmit(m.radio, p.Frame, func() { m.finishTransmission(p) })
+	m.ch.Transmit(m.radio, p.Frame, m.finishTxFn)
 }
 
 // useRTS reports whether the frame warrants an RTS/CTS exchange.
@@ -382,6 +446,7 @@ func (m *MAC) finishTransmission(p *Pending) {
 	if p.OnDone != nil {
 		p.OnDone()
 	}
+	m.recyclePending(p)
 	m.maybeSchedule()
 }
 
@@ -405,6 +470,7 @@ func (m *MAC) responseTimeout() {
 		if p.OnDone != nil {
 			p.OnDone()
 		}
+		m.recyclePending(p)
 		m.maybeSchedule()
 		return
 	}
@@ -414,7 +480,14 @@ func (m *MAC) responseTimeout() {
 	m.backoffRemaining = m.drawBackoff()
 	p.retransmit = true
 	// Reinsert at the head: the DCF retries the same frame first.
-	m.queue = append([]*Pending{p}, m.queue...)
+	if m.qhead > 0 {
+		m.qhead--
+		m.queue[m.qhead] = p
+	} else {
+		m.queue = append(m.queue, nil)
+		copy(m.queue[1:], m.queue)
+		m.queue[0] = p
+	}
 	m.maybeSchedule()
 }
 
@@ -430,8 +503,11 @@ func (m *MAC) ackReceived() {
 	m.retries = 0
 	m.resetCW()
 	m.backoffRemaining = m.drawBackoff()
-	if p != nil && p.OnDone != nil {
-		p.OnDone()
+	if p != nil {
+		if p.OnDone != nil {
+			p.OnDone()
+		}
+		m.recyclePending(p)
 	}
 	m.maybeSchedule()
 }

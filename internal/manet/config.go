@@ -154,6 +154,12 @@ type Config struct {
 	// identical either way; the switch exists for the equivalence tests
 	// and benchmarks that verify exactly that.
 	DisableSpatialIndex bool
+	// DisableLadderQueue runs the scheduler on the legacy binary heap
+	// (eager cancellation, per-event allocation) instead of the default
+	// ladder queue. Both fire events in the identical (time, seq) order,
+	// so results must be byte-identical either way; the switch exists for
+	// the equivalence tests and benchmarks that verify exactly that.
+	DisableLadderQueue bool
 	// LossRate injects independent per-reception Bernoulli loss
 	// (fading/shadowing) on top of the unit-disk collision model.
 	// 0 (the paper's model) disables it; must stay below 1.

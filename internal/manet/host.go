@@ -5,6 +5,7 @@ import (
 	"repro/internal/mac"
 	"repro/internal/mobility"
 	"repro/internal/neighbor"
+	"repro/internal/nodeset"
 	"repro/internal/packet"
 	"repro/internal/scheme"
 	"repro/internal/sim"
@@ -22,8 +23,20 @@ type host struct {
 	dedup *packet.DedupTable
 	rng   *sim.RNG // assessment delays and hello phase
 
-	// pending tracks broadcasts whose rebroadcast decision is still open.
+	// pending tracks broadcasts whose rebroadcast decision is still open;
+	// prFree recycles resolved records so a storm allocates no waiting
+	// state once warm.
 	pending map[packet.BroadcastID]*pendingRebroadcast
+	prFree  []*pendingRebroadcast
+
+	// Bound-once HELLO callbacks plus the FIFO of beacons currently on
+	// the air. HELLO frames are broadcast, so the MAC completes them in
+	// enqueue order — the front of helloFly is always the frame whose
+	// OnDone is firing.
+	sendHelloFn func()
+	helloSentFn func()
+	helloDoneFn func()
+	helloFly    []*packet.Frame
 
 	// Reliable-broadcast repair state (Config.Repair): recently received
 	// broadcasts to advertise, and ids already NACKed.
@@ -34,16 +47,59 @@ type host struct {
 // pendingRebroadcast is the paper's per-packet waiting state: created at
 // first reception (S1), it survives the random assessment delay (S2) and
 // the MAC queueing, and is resolved either by the transmission starting
-// (S3) or by the scheme inhibiting it (S5).
+// (S3) or by the scheme inhibiting it (S5). The three callbacks are
+// bound once per record and read its mutable fields, so records cycling
+// through the pool never allocate closures.
 type pendingRebroadcast struct {
+	bid      packet.BroadcastID
 	judge    scheme.Judge
-	assess   *sim.Event   // scheduled MAC submission, nil once submitted
-	mp       *mac.Pending // MAC handle once submitted
-	started  bool         // transmission began; decision locked
-	resolved bool         // inhibited or completed
+	assess   *sim.Event    // scheduled MAC submission, nil once submitted
+	mp       *mac.Pending  // MAC handle once submitted
+	frame    *packet.Frame // the enqueued rebroadcast frame
+	started  bool          // transmission began; decision locked
+	resolved bool          // inhibited or completed
+	assessFn func()        // assessment-delay timer target
+	startFn  func()        // MAC OnStart
+	doneFn   func()        // MAC OnDone
 }
 
-var _ scheme.HostView = (*host)(nil)
+// newPendingRebroadcast takes a waiting-state record off the free list
+// (or allocates one, binding its callbacks).
+func (h *host) newPendingRebroadcast(bid packet.BroadcastID, judge scheme.Judge) *pendingRebroadcast {
+	if l := len(h.prFree); l > 0 {
+		p := h.prFree[l-1]
+		h.prFree[l-1] = nil
+		h.prFree = h.prFree[:l-1]
+		p.bid, p.judge = bid, judge
+		p.started, p.resolved = false, false
+		return p
+	}
+	p := &pendingRebroadcast{bid: bid, judge: judge}
+	p.assessFn = func() { h.submit(p) }
+	p.startFn = func() { // transmission actually starts: S3, decision locked
+		p.started = true
+		h.net.noteTransmitted(p.bid)
+		h.net.trace(trace.Transmit, p.bid, h.id)
+	}
+	p.doneFn = func() { h.complete(p) }
+	return p
+}
+
+// recyclePendingRebroadcast returns a resolved record to the free list.
+// Nothing may hold the record afterwards: its event was cancelled or
+// fired, and the MAC has dropped (or is about to drop) its callbacks.
+func (h *host) recyclePendingRebroadcast(p *pendingRebroadcast) {
+	p.judge = nil
+	p.assess = nil
+	p.mp = nil
+	p.frame = nil
+	h.prFree = append(h.prFree, p)
+}
+
+var (
+	_ scheme.HostView      = (*host)(nil)
+	_ scheme.NodeSetSource = (*host)(nil)
+)
 
 // ID implements scheme.HostView.
 func (h *host) ID() packet.NodeID { return h.id }
@@ -64,6 +120,15 @@ func (h *host) Neighbors() []packet.NodeID { return h.table.Neighbors() }
 func (h *host) TwoHop(n packet.NodeID) []packet.NodeID {
 	return h.table.TwoHop(n)
 }
+
+// NeighborNodeSet implements scheme.NodeSetSource.
+func (h *host) NeighborNodeSet() *nodeset.Set { return h.table.NeighborSet() }
+
+// AcquireNodeSet implements scheme.NodeSetSource.
+func (h *host) AcquireNodeSet() *nodeset.Set { return h.net.acquireSet() }
+
+// ReleaseNodeSet implements scheme.NodeSetSource.
+func (h *host) ReleaseNodeSet(s *nodeset.Set) { h.net.releaseSet(s) }
 
 // onFrame handles an intact frame delivered by the MAC.
 func (h *host) onFrame(f *packet.Frame) {
@@ -93,6 +158,7 @@ func (h *host) onBroadcast(f *packet.Frame) {
 		h.noteRecent(bid)
 		judge := h.net.cfg.Scheme.NewJudge(h, rx)
 		if judge.Initial() == scheme.Inhibit {
+			scheme.ReleaseJudge(judge)
 			if h.net.obs != nil {
 				h.net.obs.Inc(h.net.obsInhibitInit)
 			}
@@ -103,13 +169,13 @@ func (h *host) onBroadcast(f *packet.Frame) {
 		if h.net.obs != nil {
 			h.net.obs.Inc(h.net.obsProceedInit)
 		}
-		p := &pendingRebroadcast{judge: judge}
+		p := h.newPendingRebroadcast(bid, judge)
 		h.pending[bid] = p
 		// S2: random assessment delay of 0..AssessmentSlots slots before
 		// submitting the rebroadcast to the MAC.
 		slots := h.rng.IntN(h.net.cfg.AssessmentSlots + 1)
 		delay := sim.Duration(slots) * h.net.cfg.Timing.SlotTime
-		p.assess = h.net.sched.After(delay, func() { h.submit(bid, p) })
+		p.assess = h.net.sched.After(delay, p.assessFn)
 		return
 	}
 
@@ -123,59 +189,67 @@ func (h *host) onBroadcast(f *packet.Frame) {
 		if h.net.obs != nil {
 			h.net.obs.Inc(h.net.obsInhibitDup)
 		}
-		h.inhibit(bid, p)
+		h.inhibit(p)
 	} else if h.net.obs != nil {
 		h.net.obs.Inc(h.net.obsProceedDup)
 	}
 }
 
 // submit hands the rebroadcast to the MAC after the assessment delay.
-func (h *host) submit(bid packet.BroadcastID, p *pendingRebroadcast) {
+func (h *host) submit(p *pendingRebroadcast) {
 	p.assess = nil
 	if p.resolved {
 		return
 	}
-	frame := packet.NewBroadcast(bid, h.id, h.Position())
-	p.mp = h.mac.Enqueue(frame,
-		func() { // transmission actually starts: S3, decision locked
-			p.started = true
-			h.net.noteTransmitted(bid)
-			h.net.trace(trace.Transmit, bid, h.id)
-		},
-		func() { // transmission complete
-			p.resolved = true
-			delete(h.pending, bid)
-			h.net.noteActivity(bid)
-		},
-	)
+	p.frame = h.net.newBroadcastFrame(p.bid, h.id, h.Position())
+	p.mp = h.mac.Enqueue(p.frame, p.startFn, p.doneFn)
+}
+
+// complete resolves the rebroadcast when its transmission ends (the MAC
+// OnDone of the frame submit enqueued).
+func (h *host) complete(p *pendingRebroadcast) {
+	p.resolved = true
+	delete(h.pending, p.bid)
+	scheme.ReleaseJudge(p.judge)
+	h.net.recycleFrame(p.frame)
+	h.net.noteActivity(p.bid)
+	h.recyclePendingRebroadcast(p)
 }
 
 // inhibit cancels the pending rebroadcast (S5).
-func (h *host) inhibit(bid packet.BroadcastID, p *pendingRebroadcast) {
+func (h *host) inhibit(p *pendingRebroadcast) {
 	p.resolved = true
 	if p.assess != nil {
 		h.net.sched.Cancel(p.assess)
 		p.assess = nil
 	}
-	if p.mp != nil {
-		h.mac.Cancel(p.mp)
+	if p.mp != nil && h.mac.Cancel(p.mp) {
+		// Withdrawn before transmission started: the frame never hit the
+		// air and nothing references it anymore. (p.frame, not p.mp.Frame:
+		// the MAC may have already recycled its queue record.)
+		h.net.recycleFrame(p.frame)
 	}
-	delete(h.pending, bid)
-	h.net.noteActivity(bid)
-	h.net.trace(trace.Inhibit, bid, h.id)
+	scheme.ReleaseJudge(p.judge)
+	delete(h.pending, p.bid)
+	h.net.noteActivity(p.bid)
+	h.net.trace(trace.Inhibit, p.bid, h.id)
+	h.recyclePendingRebroadcast(p)
 }
 
 // originate makes this host the source of a new broadcast: the source
 // always transmits the packet (there is no decision to make).
 func (h *host) originate(bid packet.BroadcastID) {
 	h.dedup.Observe(bid)
-	frame := packet.NewBroadcast(bid, h.id, h.Position())
+	frame := h.net.newBroadcastFrame(bid, h.id, h.Position())
 	h.mac.Enqueue(frame,
 		func() {
 			h.net.noteTransmitted(bid)
 			h.net.trace(trace.Transmit, bid, h.id)
 		},
-		func() { h.net.noteActivity(bid) },
+		func() {
+			h.net.recycleFrame(frame)
+			h.net.noteActivity(bid)
+		},
 	)
 }
 
@@ -193,7 +267,7 @@ func (h *host) scheduleHello() {
 		first = h.net.cfg.DHI.HIMin
 	}
 	phase := h.rng.UniformDuration(0, first)
-	h.net.sched.After(phase, h.sendHello)
+	h.net.sched.After(phase, h.sendHelloFn)
 }
 
 // currentHelloInterval evaluates the fixed or dynamic hello interval.
@@ -215,12 +289,15 @@ func (h *host) sendHello() {
 		// instantly and without occupying the medium.
 		h.net.idealHelloDeliver(h, interval)
 	} else {
-		f := packet.NewHello(h.id, h.Position(), h.table.Neighbors(), interval)
+		f := h.net.newHelloFrame(h.id, h.Position(), interval)
+		f.Neighbors = h.table.AppendNeighbors(f.Neighbors)
+		f.Bytes = packet.HelloBaseBytes + packet.HelloPerNeighborBytes*len(f.Neighbors)
 		if h.net.cfg.Repair {
-			f.Recent = h.recentIDs()
+			f.Recent = h.appendRecentIDs(f.Recent)
 			f.Bytes += packet.HelloPerRecentBytes * len(f.Recent)
 		}
-		h.mac.Enqueue(f, func() { h.net.helloSent++ }, nil)
+		h.helloFly = append(h.helloFly, f)
+		h.mac.Enqueue(f, h.helloSentFn, h.helloDoneFn)
 	}
-	h.net.sched.After(interval, h.sendHello)
+	h.net.sched.After(interval, h.sendHelloFn)
 }

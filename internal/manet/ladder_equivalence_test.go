@@ -1,0 +1,64 @@
+package manet
+
+import (
+	"testing"
+
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+// The ladder queue must be a pure optimization: it fires events in the
+// identical (time, seq) order as the legacy binary heap, so for a fixed
+// seed the two scheduler modes must produce the same Summary value field
+// for field — same deliveries, same collisions, same latencies, same
+// event count. Any divergence means the queue reordered events (or a
+// pooled object leaked state), not just changed their cost.
+func TestLadderMatchesHeap(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"flooding-mobile", Config{
+			Scheme: scheme.Flooding{}, MapUnits: 3, Hosts: 40, Requests: 12,
+		}},
+		{"adaptive-counter-hello", Config{
+			Scheme: scheme.AdaptiveCounter{}, MapUnits: 5, Hosts: 50, Requests: 12,
+		}},
+		{"location-waypoint", Config{
+			Scheme: scheme.AdaptiveLocation{}, MapUnits: 5, Hosts: 40, Requests: 10,
+			Mobility: MobilityWaypoint,
+		}},
+		{"neighbor-coverage-groups", Config{
+			Scheme: scheme.NeighborCoverage{}, MapUnits: 3, Hosts: 30, Requests: 8,
+			Groups: 3,
+		}},
+		{"repair-dynamic-hello", Config{
+			Scheme: scheme.AdaptiveCounter{}, MapUnits: 5, Hosts: 30, Requests: 8,
+			HelloMode: HelloDynamic, Repair: true, Warmup: 5 * sim.Second,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 3; seed++ {
+				ladder := tc.cfg
+				ladder.Seed = seed
+				heap := tc.cfg
+				heap.Seed = seed
+				heap.DisableLadderQueue = true
+
+				lad, err := New(ladder)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hp, err := New(heap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ls, hs := lad.Run(), hp.Run()
+				if ls != hs {
+					t.Fatalf("seed %d: ladder and heap summaries diverge:\nladder: %+v\nheap:   %+v", seed, ls, hs)
+				}
+			}
+		})
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mobility"
 	"repro/internal/neighbor"
+	"repro/internal/nodeset"
 	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/phy"
@@ -59,6 +60,15 @@ type Network struct {
 	bfsStack   []int
 	nbrScratch []int
 
+	// Object pools (single-threaded, so plain slices): scratch bitsets
+	// for the neighbor-coverage judges, broadcast frames for the
+	// rebroadcast path, and HELLO beacons (receiver tables copy the
+	// announced set during OnHello, so a beacon can be recycled — slice
+	// capacities intact — the moment its transmission completes).
+	setPool   []*nodeset.Set
+	framePool []*packet.Frame
+	helloPool []*packet.Frame
+
 	records          map[packet.BroadcastID]*metrics.BroadcastRecord
 	order            []packet.BroadcastID
 	helloSent        int
@@ -77,6 +87,9 @@ func New(cfg Config) (*Network, error) {
 		return nil, err
 	}
 	sched := sim.NewScheduler()
+	if cfg.DisableLadderQueue {
+		sched = sim.NewHeapScheduler()
+	}
 	n := &Network{
 		cfg:     cfg,
 		sched:   sched,
@@ -152,10 +165,23 @@ func New(cfg Config) (*Network, error) {
 			h.mover = mobility.NewRoamer(sched, n.area,
 				mobility.DefaultConfig(cfg.MaxSpeedKMH), moveRNG.Fork(uint64(i)))
 		}
-		h.table = neighbor.NewTable(h.id, sched, cfg.ExpiryIntervals)
+		h.table = neighbor.NewDenseTable(h.id, sched, cfg.ExpiryIntervals, cfg.Hosts)
 		h.mac = mac.New(sched, n.ch, h.mover.PositionAt, macRNG.Fork(uint64(i)))
 		h.mac.SetAddr(h.id)
 		h.mac.Receiver = h.onFrame
+		// The hosts never read a mac.Pending handle after its frame
+		// completed or was cancelled, so the MAC may recycle the records.
+		h.mac.SetPendingPool(true)
+		hh := h
+		h.sendHelloFn = hh.sendHello
+		h.helloSentFn = func() { n.helloSent++ }
+		h.helloDoneFn = func() {
+			f := hh.helloFly[0]
+			rest := copy(hh.helloFly, hh.helloFly[1:])
+			hh.helloFly[rest] = nil
+			hh.helloFly = hh.helloFly[:rest]
+			n.recycleHelloFrame(f)
+		}
 		hid := h.id
 		h.mac.GarbledReceiver = func(f *packet.Frame) {
 			if n.Tracer != nil && f.Kind == packet.KindBroadcast {
@@ -187,6 +213,7 @@ func (n *Network) observe(o *obs.Collector) {
 	n.obsProceedDup = o.Counter("scheme.proceed_duplicate")
 	n.obsInhibitDup = o.Counter("scheme.inhibit_duplicate")
 	o.Gauge("sim.pending_events", func() float64 { return float64(n.sched.Pending()) })
+	o.Gauge("sim.event_pool_hit_rate", func() float64 { return n.sched.PoolHitRate() })
 	o.Gauge("mac.backoff_stalls", func() float64 {
 		s := 0
 		for _, h := range n.hosts {
@@ -198,6 +225,83 @@ func (n *Network) observe(o *obs.Collector) {
 	o.Gauge("manet.broadcasts", func() float64 { return float64(len(n.order)) })
 	n.ch.Observe(o)
 }
+
+// acquireSet borrows a scratch bitset for a coverage judge; contents are
+// unspecified (judges overwrite via CopyFrom).
+func (n *Network) acquireSet() *nodeset.Set {
+	if k := len(n.setPool); k > 0 {
+		s := n.setPool[k-1]
+		n.setPool[k-1] = nil
+		n.setPool = n.setPool[:k-1]
+		return s
+	}
+	return nodeset.New(len(n.hosts))
+}
+
+// releaseSet returns a judge's scratch bitset to the pool.
+func (n *Network) releaseSet(s *nodeset.Set) { n.setPool = append(n.setPool, s) }
+
+// newBroadcastFrame builds (or recycles) a broadcast data frame.
+func (n *Network) newBroadcastFrame(bid packet.BroadcastID, sender packet.NodeID, pos geom.Point) *packet.Frame {
+	if k := len(n.framePool); k > 0 {
+		f := n.framePool[k-1]
+		n.framePool[k-1] = nil
+		n.framePool = n.framePool[:k-1]
+		*f = packet.Frame{
+			Kind:      packet.KindBroadcast,
+			Sender:    sender,
+			Dest:      packet.DestBroadcast,
+			Bytes:     packet.BroadcastBytes,
+			Broadcast: bid,
+			SenderPos: pos,
+		}
+		return f
+	}
+	return packet.NewBroadcast(bid, sender, pos)
+}
+
+// recycleFrame returns a broadcast frame whose transmission is finished
+// (or was cancelled before starting) to the pool. Safe because broadcast
+// frames are consumed synchronously at delivery: no receiver, MAC queue
+// entry, or channel record dereferences the frame after its completion
+// callback has run.
+func (n *Network) recycleFrame(f *packet.Frame) { n.framePool = append(n.framePool, f) }
+
+// newHelloFrame builds (or recycles) a HELLO beacon with empty Neighbors
+// and Recent slices whose capacities survive recycling; the caller
+// appends the announced sets and accounts Bytes.
+func (n *Network) newHelloFrame(sender packet.NodeID, pos geom.Point, interval sim.Duration) *packet.Frame {
+	if k := len(n.helloPool); k > 0 {
+		f := n.helloPool[k-1]
+		n.helloPool[k-1] = nil
+		n.helloPool = n.helloPool[:k-1]
+		neighbors, recent := f.Neighbors[:0], f.Recent[:0]
+		*f = packet.Frame{
+			Kind:          packet.KindHello,
+			Sender:        sender,
+			Dest:          packet.DestBroadcast,
+			Bytes:         packet.HelloBaseBytes,
+			SenderPos:     pos,
+			HelloInterval: interval,
+		}
+		f.Neighbors, f.Recent = neighbors, recent
+		return f
+	}
+	return &packet.Frame{
+		Kind:          packet.KindHello,
+		Sender:        sender,
+		Dest:          packet.DestBroadcast,
+		Bytes:         packet.HelloBaseBytes,
+		SenderPos:     pos,
+		HelloInterval: interval,
+	}
+}
+
+// recycleHelloFrame returns a fully transmitted beacon to the pool.
+// Safe because receivers copy Neighbors (Table.OnHello) and consume
+// Recent (onHelloRecent) synchronously at delivery, before the sender's
+// completion callback runs.
+func (n *Network) recycleHelloFrame(f *packet.Frame) { n.helloPool = append(n.helloPool, f) }
 
 // randomPoint places a static host uniformly on the map.
 func randomPoint(rng *sim.RNG, area mobility.Map) geom.Point {
@@ -414,6 +518,9 @@ func (n *Network) Area() (width, height float64) {
 // the channel entirely.
 func (n *Network) idealHelloDeliver(src *host, interval sim.Duration) {
 	n.helloSent++
+	// Table.OnHello copies the announced set into each receiver's entry,
+	// so src's live Neighbors() view can be handed out directly: the loop
+	// only mutates receiver tables, never src's.
 	neighbors := src.table.Neighbors()
 	n.nbrScratch = n.ch.Neighbors(src.mac.Radio(), n.nbrScratch[:0])
 	for _, j := range n.nbrScratch {

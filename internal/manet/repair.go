@@ -51,22 +51,19 @@ func (h *host) noteRecent(bid packet.BroadcastID) {
 	h.recent = append(h.recent, recentEntry{id: bid, heard: h.net.sched.Now()})
 }
 
-// recentIDs returns the ids still inside the advertisement window,
-// pruning expired entries in place.
-func (h *host) recentIDs() []packet.BroadcastID {
+// appendRecentIDs appends the ids still inside the advertisement window
+// to buf, pruning expired entries in place.
+func (h *host) appendRecentIDs(buf []packet.BroadcastID) []packet.BroadcastID {
 	cutoff := h.net.sched.Now().Add(-sim.Duration(h.net.cfg.RepairWindow))
 	keep := h.recent[:0]
 	for _, e := range h.recent {
 		if e.heard >= cutoff {
 			keep = append(keep, e)
+			buf = append(buf, e.id)
 		}
 	}
 	h.recent = keep
-	out := make([]packet.BroadcastID, len(keep))
-	for i, e := range keep {
-		out[i] = e.id
-	}
-	return out
+	return buf
 }
 
 // onHelloRecent reacts to a neighbor's advertisement: request any packet

@@ -10,6 +10,7 @@ package neighbor
 import (
 	"sort"
 
+	"repro/internal/nodeset"
 	"repro/internal/packet"
 	"repro/internal/sim"
 )
@@ -54,24 +55,50 @@ func (c DHIConfig) Interval(nv float64) sim.Duration {
 
 // entry is one one-hop neighbor record.
 type entry struct {
+	id        packet.NodeID
 	lastHeard sim.Time
 	interval  sim.Duration // the neighbor's announced hello interval
-	// twoHop is the neighbor set the host last announced. It aliases the
-	// HELLO frame's (immutable) slice, so storing it is O(1) even when
-	// hundreds of receivers hear the same beacon.
+	deadline  sim.Time     // expiry deadline of the armed timer
+	// twoHop is the neighbor set the host last announced, copied into
+	// entry-owned storage whose capacity is reused across refreshes (so a
+	// stable neighborhood allocates nothing and the HELLO frame may be
+	// recycled by its sender).
 	twoHop []packet.NodeID
 	expiry *sim.Event
+	// fire is the expiry callback, bound once per record and reused for
+	// every rearm (it reads id and deadline from the record), so
+	// refreshing a neighbor allocates nothing.
+	fire func()
 }
 
 // Table is one host's view of its neighborhood, fed by HELLO receptions.
 // All knowledge is local and possibly stale — exactly the information
 // the paper allows the schemes to use.
+//
+// Two storage layouts sit behind the same API. The dense layout
+// (NewDenseTable) exploits the simulators' dense 0..N-1 host ids: entries
+// live in a flat array indexed by NodeID with membership in a bitset, so
+// lookups are an array index and the sorted neighbor list is a popcount
+// walk. The map layout (NewTable) remains for callers whose id space is
+// sparse or unbounded.
 type Table struct {
 	owner           packet.NodeID
 	sched           *sim.Scheduler
 	expiryIntervals int
 
+	// Map layout (nil dense). free recycles expired/cleared records so
+	// churn does not allocate.
 	entries map[packet.NodeID]*entry
+	free    []*entry
+
+	// Dense layout: slot i holds the entry for NodeID i, live iff
+	// present.Contains(i). neighbors caches the sorted id list between
+	// mutations.
+	dense     []entry
+	present   *nodeset.Set
+	neighbors []packet.NodeID
+	dirty     bool
+
 	changes []sim.Time // join/leave timestamps within the variation window
 }
 
@@ -89,44 +116,100 @@ func NewTable(owner packet.NodeID, sched *sim.Scheduler, expiryIntervals int) *T
 	}
 }
 
+// NewDenseTable creates an empty table for a host in a population whose
+// ids are exactly 0..hosts-1, using flat-array storage and bitset
+// membership. expiryIntervals <= 0 uses the paper's default of 2.
+func NewDenseTable(owner packet.NodeID, sched *sim.Scheduler, expiryIntervals, hosts int) *Table {
+	if expiryIntervals <= 0 {
+		expiryIntervals = DefaultExpiryIntervals
+	}
+	return &Table{
+		owner:           owner,
+		sched:           sched,
+		expiryIntervals: expiryIntervals,
+		dense:           make([]entry, hosts),
+		present:         nodeset.New(hosts),
+	}
+}
+
 // OnHello records a HELLO from host h announcing its neighbor set and
 // hello interval, refreshing (or creating) the one-hop entry and its
-// expiry timer. The neighbors slice is retained without copying; callers
-// must treat it as immutable (HELLO frames already are).
+// expiry timer. The neighbors slice is copied into entry-owned storage
+// (reusing its capacity), so callers may recycle the frame that carried
+// it as soon as OnHello returns.
 func (t *Table) OnHello(h packet.NodeID, neighbors []packet.NodeID, interval sim.Duration) {
 	if h == t.owner {
 		return
 	}
 	now := t.sched.Now()
-	e, known := t.entries[h]
-	if !known {
-		e = &entry{}
-		t.entries[h] = e
-		t.recordChange(now)
+	var e *entry
+	if t.dense != nil {
+		e = &t.dense[h]
+		if t.present.Add(h) {
+			t.dirty = true
+			t.recordChange(now)
+		}
+	} else {
+		var known bool
+		e, known = t.entries[h]
+		if !known {
+			if n := len(t.free); n > 0 {
+				e = t.free[n-1]
+				t.free[n-1] = nil
+				t.free = t.free[:n-1]
+			} else {
+				e = &entry{}
+			}
+			t.entries[h] = e
+			t.recordChange(now)
+		}
 	}
+	e.id = h
 	e.lastHeard = now
 	if interval <= 0 {
 		interval = 1 * sim.Second
 	}
 	e.interval = interval
-	e.twoHop = neighbors
+	e.twoHop = append(e.twoHop[:0], neighbors...)
 	if e.expiry != nil {
 		t.sched.Cancel(e.expiry)
 	}
-	deadline := now.Add(sim.Duration(t.expiryIntervals) * interval)
-	e.expiry = t.sched.Schedule(deadline, func() { t.expire(h, deadline) })
+	if e.fire == nil {
+		e.fire = func() { t.expire(e.id, e.deadline) }
+	}
+	e.deadline = now.Add(sim.Duration(t.expiryIntervals) * interval)
+	e.expiry = t.sched.Schedule(e.deadline, e.fire)
 }
 
 // expire drops h if it has not been refreshed since the timer was set.
+// The stored expiry handle is cleared on every path: the scheduler
+// recycles fired events, so a retained handle would go stale.
 func (t *Table) expire(h packet.NodeID, deadline sim.Time) {
-	e, ok := t.entries[h]
-	if !ok {
-		return
+	var e *entry
+	if t.dense != nil {
+		if !t.present.Contains(h) {
+			return
+		}
+		e = &t.dense[h]
+	} else {
+		var ok bool
+		e, ok = t.entries[h]
+		if !ok {
+			return
+		}
 	}
 	if e.lastHeard.Add(sim.Duration(t.expiryIntervals)*e.interval) > deadline {
-		return // refreshed since; the newer timer will handle it
+		return // refreshed since; OnHello already replaced the handle
 	}
-	delete(t.entries, h)
+	e.expiry = nil
+	e.twoHop = e.twoHop[:0] // keep the backing array for the next tenant
+	if t.dense != nil {
+		t.present.Remove(h)
+		t.dirty = true
+	} else {
+		delete(t.entries, h)
+		t.free = append(t.free, e)
+	}
 	t.recordChange(t.sched.Now())
 }
 
@@ -145,16 +228,34 @@ func (t *Table) recordChange(now sim.Time) {
 
 // Count returns the current number of one-hop neighbors |N_x| — the "n"
 // the adaptive threshold functions C(n) and A(n) consume.
-func (t *Table) Count() int { return len(t.entries) }
+func (t *Table) Count() int {
+	if t.dense != nil {
+		return t.present.Count()
+	}
+	return len(t.entries)
+}
 
 // Contains reports whether h is currently a known one-hop neighbor.
 func (t *Table) Contains(h packet.NodeID) bool {
+	if t.dense != nil {
+		return t.present.Contains(h)
+	}
 	_, ok := t.entries[h]
 	return ok
 }
 
-// Neighbors returns the sorted one-hop neighbor set N_x.
+// Neighbors returns the sorted one-hop neighbor set N_x. On the dense
+// layout the slice is a cached view that is only valid until the next
+// table mutation; callers must not modify it and must copy it to retain
+// it (packet.NewHello already copies).
 func (t *Table) Neighbors() []packet.NodeID {
+	if t.dense != nil {
+		if t.dirty {
+			t.neighbors = t.present.AppendIDs(t.neighbors[:0])
+			t.dirty = false
+		}
+		return t.neighbors
+	}
 	out := make([]packet.NodeID, 0, len(t.entries))
 	for id := range t.entries {
 		out = append(out, id)
@@ -163,10 +264,32 @@ func (t *Table) Neighbors() []packet.NodeID {
 	return out
 }
 
+// AppendNeighbors appends the sorted one-hop neighbor set to buf and
+// returns the extended slice, allocating only when buf lacks capacity.
+func (t *Table) AppendNeighbors(buf []packet.NodeID) []packet.NodeID {
+	if t.dense != nil {
+		return t.present.AppendIDs(buf)
+	}
+	return append(buf, t.Neighbors()...)
+}
+
+// NeighborSet exposes the one-hop membership bitset on the dense layout
+// (nil on the map layout). It is live storage: callers must not mutate
+// it, and its contents shift with the table.
+func (t *Table) NeighborSet() *nodeset.Set {
+	return t.present
+}
+
 // TwoHop returns N_{x,h}: h's neighbor set exactly as last announced to
 // this host (it may include the owner itself), or nil if h is unknown.
 // The returned slice is shared storage; callers must not modify it.
 func (t *Table) TwoHop(h packet.NodeID) []packet.NodeID {
+	if t.dense != nil {
+		if int(h) < len(t.dense) && t.present.Contains(h) {
+			return t.dense[h].twoHop
+		}
+		return nil
+	}
 	e, ok := t.entries[h]
 	if !ok {
 		return nil
@@ -186,20 +309,38 @@ func (t *Table) Variation() float64 {
 			n++
 		}
 	}
-	size := len(t.entries)
+	size := t.Count()
 	if size < 1 {
 		size = 1
 	}
 	return float64(n) / (float64(size) * VariationWindow.Seconds())
 }
 
-// Clear drops all entries and pending expiries (used between runs).
+// Clear drops all entries and pending expiries (used between runs). The
+// backing storage — map buckets, dense slots, and the change log — is
+// retained for reuse rather than reallocated.
 func (t *Table) Clear() {
-	for _, e := range t.entries {
-		if e.expiry != nil {
-			t.sched.Cancel(e.expiry)
+	if t.dense != nil {
+		t.present.ForEach(func(h packet.NodeID) {
+			e := &t.dense[h]
+			if e.expiry != nil {
+				t.sched.Cancel(e.expiry)
+				e.expiry = nil
+			}
+			e.twoHop = e.twoHop[:0]
+		})
+		t.present.Clear()
+		t.dirty = true
+	} else {
+		for h, e := range t.entries {
+			if e.expiry != nil {
+				t.sched.Cancel(e.expiry)
+				e.expiry = nil
+			}
+			e.twoHop = e.twoHop[:0]
+			delete(t.entries, h)
+			t.free = append(t.free, e)
 		}
 	}
-	t.entries = make(map[packet.NodeID]*entry)
-	t.changes = nil
+	t.changes = t.changes[:0]
 }

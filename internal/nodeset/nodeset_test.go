@@ -1,0 +1,129 @@
+package nodeset
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/packet"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := New(100)
+	if s.Count() != 0 || s.Contains(0) || s.Contains(99) {
+		t.Fatal("fresh set not empty")
+	}
+	if !s.Add(5) || !s.Add(63) || !s.Add(64) || !s.Add(99) {
+		t.Fatal("Add reported existing for new ids")
+	}
+	if s.Add(5) {
+		t.Error("Add reported new for existing id")
+	}
+	if s.Count() != 4 {
+		t.Errorf("Count = %d, want 4", s.Count())
+	}
+	for _, id := range []packet.NodeID{5, 63, 64, 99} {
+		if !s.Contains(id) {
+			t.Errorf("Contains(%d) = false", id)
+		}
+	}
+	if s.Contains(6) || s.Contains(65) {
+		t.Error("Contains true for absent id")
+	}
+	if !s.Remove(63) || s.Remove(63) || s.Remove(7) {
+		t.Error("Remove presence reporting wrong")
+	}
+	if s.Count() != 3 || s.Contains(63) {
+		t.Error("Remove did not delete")
+	}
+	s.Clear()
+	if s.Count() != 0 || s.Contains(5) {
+		t.Error("Clear left members behind")
+	}
+}
+
+func TestSetZeroValueGrows(t *testing.T) {
+	var s Set
+	if s.Contains(1000) {
+		t.Error("zero-value set contains id")
+	}
+	if s.Remove(1000) {
+		t.Error("Remove on empty zero-value set reported presence")
+	}
+	if !s.Add(1000) || !s.Contains(1000) || s.Count() != 1 {
+		t.Error("zero-value set did not grow on Add")
+	}
+}
+
+func TestSetIterationSorted(t *testing.T) {
+	s := New(300)
+	want := []packet.NodeID{0, 1, 63, 64, 65, 127, 128, 255, 299}
+	for i := len(want) - 1; i >= 0; i-- {
+		s.Add(want[i])
+	}
+	got := s.AppendIDs(nil)
+	if len(got) != len(want) {
+		t.Fatalf("AppendIDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AppendIDs = %v, want %v", got, want)
+		}
+	}
+	var walked []packet.NodeID
+	s.ForEach(func(id packet.NodeID) { walked = append(walked, id) })
+	for i := range want {
+		if walked[i] != want[i] {
+			t.Fatalf("ForEach order %v, want %v", walked, want)
+		}
+	}
+	// AppendIDs must reuse the provided buffer.
+	buf := make([]packet.NodeID, 0, len(want))
+	out := s.AppendIDs(buf)
+	if &out[0] != &buf[:1][0] {
+		t.Error("AppendIDs reallocated despite sufficient capacity")
+	}
+}
+
+func TestSetCopyFrom(t *testing.T) {
+	a := New(128)
+	for _, id := range []packet.NodeID{1, 50, 100} {
+		a.Add(id)
+	}
+	b := New(0)
+	b.CopyFrom(a)
+	if b.Count() != 3 || !b.Contains(50) {
+		t.Fatal("CopyFrom missed members")
+	}
+	b.Remove(50)
+	if !a.Contains(50) {
+		t.Error("CopyFrom aliased storage")
+	}
+}
+
+func TestSetAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := New(64)
+	ref := map[packet.NodeID]bool{}
+	for i := 0; i < 20000; i++ {
+		id := packet.NodeID(rng.Intn(500))
+		switch rng.Intn(3) {
+		case 0:
+			if s.Add(id) == ref[id] {
+				t.Fatalf("Add(%d) newness mismatch", id)
+			}
+			ref[id] = true
+		case 1:
+			if s.Remove(id) != ref[id] {
+				t.Fatalf("Remove(%d) presence mismatch", id)
+			}
+			delete(ref, id)
+		default:
+			if s.Contains(id) != ref[id] {
+				t.Fatalf("Contains(%d) mismatch", id)
+			}
+		}
+	}
+	if s.Count() != len(ref) {
+		t.Fatalf("Count = %d, map has %d", s.Count(), len(ref))
+	}
+}

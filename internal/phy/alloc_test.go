@@ -1,0 +1,50 @@
+package phy
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// nullListener discards all callbacks (fakeListener's recording slices
+// would themselves allocate under AllocsPerRun).
+type nullListener struct{}
+
+func (nullListener) CarrierBusy()                 {}
+func (nullListener) CarrierIdle()                 {}
+func (nullListener) Deliver(*packet.Frame)        {}
+func (nullListener) DeliverGarbled(*packet.Frame) {}
+
+// TestTransmitZeroAllocSteadyState pins the transmit hot path: once the
+// transmission-record pool and the scheduler's event pool are warm, a
+// full transmit->deliver->finish cycle performs no heap allocation.
+func TestTransmitZeroAllocSteadyState(t *testing.T) {
+	sched := sim.NewScheduler()
+	ch := NewChannel(sched, DSSSTiming(), 500)
+	ra := ch.Attach(static(geom.Point{X: 0}), nullListener{})
+	ch.Attach(static(geom.Point{X: 300}), nullListener{})
+	ch.Attach(static(geom.Point{X: 450}), nullListener{})
+	ch.SetMaxSpeed(0) // static radios: the spatial snapshot never goes stale
+
+	f := bcastFrame(0)
+	cycle := func() {
+		ch.Transmit(ra, f, nil)
+		sched.Run()
+	}
+	for i := 0; i < 8; i++ {
+		cycle() // warm the tx pool, event pool, and spatial index
+	}
+	if allocs := testing.AllocsPerRun(200, cycle); allocs != 0 {
+		t.Errorf("steady-state transmit cycle allocates %.1f times, want 0", allocs)
+	}
+
+	hits, misses := ch.TxPoolStats()
+	if hits == 0 || misses != 1 {
+		t.Errorf("tx pool stats = %d hits / %d misses, want reuse of a single record", hits, misses)
+	}
+	if rate := ch.TxPoolHitRate(); rate < 0.9 {
+		t.Errorf("tx pool hit rate = %.3f, want near 1", rate)
+	}
+}

@@ -91,6 +91,12 @@ type transmission struct {
 	end       sim.Time
 	receivers []int        // radio indices in range at start (excluding sender)
 	garbled   map[int]bool // receivers whose copy was destroyed
+	// onDone is the caller's completion callback for this flight, and
+	// fire is the end-of-airtime event body, bound once per record so a
+	// recycled transmission schedules its finish without allocating a
+	// fresh closure per Transmit.
+	onDone func()
+	fire   func()
 }
 
 // Channel is the shared medium. It is owned by a single Scheduler and is
@@ -157,6 +163,10 @@ type Channel struct {
 	// garbled maps included).
 	member []bool
 	txFree []*transmission
+	// Transmission-record pool effectiveness, exposed via TxPoolStats
+	// and the phy.tx_pool_hit_rate telemetry gauge.
+	txPoolHits   uint64
+	txPoolMisses uint64
 
 	// Channel-load accounting for the telemetry subsystem, gated on
 	// obsBusy so uninstrumented runs pay a single branch per carrier
@@ -402,9 +412,8 @@ func (c *Channel) Transmit(radio int, f *packet.Frame, onDone func()) sim.Durati
 		c.raiseBusy(i)
 	}
 
-	c.sched.Schedule(tx.end, func() {
-		c.finish(tx, onDone)
-	})
+	tx.onDone = onDone
+	c.sched.Schedule(tx.end, tx.fire)
 	return air
 }
 
@@ -418,8 +427,11 @@ func (c *Channel) newTransmission(f *packet.Frame, radio int, end sim.Time) *tra
 		c.txFree = c.txFree[:n-1]
 		tx.receivers = tx.receivers[:0]
 		clear(tx.garbled)
+		c.txPoolHits++
 	} else {
 		tx = &transmission{garbled: make(map[int]bool)}
+		tx.fire = func() { c.finish(tx) }
+		c.txPoolMisses++
 	}
 	tx.frame = f
 	tx.sender = radio
@@ -461,7 +473,7 @@ func (c *Channel) SetCapture(ratio float64) {
 
 // finish ends a transmission: delivers intact copies, reports garbled
 // ones, and releases the carrier.
-func (c *Channel) finish(tx *transmission, onDone func()) {
+func (c *Channel) finish(tx *transmission) {
 	// Remove from active list first so deliveries that trigger immediate
 	// new transmissions (same instant) do not overlap with this one.
 	for i, a := range c.active {
@@ -490,13 +502,14 @@ func (c *Channel) finish(tx *transmission, onDone func()) {
 			c.listeners[i].Deliver(tx.frame)
 		}
 	}
-	if onDone != nil {
-		onDone()
+	if tx.onDone != nil {
+		tx.onDone()
 	}
 	// Recycle last: the delivery and onDone callbacks above may have
 	// started new transmissions, which must not have been handed this
 	// record while it was still being read.
 	tx.frame = nil
+	tx.onDone = nil
 	c.txFree = append(c.txFree, tx)
 }
 
@@ -554,6 +567,23 @@ func (c *Channel) BusyRadioSeconds() float64 {
 
 // ActiveTransmissions returns the number of frames currently on the air.
 func (c *Channel) ActiveTransmissions() int { return len(c.active) }
+
+// TxPoolStats returns how many transmission records were served from the
+// free list versus freshly allocated.
+func (c *Channel) TxPoolStats() (hits, misses uint64) {
+	return c.txPoolHits, c.txPoolMisses
+}
+
+// TxPoolHitRate returns the fraction of transmissions served from the
+// free list (0 before any transmission). Steady state approaches 1: only
+// the records covering the peak in-flight count are ever allocated.
+func (c *Channel) TxPoolHitRate() float64 {
+	total := c.txPoolHits + c.txPoolMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.txPoolHits) / float64(total)
+}
 
 // SetLoss enables independent per-reception Bernoulli loss with the
 // given probability, modeling fading/shadowing beyond the unit-disk

@@ -5,6 +5,7 @@ import (
 	"repro/internal/mac"
 	"repro/internal/mobility"
 	"repro/internal/neighbor"
+	"repro/internal/nodeset"
 	"repro/internal/packet"
 	"repro/internal/scheme"
 	"repro/internal/sim"
@@ -43,7 +44,10 @@ type pendingForward struct {
 	resolved bool
 }
 
-var _ scheme.HostView = (*rhost)(nil)
+var (
+	_ scheme.HostView      = (*rhost)(nil)
+	_ scheme.NodeSetSource = (*rhost)(nil)
+)
 
 // scheme.HostView implementation (identical role to manet.host).
 
@@ -55,6 +59,12 @@ func (h *rhost) Neighbors() []packet.NodeID { return h.table.Neighbors() }
 func (h *rhost) TwoHop(n packet.NodeID) []packet.NodeID {
 	return h.table.TwoHop(n)
 }
+
+// scheme.NodeSetSource implementation (identical role to manet.host).
+
+func (h *rhost) NeighborNodeSet() *nodeset.Set { return h.table.NeighborSet() }
+func (h *rhost) AcquireNodeSet() *nodeset.Set  { return h.net.acquireSet() }
+func (h *rhost) ReleaseNodeSet(s *nodeset.Set) { h.net.releaseSet(s) }
 
 // onFrame dispatches intact receptions.
 func (h *rhost) onFrame(f *packet.Frame) {
@@ -138,6 +148,7 @@ func (h *rhost) onRequest(f *packet.Frame, req RouteRequest) {
 	}
 	judge := h.net.cfg.Scheme.NewJudge(h, rx)
 	if judge.Initial() == scheme.Inhibit {
+		scheme.ReleaseJudge(judge)
 		return
 	}
 	p := &pendingForward{judge: judge}
@@ -165,6 +176,7 @@ func (h *rhost) forwardRequest(req RouteRequest, p *pendingForward) {
 		func() {
 			p.resolved = true
 			delete(h.pending, req.ID)
+			scheme.ReleaseJudge(p.judge)
 		},
 	)
 }
@@ -179,6 +191,7 @@ func (h *rhost) cancelForward(id RequestID, p *pendingForward) {
 	if p.mp != nil {
 		h.mac.Cancel(p.mp)
 	}
+	scheme.ReleaseJudge(p.judge)
 	delete(h.pending, id)
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/mac"
 	"repro/internal/mobility"
 	"repro/internal/neighbor"
+	"repro/internal/nodeset"
 	"repro/internal/packet"
 	"repro/internal/phy"
 	"repro/internal/scheme"
@@ -197,6 +198,9 @@ type Network struct {
 	ch    *phy.Channel
 	hosts []*rhost
 
+	// setPool recycles judge scratch bitsets, as in manet.Network.
+	setPool []*nodeset.Set
+
 	discoveries map[RequestID]*discovery
 	// subRequests maps the fresh RequestIDs of wider expanding-ring
 	// attempts back to their original discovery.
@@ -251,14 +255,34 @@ func New(cfg Config) (*Network, error) {
 			h.mover = mobility.NewRoamer(sched, area,
 				mobility.DefaultConfig(cfg.MaxSpeedKMH), moveRNG.Fork(uint64(i)))
 		}
-		h.table = neighbor.NewTable(h.id, sched, 0)
+		h.table = neighbor.NewDenseTable(h.id, sched, 0, cfg.Hosts)
 		h.mac = mac.New(sched, n.ch, h.mover.PositionAt, macRNG.Fork(uint64(i)))
 		h.mac.SetAddr(h.id)
 		h.mac.SetRTSThreshold(cfg.RTSThreshold)
 		h.mac.Receiver = h.onFrame
+		// Handles are never read after their frame completes (the ARQ
+		// verdict is consulted inside OnDone, before the MAC recycles the
+		// record), so Pending pooling is safe here.
+		h.mac.SetPendingPool(true)
 		n.hosts[i] = h
 	}
 	return n, nil
+}
+
+// acquireSet hands out an empty scratch bitset, reusing a pooled one.
+func (n *Network) acquireSet() *nodeset.Set {
+	if l := len(n.setPool); l > 0 {
+		s := n.setPool[l-1]
+		n.setPool = n.setPool[:l-1]
+		s.Clear()
+		return s
+	}
+	return nodeset.New(len(n.hosts))
+}
+
+// releaseSet returns a scratch bitset to the pool.
+func (n *Network) releaseSet(s *nodeset.Set) {
+	n.setPool = append(n.setPool, s)
 }
 
 func randomPointIn(rng *sim.RNG, area mobility.Map) geom.Point {

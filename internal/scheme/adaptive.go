@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/nodeset"
 	"repro/internal/packet"
 )
 
@@ -205,8 +206,20 @@ func (NeighborCoverage) NeedsHello() bool { return true }
 // NeedsPosition implements Scheme.
 func (NeighborCoverage) NeedsPosition() bool { return false }
 
-// NewJudge implements Scheme.
+// NewJudge implements Scheme. Hosts exposing dense bitset neighbor sets
+// (scheme.NodeSetSource) get a pooled-bitset judge; the coverage
+// subtraction becomes word operations instead of map churn. Decisions
+// are identical either way: both track the same pending set T and
+// inhibit exactly when it empties.
 func (NeighborCoverage) NewJudge(host HostView, first Reception) Judge {
+	if src, ok := host.(NodeSetSource); ok {
+		if nb := src.NeighborNodeSet(); nb != nil {
+			j := &denseCoverageJudge{host: host, src: src, pending: src.AcquireNodeSet()}
+			j.pending.CopyFrom(nb)
+			j.subtract(first)
+			return j
+		}
+	}
 	j := &neighborCoverageJudge{
 		host:    host,
 		pending: make(map[packet.NodeID]bool),
@@ -245,4 +258,45 @@ func (j *neighborCoverageJudge) OnDuplicate(r Reception) Action {
 		return Inhibit
 	}
 	return Proceed
+}
+
+// denseCoverageJudge is neighborCoverageJudge on a pooled bitset: the
+// pending set T lives in a nodeset.Set borrowed from the host and
+// returned on Release.
+type denseCoverageJudge struct {
+	host    HostView
+	src     NodeSetSource
+	pending *nodeset.Set
+}
+
+var _ ReleasableJudge = (*denseCoverageJudge)(nil)
+
+func (j *denseCoverageJudge) subtract(r Reception) {
+	j.pending.Remove(r.From)
+	for _, n := range j.host.TwoHop(r.From) {
+		j.pending.Remove(n)
+	}
+}
+
+func (j *denseCoverageJudge) Initial() Action {
+	if j.pending.Count() == 0 {
+		return Inhibit
+	}
+	return Proceed
+}
+
+func (j *denseCoverageJudge) OnDuplicate(r Reception) Action {
+	j.subtract(r)
+	if j.pending.Count() == 0 {
+		return Inhibit
+	}
+	return Proceed
+}
+
+// Release implements ReleasableJudge.
+func (j *denseCoverageJudge) Release() {
+	if j.pending != nil {
+		j.src.ReleaseNodeSet(j.pending)
+		j.pending = nil
+	}
 }

@@ -28,6 +28,7 @@ package scheme
 
 import (
 	"repro/internal/geom"
+	"repro/internal/nodeset"
 	"repro/internal/packet"
 )
 
@@ -71,6 +72,40 @@ type HostView interface {
 	// host), or nil if h is not a known neighbor. The slice is shared
 	// storage and must not be modified.
 	TwoHop(h packet.NodeID) []packet.NodeID
+}
+
+// NodeSetSource is an optional HostView extension for hosts whose
+// population uses dense 0..N-1 ids. Schemes that track neighbor subsets
+// (neighbor coverage) use it to run on pooled bitsets instead of
+// allocating a map per packet; hosts that do not implement it get the
+// map-based fallback with identical decisions. Pools may live on the
+// host side because a simulation is single-threaded; the Scheme value
+// itself stays stateless and shareable across replica goroutines.
+type NodeSetSource interface {
+	// NeighborNodeSet returns the host's live one-hop membership bitset,
+	// or nil when unavailable; callers must not mutate it.
+	NeighborNodeSet() *nodeset.Set
+	// AcquireNodeSet returns an empty scratch set from the host's pool.
+	AcquireNodeSet() *nodeset.Set
+	// ReleaseNodeSet returns a scratch set to the pool.
+	ReleaseNodeSet(*nodeset.Set)
+}
+
+// ReleasableJudge is implemented by judges that hold pooled resources.
+// The host layer must call Release exactly once when the packet's
+// decision is closed (inhibited, transmitted, or dropped on the initial
+// verdict); the judge must not be used afterwards.
+type ReleasableJudge interface {
+	Judge
+	Release()
+}
+
+// ReleaseJudge returns j's pooled resources if it holds any. It is the
+// host layer's single call point and tolerates judges without resources.
+func ReleaseJudge(j Judge) {
+	if r, ok := j.(ReleasableJudge); ok {
+		r.Release()
+	}
 }
 
 // Reception describes hearing one copy of the broadcast packet.

@@ -9,11 +9,20 @@ import (
 // before it fires; cancelling an already-fired or already-cancelled event
 // is a no-op. Event handles are only valid for the Scheduler that created
 // them.
+//
+// Pooling contract: the default scheduler recycles an Event as soon as
+// its callback returns (or its cancellation is observed), so a handle
+// must not be retained past the event firing — a held pointer may come
+// back as a different, live event. Models that keep a handle in a field
+// must clear the field inside the callback (or rely on the fact that the
+// callback overwrites it with the next timer). Reading Cancelled/Fired
+// on a stale handle after the owning scheduler has reused it is a logic
+// error the type cannot detect.
 type Event struct {
 	at     Time
 	seq    uint64
 	fn     func()
-	index  int // position in the heap, -1 when not queued
+	index  int // position in the legacy heap, -1 when not queued
 	fired  bool
 	cancel bool
 }
@@ -31,11 +40,32 @@ func (e *Event) Fired() bool { return e.fired }
 // for the same instant fire in FIFO order of scheduling, which makes runs
 // reproducible. Scheduler is not safe for concurrent use; a simulation is
 // single-threaded by design (parallelism belongs at the replica level).
+//
+// Two queue implementations sit behind the same interface: the default
+// ladder queue (amortized O(1), lazy tombstone cancellation, pooled Event
+// records) and the legacy binary heap (NewHeapScheduler; O(log n), eager
+// heap.Remove cancellation, one allocation per event). Both fire live
+// events in exactly (time, seq) order, so a model run is byte-identical
+// under either — the heap is kept as the correctness oracle for the
+// ladder's equivalence tests.
 type Scheduler struct {
 	now      Time
 	seq      uint64
-	queue    eventHeap
 	executed uint64
+
+	legacy bool
+	queue  eventHeap // legacy mode only
+	lq     ladder    // default mode only
+	live   int       // pending non-cancelled events (default mode)
+
+	// Event free-list (default mode): recycled records are reused by the
+	// next Schedule, so steady-state operation allocates nothing. A plain
+	// slice, not sync.Pool — the scheduler is single-threaded, and
+	// sync.Pool's per-P caches and GC emptying would cost more than they
+	// give.
+	free       []*Event
+	poolHits   uint64
+	poolMisses uint64
 
 	// Tick hook: an observation callback fired from Step whenever the
 	// clock crosses the next tick boundary. Unlike a scheduled event it
@@ -47,9 +77,19 @@ type Scheduler struct {
 	hookNext     Time
 }
 
-// NewScheduler returns a scheduler with the clock at time zero.
+// NewScheduler returns a ladder-queue scheduler with the clock at time
+// zero.
 func NewScheduler() *Scheduler {
 	return &Scheduler{}
+}
+
+// NewHeapScheduler returns a scheduler backed by the legacy binary heap
+// with eager cancellation and per-event allocation. It exists as the
+// independent oracle for equivalence tests and as an escape hatch
+// (manet.Config.DisableLadderQueue); models observe identical behavior
+// under either scheduler.
+func NewHeapScheduler() *Scheduler {
+	return &Scheduler{legacy: true}
 }
 
 // Now returns the current simulated time.
@@ -59,8 +99,61 @@ func (s *Scheduler) Now() Time { return s.now }
 // useful for progress accounting and benchmarks.
 func (s *Scheduler) Executed() uint64 { return s.executed }
 
-// Pending returns the number of events currently queued.
-func (s *Scheduler) Pending() int { return len(s.queue) }
+// Pending returns the number of events currently queued and not
+// cancelled.
+func (s *Scheduler) Pending() int {
+	if s.legacy {
+		return len(s.queue)
+	}
+	return s.live
+}
+
+// PoolStats returns how many Schedule calls were served from the event
+// free-list versus fresh allocations. The legacy heap scheduler never
+// pools, so it reports zero hits.
+func (s *Scheduler) PoolStats() (hits, misses uint64) { return s.poolHits, s.poolMisses }
+
+// PoolHitRate returns the fraction of Schedule calls served by the
+// free-list, in [0, 1]; zero before any event has been scheduled.
+func (s *Scheduler) PoolHitRate() float64 {
+	total := s.poolHits + s.poolMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.poolHits) / float64(total)
+}
+
+// alloc produces a cleared Event record, reusing the free-list when
+// possible. Flags are cleared here rather than at recycle time so a
+// stale handle keeps reporting its final Cancelled/Fired state until the
+// record is actually reused.
+func (s *Scheduler) alloc(at Time, fn func()) *Event {
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		s.poolHits++
+	} else {
+		e = &Event{}
+		s.poolMisses++
+	}
+	e.at = at
+	e.seq = s.seq
+	e.fn = fn
+	e.index = -1
+	e.fired = false
+	e.cancel = false
+	return e
+}
+
+// recycle returns a dead event record to the free-list. The callback is
+// dropped immediately so the pool does not pin closures (and whatever
+// they capture) until reuse.
+func (s *Scheduler) recycle(e *Event) {
+	e.fn = nil
+	s.free = append(s.free, e)
+}
 
 // Schedule queues fn to run at the absolute time at. Scheduling in the
 // past (before Now) panics: it always indicates a logic error in a model,
@@ -73,8 +166,14 @@ func (s *Scheduler) Schedule(at Time, fn func()) *Event {
 		panic("sim: schedule with nil callback")
 	}
 	s.seq++
-	e := &Event{at: at, seq: s.seq, fn: fn, index: -1}
-	heap.Push(&s.queue, e)
+	if s.legacy {
+		e := &Event{at: at, seq: s.seq, fn: fn, index: -1}
+		heap.Push(&s.queue, e)
+		return e
+	}
+	e := s.alloc(at, fn)
+	s.lq.insert(e)
+	s.live++
 	return e
 }
 
@@ -83,16 +182,42 @@ func (s *Scheduler) After(d Duration, fn func()) *Event {
 	return s.Schedule(s.now.Add(d), fn)
 }
 
-// Cancel removes a pending event so it will never fire. It is safe to
-// call multiple times and on already-fired events.
+// Cancel marks a pending event so it will never fire. It is safe to call
+// multiple times and on already-fired events. The legacy heap removes the
+// event eagerly; the ladder queue tombstones it in place and recycles it
+// when the surrounding bucket is next consumed.
 func (s *Scheduler) Cancel(e *Event) {
 	if e == nil || e.fired || e.cancel {
 		return
 	}
 	e.cancel = true
-	if e.index >= 0 {
-		heap.Remove(&s.queue, e.index)
+	if s.legacy {
+		if e.index >= 0 {
+			heap.Remove(&s.queue, e.index)
+		}
+		return
 	}
+	s.live--
+}
+
+// Drain cancels every pending event and empties the queue, retaining
+// backing storage for reuse. It returns the number of live events
+// discarded. The clock, sequence counter, and executed count are
+// unchanged, so a scheduler can be re-armed and run again after a drain.
+func (s *Scheduler) Drain() int {
+	if s.legacy {
+		n := len(s.queue)
+		for _, e := range s.queue {
+			e.cancel = true
+			e.index = -1
+		}
+		s.queue = s.queue[:0]
+		return n
+	}
+	n := s.live
+	s.lq.drain(s)
+	s.live = 0
+	return n
 }
 
 // SetTickHook installs fn to run inside Step each time the clock
@@ -118,30 +243,63 @@ func (s *Scheduler) SetTickHook(interval Duration, fn func()) {
 // Step fires the single earliest pending event, advancing the clock to
 // its timestamp. It returns false when the queue is empty.
 func (s *Scheduler) Step() bool {
+	var e *Event
+	if s.legacy {
+		e = s.popLegacy()
+	} else {
+		e = s.lq.pop(s)
+	}
+	if e == nil {
+		return false
+	}
+	s.now = e.at
+	if s.hook != nil && e.at >= s.hookNext {
+		s.hook()
+		s.hookNext = e.at.Add(s.hookInterval)
+	}
+	e.fired = true
+	s.executed++
+	if s.legacy {
+		e.fn()
+		return true
+	}
+	s.live--
+	fn := e.fn
+	fn()
+	// Recycled only after the callback returns: the callback may read its
+	// own handle (e.g. to clear a stored timer field) and must still see
+	// this firing, not a reused record.
+	s.recycle(e)
+	return true
+}
+
+func (s *Scheduler) popLegacy() *Event {
 	for len(s.queue) > 0 {
 		e := heap.Pop(&s.queue).(*Event)
 		if e.cancel {
 			continue
 		}
-		s.now = e.at
-		if s.hook != nil && e.at >= s.hookNext {
-			s.hook()
-			s.hookNext = e.at.Add(s.hookInterval)
-		}
-		e.fired = true
-		s.executed++
-		e.fn()
-		return true
+		return e
 	}
-	return false
+	return nil
 }
 
 // RunUntil fires events in order until the queue is empty or the next
 // event is strictly after deadline. The clock finishes at the later of
 // its current value and deadline.
 func (s *Scheduler) RunUntil(deadline Time) {
-	for len(s.queue) > 0 && s.queue[0].at <= deadline {
-		s.Step()
+	if s.legacy {
+		for len(s.queue) > 0 && s.queue[0].at <= deadline {
+			s.Step()
+		}
+	} else {
+		for {
+			at, ok := s.lq.peek(s)
+			if !ok || at > deadline {
+				break
+			}
+			s.Step()
+		}
 	}
 	if s.now < deadline {
 		s.now = deadline
