@@ -49,43 +49,59 @@ var budgets = []budget{
 }
 
 func main() {
-	in := flag.String("in", "", "benchmark output to read (default stdin)")
-	out := flag.String("out", "BENCH_3.json", "JSON file to write")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	src := io.Reader(os.Stdin)
+// run is the whole program behind an injectable boundary (flags, input,
+// and both output streams), so tests can drive every exit path without
+// spawning a process. The return value is the process exit status.
+func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fatal := func(err error) int {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "benchmark output to read (default stdin)")
+	out := fs.String("out", "BENCH_3.json", "JSON file to write")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	src := stdin
 	if *in != "" {
 		f, err := os.Open(*in)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		defer f.Close()
 		src = f
 	}
 	results, err := parse(src)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	if len(results) == 0 {
-		fatal(fmt.Errorf("no benchmark lines found in input"))
+		return fatal(fmt.Errorf("no benchmark lines found in input"))
 	}
 	data, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-		fatal(err)
+		return fatal(err)
 	}
-	fmt.Printf("benchjson: wrote %d results to %s\n", len(results), *out)
+	fmt.Fprintf(stdout, "benchjson: wrote %d results to %s\n", len(results), *out)
 
 	violations := enforce(results)
 	for _, v := range violations {
-		fmt.Fprintln(os.Stderr, "benchjson: BUDGET EXCEEDED:", v)
+		fmt.Fprintln(stderr, "benchjson: BUDGET EXCEEDED:", v)
 	}
 	if len(violations) > 0 {
-		os.Exit(1)
+		return 1
 	}
-	fmt.Println("benchjson: all allocation budgets met")
+	fmt.Fprintln(stdout, "benchjson: all allocation budgets met")
+	return 0
 }
 
 // parse extracts benchmark result lines of the form
@@ -158,9 +174,4 @@ func stripProcs(name string) string {
 		return name
 	}
 	return name[:i]
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "benchjson:", err)
-	os.Exit(1)
 }

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -56,6 +60,121 @@ func TestEnforceCatchesMissingBenchmark(t *testing.T) {
 	results, _ := parse(strings.NewReader("BenchmarkOther-8 10 5 ns/op\n"))
 	if v := enforce(results); len(v) != len(budgets) {
 		t.Fatalf("violations = %v, want every budgeted benchmark reported missing", v)
+	}
+}
+
+// runWith drives the full program with the given flags and stdin,
+// returning the exit status and both output streams.
+func runWith(t *testing.T, argv []string, stdin string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(argv, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunSuccess(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	code, stdout, stderr := runWith(t, []string{"-out", outPath}, sample)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "all allocation budgets met") {
+		t.Fatalf("stdout: %q", stdout)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("JSON holds %d results, want 3", len(results))
+	}
+}
+
+func TestRunReadsInputFile(t *testing.T) {
+	dir := t.TempDir()
+	inPath := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(inPath, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runWith(t, []string{"-in", inPath, "-out", filepath.Join(dir, "bench.json")}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+}
+
+func TestRunMissingInputFile(t *testing.T) {
+	code, _, stderr := runWith(t, []string{"-in", filepath.Join(t.TempDir(), "absent.txt")}, "")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "benchjson:") {
+		t.Fatalf("stderr: %q", stderr)
+	}
+}
+
+func TestRunMalformedLine(t *testing.T) {
+	bad := "BenchmarkScheduler/queue=ladder-8 1000 garbage ns/op\n"
+	code, _, stderr := runWith(t, []string{"-out", filepath.Join(t.TempDir(), "b.json")}, bad)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "bad value") {
+		t.Fatalf("stderr: %q", stderr)
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	code, _, stderr := runWith(t, []string{"-out", filepath.Join(t.TempDir(), "b.json")}, "PASS\n")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "no benchmark lines") {
+		t.Fatalf("stderr: %q", stderr)
+	}
+}
+
+func TestRunBudgetBreachExitsNonzero(t *testing.T) {
+	bad := strings.Replace(sample, "0.886 allocs/event", "1.52 allocs/event", 1)
+	code, _, stderr := runWith(t, []string{"-out", filepath.Join(t.TempDir(), "b.json")}, bad)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "BUDGET EXCEEDED") {
+		t.Fatalf("stderr: %q", stderr)
+	}
+}
+
+func TestRunMissingBudgetMetric(t *testing.T) {
+	// The budgeted benchmarks run but never report their budgeted unit.
+	input := "BenchmarkScheduler/queue=ladder-8 1000 61.15 ns/op\n" +
+		"BenchmarkBroadcastSim/queue=ladder-8 20 15784327 ns/op\n"
+	code, _, stderr := runWith(t, []string{"-out", filepath.Join(t.TempDir(), "b.json")}, input)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "did not report") {
+		t.Fatalf("stderr: %q", stderr)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	code, _, _ := runWith(t, []string{"-nosuchflag"}, "")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestRunUnwritableOutput(t *testing.T) {
+	code, _, stderr := runWith(t, []string{"-out", filepath.Join(t.TempDir(), "no", "such", "dir", "b.json")}, sample)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "benchjson:") {
+		t.Fatalf("stderr: %q", stderr)
 	}
 }
 

@@ -61,6 +61,18 @@ type Stats struct {
 // smaller value keeps simulated storms from compounding).
 const RetryLimit = 4
 
+// Auditor is the MAC's view of the runtime invariant auditor
+// (implemented by internal/check.Auditor): it tracks the Pending-record
+// pool so a double-release or use-after-release of a recycled record is
+// reported instead of silently corrupting a later frame. Declared here
+// as a narrow interface so mac does not depend on the auditor package;
+// a nil Auditor (the default) costs one branch per hook point.
+type Auditor interface {
+	AuditAcquire(at sim.Time, pool string, rec any)
+	AuditRelease(at sim.Time, pool string, rec any)
+	AuditUse(at sim.Time, pool string, rec any)
+}
+
 // MAC is the per-host medium access controller. It implements
 // phy.Listener; the host's upper layer receives frames through the
 // Receiver callback.
@@ -91,6 +103,8 @@ type MAC struct {
 	// record itself (and not even that with the pool on).
 	pendingPool bool
 	pFree       []*Pending
+	// audit, when non-nil, observes the Pending pool lifecycle (SetAudit).
+	audit Auditor
 	inflight    *Pending // the frame whose airtime end finishTxFn awaits
 	startTx     func()
 	finishTxFn  func()
@@ -168,16 +182,25 @@ func New(sched *sim.Scheduler, ch *phy.Channel, pos phy.PositionFunc, rng *sim.R
 // leave the pool off.
 func (m *MAC) SetPendingPool(on bool) { m.pendingPool = on }
 
+// SetAudit attaches an invariant auditor observing the Pending-record
+// pool. A nil auditor (the default) leaves the MAC unaudited.
+func (m *MAC) SetAudit(a Auditor) { m.audit = a }
+
 // allocPending takes a record off the free list or allocates one.
 func (m *MAC) allocPending(f *packet.Frame, onStart, onDone func()) *Pending {
+	var p *Pending
 	if l := len(m.pFree); l > 0 {
-		p := m.pFree[l-1]
+		p = m.pFree[l-1]
 		m.pFree[l-1] = nil
 		m.pFree = m.pFree[:l-1]
 		*p = Pending{Frame: f, OnStart: onStart, OnDone: onDone}
-		return p
+	} else {
+		p = &Pending{Frame: f, OnStart: onStart, OnDone: onDone}
 	}
-	return &Pending{Frame: f, OnStart: onStart, OnDone: onDone}
+	if m.audit != nil {
+		m.audit.AuditAcquire(m.sched.Now(), "mac.pending", p)
+	}
+	return p
 }
 
 // recyclePending returns a finished record to the free list (pool on).
@@ -186,6 +209,9 @@ func (m *MAC) allocPending(f *packet.Frame, onStart, onDone func()) *Pending {
 func (m *MAC) recyclePending(p *Pending) {
 	if !m.pendingPool {
 		return
+	}
+	if m.audit != nil {
+		m.audit.AuditRelease(m.sched.Now(), "mac.pending", p)
 	}
 	p.Frame = nil
 	p.OnStart = nil
@@ -389,6 +415,9 @@ func (m *MAC) startTransmission() {
 	m.backoffRemaining = -1
 	p.started = true
 	m.stats.Sent++
+	if m.audit != nil {
+		m.audit.AuditUse(m.sched.Now(), "mac.pending", p)
+	}
 	if p.OnStart != nil && !p.retransmit {
 		p.OnStart()
 	}
@@ -433,6 +462,9 @@ func (m *MAC) finishRTS(p *Pending) {
 // data frames instead arm the ACK timeout.
 func (m *MAC) finishTransmission(p *Pending) {
 	m.transmitting = false
+	if m.audit != nil {
+		m.audit.AuditUse(m.sched.Now(), "mac.pending", p)
+	}
 	if p.Frame.Dest != packet.DestBroadcast && p.Frame.Kind != packet.KindAck {
 		m.awaiting = p
 		m.awaitKind = awaitACK

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/check"
 	"repro/internal/geom"
 	"repro/internal/neighbor"
 	"repro/internal/obs"
@@ -183,6 +184,14 @@ type Config struct {
 	// numbers, so an instrumented run produces the identical Summary
 	// (asserted by TestTelemetryDoesNotPerturbSimulation).
 	Telemetry *obs.Collector
+
+	// Audit, when non-nil, attaches the runtime invariant auditor to the
+	// scheduler, channel, MACs, frame pools, and neighbor tables. Like
+	// Telemetry it is observation-only: it schedules no events and draws
+	// no random numbers, so an audited run produces the identical Summary
+	// (asserted by check.TestAuditTransparency). Inspect the auditor's
+	// Violations after Run.
+	Audit *check.Auditor
 
 	// Seed selects the deterministic random streams.
 	Seed uint64

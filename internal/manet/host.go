@@ -66,22 +66,26 @@ type pendingRebroadcast struct {
 // newPendingRebroadcast takes a waiting-state record off the free list
 // (or allocates one, binding its callbacks).
 func (h *host) newPendingRebroadcast(bid packet.BroadcastID, judge scheme.Judge) *pendingRebroadcast {
+	var p *pendingRebroadcast
 	if l := len(h.prFree); l > 0 {
-		p := h.prFree[l-1]
+		p = h.prFree[l-1]
 		h.prFree[l-1] = nil
 		h.prFree = h.prFree[:l-1]
 		p.bid, p.judge = bid, judge
 		p.started, p.resolved = false, false
-		return p
+	} else {
+		p = &pendingRebroadcast{bid: bid, judge: judge}
+		p.assessFn = func() { h.submit(p) }
+		p.startFn = func() { // transmission actually starts: S3, decision locked
+			p.started = true
+			h.net.noteTransmitted(p.bid)
+			h.net.trace(trace.Transmit, p.bid, h.id)
+		}
+		p.doneFn = func() { h.complete(p) }
 	}
-	p := &pendingRebroadcast{bid: bid, judge: judge}
-	p.assessFn = func() { h.submit(p) }
-	p.startFn = func() { // transmission actually starts: S3, decision locked
-		p.started = true
-		h.net.noteTransmitted(p.bid)
-		h.net.trace(trace.Transmit, p.bid, h.id)
+	if h.net.audit != nil {
+		h.net.audit.AuditAcquire(h.net.sched.Now(), "manet.pending", p)
 	}
-	p.doneFn = func() { h.complete(p) }
 	return p
 }
 
@@ -89,6 +93,9 @@ func (h *host) newPendingRebroadcast(bid packet.BroadcastID, judge scheme.Judge)
 // Nothing may hold the record afterwards: its event was cancelled or
 // fired, and the MAC has dropped (or is about to drop) its callbacks.
 func (h *host) recyclePendingRebroadcast(p *pendingRebroadcast) {
+	if h.net.audit != nil {
+		h.net.audit.AuditRelease(h.net.sched.Now(), "manet.pending", p)
+	}
 	p.judge = nil
 	p.assess = nil
 	p.mp = nil
@@ -197,6 +204,9 @@ func (h *host) onBroadcast(f *packet.Frame) {
 
 // submit hands the rebroadcast to the MAC after the assessment delay.
 func (h *host) submit(p *pendingRebroadcast) {
+	if h.net.audit != nil {
+		h.net.audit.AuditUse(h.net.sched.Now(), "manet.pending", p)
+	}
 	p.assess = nil
 	if p.resolved {
 		return
@@ -208,6 +218,9 @@ func (h *host) submit(p *pendingRebroadcast) {
 // complete resolves the rebroadcast when its transmission ends (the MAC
 // OnDone of the frame submit enqueued).
 func (h *host) complete(p *pendingRebroadcast) {
+	if h.net.audit != nil {
+		h.net.audit.AuditUse(h.net.sched.Now(), "manet.pending", p)
+	}
 	p.resolved = true
 	delete(h.pending, p.bid)
 	scheme.ReleaseJudge(p.judge)
@@ -218,6 +231,9 @@ func (h *host) complete(p *pendingRebroadcast) {
 
 // inhibit cancels the pending rebroadcast (S5).
 func (h *host) inhibit(p *pendingRebroadcast) {
+	if h.net.audit != nil {
+		h.net.audit.AuditUse(h.net.sched.Now(), "manet.pending", p)
+	}
 	p.resolved = true
 	if p.assess != nil {
 		h.net.sched.Cancel(p.assess)

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/geom"
 	"repro/internal/mac"
 	"repro/internal/metrics"
@@ -53,6 +54,13 @@ type Network struct {
 	obsInhibitInit obs.CounterID
 	obsProceedDup  obs.CounterID
 	obsInhibitDup  obs.CounterID
+
+	// Invariant auditor plumbing (cfg.Audit): the auditor itself plus the
+	// mobility speed bound the neighbor-soundness sweep uses to expand the
+	// radio radius for drift since a HELLO was heard. All hot-path access
+	// is gated on audit != nil, so an unaudited run pays one pointer test.
+	audit      *check.Auditor
+	auditSpeed float64 // fastest possible host speed, m/s
 
 	// Scratch reused by reachableFrom and the other unit-disk queries so
 	// per-origination bookkeeping does not allocate.
@@ -129,13 +137,21 @@ func New(cfg Config) (*Network, error) {
 	// must cover the fastest possible mover: group members ride the
 	// center's motion plus their own jitter; all other models cap at
 	// MaxSpeedKMH.
+	var maxSpeed float64
 	switch {
 	case cfg.Static:
-		n.ch.SetMaxSpeed(0)
+		maxSpeed = 0
 	case cfg.Groups > 0:
-		n.ch.SetMaxSpeed(gcfg.Center.MaxSpeedMPS + gcfg.JitterSpeedMPS)
+		maxSpeed = gcfg.Center.MaxSpeedMPS + gcfg.JitterSpeedMPS
 	default:
-		n.ch.SetMaxSpeed(mobility.KMHToMPS(cfg.MaxSpeedKMH))
+		maxSpeed = mobility.KMHToMPS(cfg.MaxSpeedKMH)
+	}
+	n.ch.SetMaxSpeed(maxSpeed)
+	if cfg.Audit != nil {
+		n.audit = cfg.Audit
+		n.auditSpeed = maxSpeed
+		sched.SetAuditHook(cfg.Audit.AuditEvent)
+		n.ch.SetAudit(cfg.Audit)
 	}
 
 	n.hosts = make([]*host, cfg.Hosts)
@@ -172,6 +188,9 @@ func New(cfg Config) (*Network, error) {
 		// The hosts never read a mac.Pending handle after its frame
 		// completed or was cancelled, so the MAC may recycle the records.
 		h.mac.SetPendingPool(true)
+		if cfg.Audit != nil {
+			h.mac.SetAudit(cfg.Audit)
+		}
 		hh := h
 		h.sendHelloFn = hh.sendHello
 		h.helloSentFn = func() { n.helloSent++ }
@@ -243,8 +262,9 @@ func (n *Network) releaseSet(s *nodeset.Set) { n.setPool = append(n.setPool, s) 
 
 // newBroadcastFrame builds (or recycles) a broadcast data frame.
 func (n *Network) newBroadcastFrame(bid packet.BroadcastID, sender packet.NodeID, pos geom.Point) *packet.Frame {
+	var f *packet.Frame
 	if k := len(n.framePool); k > 0 {
-		f := n.framePool[k-1]
+		f = n.framePool[k-1]
 		n.framePool[k-1] = nil
 		n.framePool = n.framePool[:k-1]
 		*f = packet.Frame{
@@ -255,9 +275,13 @@ func (n *Network) newBroadcastFrame(bid packet.BroadcastID, sender packet.NodeID
 			Broadcast: bid,
 			SenderPos: pos,
 		}
-		return f
+	} else {
+		f = packet.NewBroadcast(bid, sender, pos)
 	}
-	return packet.NewBroadcast(bid, sender, pos)
+	if n.audit != nil {
+		n.audit.AuditAcquire(n.sched.Now(), "frame", f)
+	}
+	return f
 }
 
 // recycleFrame returns a broadcast frame whose transmission is finished
@@ -265,14 +289,20 @@ func (n *Network) newBroadcastFrame(bid packet.BroadcastID, sender packet.NodeID
 // frames are consumed synchronously at delivery: no receiver, MAC queue
 // entry, or channel record dereferences the frame after its completion
 // callback has run.
-func (n *Network) recycleFrame(f *packet.Frame) { n.framePool = append(n.framePool, f) }
+func (n *Network) recycleFrame(f *packet.Frame) {
+	if n.audit != nil {
+		n.audit.AuditRelease(n.sched.Now(), "frame", f)
+	}
+	n.framePool = append(n.framePool, f)
+}
 
 // newHelloFrame builds (or recycles) a HELLO beacon with empty Neighbors
 // and Recent slices whose capacities survive recycling; the caller
 // appends the announced sets and accounts Bytes.
 func (n *Network) newHelloFrame(sender packet.NodeID, pos geom.Point, interval sim.Duration) *packet.Frame {
+	var f *packet.Frame
 	if k := len(n.helloPool); k > 0 {
-		f := n.helloPool[k-1]
+		f = n.helloPool[k-1]
 		n.helloPool[k-1] = nil
 		n.helloPool = n.helloPool[:k-1]
 		neighbors, recent := f.Neighbors[:0], f.Recent[:0]
@@ -285,23 +315,32 @@ func (n *Network) newHelloFrame(sender packet.NodeID, pos geom.Point, interval s
 			HelloInterval: interval,
 		}
 		f.Neighbors, f.Recent = neighbors, recent
-		return f
+	} else {
+		f = &packet.Frame{
+			Kind:          packet.KindHello,
+			Sender:        sender,
+			Dest:          packet.DestBroadcast,
+			Bytes:         packet.HelloBaseBytes,
+			SenderPos:     pos,
+			HelloInterval: interval,
+		}
 	}
-	return &packet.Frame{
-		Kind:          packet.KindHello,
-		Sender:        sender,
-		Dest:          packet.DestBroadcast,
-		Bytes:         packet.HelloBaseBytes,
-		SenderPos:     pos,
-		HelloInterval: interval,
+	if n.audit != nil {
+		n.audit.AuditAcquire(n.sched.Now(), "frame", f)
 	}
+	return f
 }
 
 // recycleHelloFrame returns a fully transmitted beacon to the pool.
 // Safe because receivers copy Neighbors (Table.OnHello) and consume
 // Recent (onHelloRecent) synchronously at delivery, before the sender's
 // completion callback runs.
-func (n *Network) recycleHelloFrame(f *packet.Frame) { n.helloPool = append(n.helloPool, f) }
+func (n *Network) recycleHelloFrame(f *packet.Frame) {
+	if n.audit != nil {
+		n.audit.AuditRelease(n.sched.Now(), "frame", f)
+	}
+	n.helloPool = append(n.helloPool, f)
+}
 
 // randomPoint places a static host uniformly on the map.
 func randomPoint(rng *sim.RNG, area mobility.Map) geom.Point {
@@ -347,7 +386,7 @@ func (n *Network) Run() metrics.Summary {
 	// tick hook: they run between events, schedule nothing, and draw no
 	// random numbers, so the event stream is identical to an unhooked
 	// run (TestTelemetryDoesNotPerturbSimulation asserts this).
-	if n.obs != nil || n.Progress != nil {
+	if n.obs != nil || n.Progress != nil || n.audit != nil {
 		interval := n.obs.Tick()
 		if interval <= 0 {
 			interval = sim.Second
@@ -357,6 +396,9 @@ func (n *Network) Run() metrics.Summary {
 		n.sched.SetTickHook(interval, func() {
 			now := n.sched.Now()
 			n.obs.Sample(now)
+			if n.audit != nil {
+				n.auditNeighborSweep(now)
+			}
 			if n.Progress != nil && now >= nextProgress {
 				rate := 0.0
 				if elapsed := time.Since(startWall).Seconds(); elapsed > 0 {
@@ -372,6 +414,35 @@ func (n *Network) Run() metrics.Summary {
 	n.sched.RunUntil(n.endTime)
 	n.obs.Sample(n.sched.Now()) // close the series at end of run (nil-safe)
 	return n.summarize()
+}
+
+// auditNeighborSweep verifies every host's neighbor table against ground
+// truth: each entry must be within its staleness bound (expiryIntervals
+// hello intervals since last heard) and its host must lie within the
+// radio radius expanded by the worst-case drift both endpoints can
+// accumulate since the HELLO's transmission began (its age plus the
+// beacon's maximum airtime, at auditSpeed each). Pure observation: reads
+// positions and table entries, mutates nothing.
+func (n *Network) auditNeighborSweep(now sim.Time) {
+	// In-range membership is fixed when a transmission starts, and the
+	// entry timestamp is stamped at delivery — one maximal HELLO airtime
+	// later — so the drift window extends backwards by that airtime.
+	maxHello := packet.HelloBaseBytes +
+		packet.HelloPerNeighborBytes*len(n.hosts) +
+		packet.HelloPerRecentBytes*(n.cfg.Requests+1)
+	slack := n.cfg.Timing.Airtime(maxHello)
+	const eps = 1e-6
+	for _, h := range n.hosts {
+		owner := h
+		pos := owner.mover.Position()
+		owner.table.AuditEntries(func(id packet.NodeID, lastHeard sim.Time, interval sim.Duration) {
+			age := now.Sub(lastHeard)
+			bound := sim.Duration(n.cfg.ExpiryIntervals) * interval
+			dist := pos.Dist(n.hosts[id].mover.Position())
+			maxDist := n.cfg.Radius + 2*n.auditSpeed*(age+slack).Seconds() + eps
+			n.audit.AuditNeighborEntry(now, owner.id, id, age, bound, dist, maxDist)
+		})
+	}
 }
 
 // originate issues one broadcast request from src.
@@ -474,6 +545,13 @@ func (n *Network) summarize() metrics.Summary {
 	s.Collisions = st.Collisions
 	s.SimulatedTime = n.sched.Now().Sub(0)
 	s.Events = n.sched.Executed()
+	if n.audit != nil {
+		now := n.sched.Now()
+		for _, rec := range recs {
+			n.audit.AuditRecord(now, rec)
+		}
+		n.audit.AuditSummary(now, s, st.Lost)
+	}
 	return s
 }
 

@@ -297,6 +297,23 @@ func (t *Table) TwoHop(h packet.NodeID) []packet.NodeID {
 	return e.twoHop
 }
 
+// AuditEntries calls f for every live one-hop entry with the id, the
+// time its last HELLO was heard, and the hello interval it announced.
+// It is an observation-only walk for the invariant auditor: the table
+// is not mutated and no expiry timers are touched.
+func (t *Table) AuditEntries(f func(id packet.NodeID, lastHeard sim.Time, interval sim.Duration)) {
+	if t.dense != nil {
+		t.present.ForEach(func(h packet.NodeID) {
+			e := &t.dense[h]
+			f(e.id, e.lastHeard, e.interval)
+		})
+		return
+	}
+	for _, e := range t.entries {
+		f(e.id, e.lastHeard, e.interval)
+	}
+}
+
 // Variation returns nv_x: the number of hosts that joined or left N_x
 // within the past VariationWindow, normalized by |N_x| times the window
 // length in seconds. An empty neighborhood uses |N_x| = 1 to keep the

@@ -1,0 +1,261 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// Wire codec: a compact big-endian binary encoding of Frame for traces,
+// golden files, and fuzzing. The simulator itself passes frames by
+// pointer — airtime is modeled from Frame.Bytes, not from this encoding
+// — so the codec is a faithful serialization of the metadata, not the
+// simulated byte layout. Payload (an opaque any used by upper-layer
+// protocols) is not serialized; frames carrying one must be flattened by
+// the protocol before encoding.
+//
+// Layout, all integers big-endian:
+//
+//	version  uint8  (codecVersion)
+//	kind     uint8
+//	sender   int32
+//	dest     int32
+//	bytes    uint32
+//	posX     float64 (IEEE 754 bits)
+//	posY     float64
+//	then, by kind:
+//	  broadcast:  source int32, seq uint32
+//	  hello:      interval int64, nCount uint16, nCount * int32,
+//	              rCount uint16, rCount * (int32, uint32)
+//	  rts/cts:    nav int64
+//	  ack/data:   nothing
+//
+// Decode rejects truncated input, trailing bytes, unknown versions and
+// kinds, negative declared sizes, and HELLO frames whose neighbor or
+// recent lists contain duplicate ids (a host announces a set; a frame
+// with repeats was corrupted or forged).
+
+// codecVersion is the first byte of every encoded frame.
+const codecVersion = 1
+
+// ErrTruncated reports input that ended inside a field.
+var ErrTruncated = errors.New("packet: truncated frame")
+
+// AppendEncode appends f's wire encoding to dst and returns the extended
+// slice. It panics if f has a Payload (not serializable) or an unknown
+// Kind — both are programming errors, not data errors.
+func AppendEncode(dst []byte, f *Frame) []byte {
+	if f.Payload != nil {
+		panic("packet: cannot encode frame with opaque Payload")
+	}
+	switch f.Kind {
+	case KindBroadcast, KindHello, KindData, KindAck, KindRTS, KindCTS:
+	default:
+		panic(fmt.Sprintf("packet: cannot encode unknown kind %d", uint8(f.Kind)))
+	}
+	dst = append(dst, codecVersion, uint8(f.Kind))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(f.Sender))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(f.Dest))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(f.Bytes))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(f.SenderPos.X))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(f.SenderPos.Y))
+	switch f.Kind {
+	case KindBroadcast:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(f.Broadcast.Source))
+		dst = binary.BigEndian.AppendUint32(dst, f.Broadcast.Seq)
+	case KindHello:
+		dst = binary.BigEndian.AppendUint64(dst, uint64(f.HelloInterval))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(f.Neighbors)))
+		for _, id := range f.Neighbors {
+			dst = binary.BigEndian.AppendUint32(dst, uint32(id))
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(f.Recent)))
+		for _, bid := range f.Recent {
+			dst = binary.BigEndian.AppendUint32(dst, uint32(bid.Source))
+			dst = binary.BigEndian.AppendUint32(dst, bid.Seq)
+		}
+	case KindRTS, KindCTS:
+		dst = binary.BigEndian.AppendUint64(dst, uint64(f.NAV))
+	}
+	return dst
+}
+
+// Encode returns f's wire encoding.
+func Encode(f *Frame) []byte { return AppendEncode(nil, f) }
+
+// decoder is a cursor over an encoded frame with truncation-aware reads.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) take(n int, field string) ([]byte, error) {
+	if d.off+n > len(d.buf) {
+		return nil, fmt.Errorf("%w: %s at offset %d (have %d of %d bytes)",
+			ErrTruncated, field, d.off, len(d.buf)-d.off, n)
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+func (d *decoder) u8(field string) (uint8, error) {
+	b, err := d.take(1, field)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (d *decoder) u16(field string) (uint16, error) {
+	b, err := d.take(2, field)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+func (d *decoder) u32(field string) (uint32, error) {
+	b, err := d.take(4, field)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (d *decoder) u64(field string) (uint64, error) {
+	b, err := d.take(8, field)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// Decode parses one encoded frame, validating structure and content. The
+// whole input must be consumed: trailing bytes are an error, so a
+// corrupted length prefix cannot silently drop data.
+func Decode(data []byte) (*Frame, error) {
+	d := &decoder{buf: data}
+	ver, err := d.u8("version")
+	if err != nil {
+		return nil, err
+	}
+	if ver != codecVersion {
+		return nil, fmt.Errorf("packet: unknown codec version %d", ver)
+	}
+	kindByte, err := d.u8("kind")
+	if err != nil {
+		return nil, err
+	}
+	kind := Kind(kindByte)
+	switch kind {
+	case KindBroadcast, KindHello, KindData, KindAck, KindRTS, KindCTS:
+	default:
+		return nil, fmt.Errorf("packet: unknown frame kind %d", kindByte)
+	}
+	f := &Frame{Kind: kind}
+	sender, err := d.u32("sender")
+	if err != nil {
+		return nil, err
+	}
+	f.Sender = NodeID(int32(sender))
+	dest, err := d.u32("dest")
+	if err != nil {
+		return nil, err
+	}
+	f.Dest = NodeID(int32(dest))
+	size, err := d.u32("bytes")
+	if err != nil {
+		return nil, err
+	}
+	if size > math.MaxInt32 {
+		return nil, fmt.Errorf("packet: negative frame size %d", int32(size))
+	}
+	f.Bytes = int(size)
+	xbits, err := d.u64("posX")
+	if err != nil {
+		return nil, err
+	}
+	ybits, err := d.u64("posY")
+	if err != nil {
+		return nil, err
+	}
+	f.SenderPos = geom.Point{X: math.Float64frombits(xbits), Y: math.Float64frombits(ybits)}
+
+	switch kind {
+	case KindBroadcast:
+		src, err := d.u32("broadcast source")
+		if err != nil {
+			return nil, err
+		}
+		seq, err := d.u32("broadcast seq")
+		if err != nil {
+			return nil, err
+		}
+		f.Broadcast = BroadcastID{Source: NodeID(int32(src)), Seq: seq}
+	case KindHello:
+		iv, err := d.u64("hello interval")
+		if err != nil {
+			return nil, err
+		}
+		f.HelloInterval = sim.Duration(iv)
+		nCount, err := d.u16("neighbor count")
+		if err != nil {
+			return nil, err
+		}
+		if nCount > 0 {
+			f.Neighbors = make([]NodeID, 0, nCount)
+		}
+		seen := make(map[NodeID]bool, nCount)
+		for i := 0; i < int(nCount); i++ {
+			v, err := d.u32("neighbor id")
+			if err != nil {
+				return nil, err
+			}
+			id := NodeID(int32(v))
+			if seen[id] {
+				return nil, fmt.Errorf("packet: duplicate neighbor id %v in hello", id)
+			}
+			seen[id] = true
+			f.Neighbors = append(f.Neighbors, id)
+		}
+		rCount, err := d.u16("recent count")
+		if err != nil {
+			return nil, err
+		}
+		if rCount > 0 {
+			f.Recent = make([]BroadcastID, 0, rCount)
+		}
+		seenBid := make(map[BroadcastID]bool, rCount)
+		for i := 0; i < int(rCount); i++ {
+			src, err := d.u32("recent source")
+			if err != nil {
+				return nil, err
+			}
+			seq, err := d.u32("recent seq")
+			if err != nil {
+				return nil, err
+			}
+			bid := BroadcastID{Source: NodeID(int32(src)), Seq: seq}
+			if seenBid[bid] {
+				return nil, fmt.Errorf("packet: duplicate recent id %v in hello", bid)
+			}
+			seenBid[bid] = true
+			f.Recent = append(f.Recent, bid)
+		}
+	case KindRTS, KindCTS:
+		nav, err := d.u64("nav")
+		if err != nil {
+			return nil, err
+		}
+		f.NAV = sim.Duration(nav)
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("packet: %d trailing bytes after %v frame", len(data)-d.off, kind)
+	}
+	return f, nil
+}

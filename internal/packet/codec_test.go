@@ -1,0 +1,194 @@
+package packet
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// sampleFrames builds one representative frame of every kind through the
+// public constructors, exercising each constructor's field logic on the
+// way. Payloads are stripped (the codec rejects them by design).
+func sampleFrames() map[string]*Frame {
+	pos := geom.Point{X: 12.5, Y: -3.25}
+	hello := NewHello(4, pos, []NodeID{7, 2, 9}, 2*sim.Second)
+	hello.Recent = []BroadcastID{{Source: 1, Seq: 10}, {Source: 1, Seq: 11}, {Source: 3, Seq: 1}}
+	hello.Bytes += HelloPerRecentBytes * len(hello.Recent)
+	data := NewData(6, 1, 512, nil, pos)
+	return map[string]*Frame{
+		"broadcast": NewBroadcast(BroadcastID{Source: 5, Seq: 42}, 5, pos),
+		"hello":     hello,
+		"data":      data,
+		"ack":       NewAck(3, 8, pos),
+		"rts":       NewRTS(2, 6, 1500*sim.Microsecond, pos),
+		"cts":       NewCTS(6, 2, 1200*sim.Microsecond, pos),
+	}
+}
+
+func TestCodecRoundtrip(t *testing.T) {
+	for name, f := range sampleFrames() {
+		f := f
+		t.Run(name, func(t *testing.T) {
+			enc := Encode(f)
+			got, err := Decode(enc)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if !reflect.DeepEqual(got, f) {
+				t.Fatalf("roundtrip mismatch:\n in  %+v\n out %+v", f, got)
+			}
+		})
+	}
+}
+
+func TestAppendEncodeExtends(t *testing.T) {
+	f := NewAck(1, 2, geom.Point{})
+	prefix := []byte{0xAA, 0xBB}
+	buf := AppendEncode(prefix, f)
+	if len(buf) <= len(prefix) || buf[0] != 0xAA || buf[1] != 0xBB {
+		t.Fatalf("prefix not preserved: % x", buf[:4])
+	}
+	got, err := Decode(buf[len(prefix):])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, f) {
+		t.Fatalf("roundtrip through AppendEncode mismatch: %+v", got)
+	}
+}
+
+// TestDecodeTruncated feeds every proper prefix of every kind's encoding
+// to Decode: each must fail with ErrTruncated, never panic or succeed.
+func TestDecodeTruncated(t *testing.T) {
+	for name, f := range sampleFrames() {
+		enc := Encode(f)
+		for n := 0; n < len(enc); n++ {
+			_, err := Decode(enc[:n])
+			if err == nil {
+				t.Fatalf("%s: Decode accepted %d of %d bytes", name, n, len(enc))
+			}
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("%s truncated at %d: error %v is not ErrTruncated", name, n, err)
+			}
+		}
+	}
+}
+
+func TestDecodeTrailingBytes(t *testing.T) {
+	for name, f := range sampleFrames() {
+		enc := append(Encode(f), 0x00)
+		if _, err := Decode(enc); err == nil || !strings.Contains(err.Error(), "trailing") {
+			t.Errorf("%s: trailing byte not rejected: %v", name, err)
+		}
+	}
+}
+
+func TestDecodeUnknownVersion(t *testing.T) {
+	enc := Encode(NewAck(1, 2, geom.Point{}))
+	enc[0] = 99
+	if _, err := Decode(enc); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("unknown version not rejected: %v", err)
+	}
+}
+
+func TestDecodeUnknownKind(t *testing.T) {
+	enc := Encode(NewAck(1, 2, geom.Point{}))
+	enc[1] = 0 // below KindBroadcast
+	if _, err := Decode(enc); err == nil || !strings.Contains(err.Error(), "kind") {
+		t.Fatalf("kind 0 not rejected: %v", err)
+	}
+	enc[1] = uint8(KindCTS) + 1
+	if _, err := Decode(enc); err == nil || !strings.Contains(err.Error(), "kind") {
+		t.Fatalf("kind beyond CTS not rejected: %v", err)
+	}
+}
+
+func TestDecodeNegativeSize(t *testing.T) {
+	enc := Encode(NewAck(1, 2, geom.Point{}))
+	// The bytes field sits after version, kind, sender, and dest.
+	for i := 10; i < 14; i++ {
+		enc[i] = 0xFF
+	}
+	if _, err := Decode(enc); err == nil || !strings.Contains(err.Error(), "size") {
+		t.Fatalf("negative size not rejected: %v", err)
+	}
+}
+
+func TestDecodeDuplicateNeighbor(t *testing.T) {
+	f := NewHello(4, geom.Point{}, []NodeID{7, 2, 7}, sim.Second)
+	if _, err := Decode(Encode(f)); err == nil || !strings.Contains(err.Error(), "duplicate neighbor") {
+		t.Fatalf("duplicate neighbor id not rejected: %v", err)
+	}
+}
+
+func TestDecodeDuplicateRecent(t *testing.T) {
+	f := NewHello(4, geom.Point{}, nil, sim.Second)
+	f.Recent = []BroadcastID{{Source: 2, Seq: 5}, {Source: 2, Seq: 5}}
+	if _, err := Decode(Encode(f)); err == nil || !strings.Contains(err.Error(), "duplicate recent") {
+		t.Fatalf("duplicate recent id not rejected: %v", err)
+	}
+}
+
+// Distinct sources with equal sequence numbers (and vice versa) are
+// legitimate: only the full (source, seq) pair identifies a broadcast.
+func TestDecodeRecentPairsNotConfused(t *testing.T) {
+	f := NewHello(4, geom.Point{}, nil, sim.Second)
+	f.Recent = []BroadcastID{{Source: 2, Seq: 5}, {Source: 3, Seq: 5}, {Source: 2, Seq: 6}}
+	got, err := Decode(Encode(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Recent, f.Recent) {
+		t.Fatalf("Recent = %v, want %v", got.Recent, f.Recent)
+	}
+}
+
+func TestEncodePanicsOnPayload(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Encode accepted a frame with an opaque payload")
+		}
+	}()
+	Encode(NewData(1, 2, 64, "opaque", geom.Point{}))
+}
+
+func TestEncodePanicsOnUnknownKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Encode accepted an unknown kind")
+		}
+	}()
+	Encode(&Frame{Kind: Kind(200)})
+}
+
+// TestConstructorFields pins the field and size conventions of the
+// control-frame constructors the codec tests build on.
+func TestConstructorFields(t *testing.T) {
+	pos := geom.Point{X: 1, Y: 2}
+	ack := NewAck(3, 8, pos)
+	if ack.Kind != KindAck || ack.Sender != 3 || ack.Dest != 8 || ack.Bytes != AckBytes || ack.SenderPos != pos {
+		t.Errorf("NewAck: %+v", ack)
+	}
+	rts := NewRTS(2, 6, 9*sim.Microsecond, pos)
+	if rts.Kind != KindRTS || rts.Bytes != RTSBytes || rts.NAV != 9*sim.Microsecond {
+		t.Errorf("NewRTS: %+v", rts)
+	}
+	cts := NewCTS(6, 2, 7*sim.Microsecond, pos)
+	if cts.Kind != KindCTS || cts.Bytes != CTSBytes || cts.NAV != 7*sim.Microsecond {
+		t.Errorf("NewCTS: %+v", cts)
+	}
+	data := NewData(6, 1, 512, "body", pos)
+	if data.Kind != KindData || data.Bytes != 512 || data.Payload != "body" {
+		t.Errorf("NewData: %+v", data)
+	}
+}
+
+func TestKindStringUnknown(t *testing.T) {
+	if s := Kind(99).String(); !strings.Contains(s, "99") {
+		t.Fatalf("Kind(99).String() = %q", s)
+	}
+}

@@ -1,0 +1,45 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// FuzzDecode feeds arbitrary bytes to the wire decoder. Decode must
+// never panic, and the format is canonical — every field is meaningful
+// and fixed-width, so any input Decode accepts must re-encode to the
+// exact same bytes.
+func FuzzDecode(f *testing.F) {
+	pos := geom.Point{X: 12.5, Y: -3.25}
+	hello := NewHello(4, pos, []NodeID{7, 2, 9}, 2*sim.Second)
+	hello.Recent = []BroadcastID{{Source: 1, Seq: 10}, {Source: 3, Seq: 1}}
+	for _, fr := range []*Frame{
+		NewBroadcast(BroadcastID{Source: 5, Seq: 42}, 5, pos),
+		hello,
+		NewData(6, 1, 512, nil, pos),
+		NewAck(3, 8, pos),
+		NewRTS(2, 6, 1500*sim.Microsecond, pos),
+		NewCTS(6, 2, 1200*sim.Microsecond, pos),
+	} {
+		f.Add(Encode(fr))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{codecVersion, uint8(KindHello)})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Decode(data)
+		if err != nil {
+			if fr != nil {
+				t.Fatalf("Decode returned a frame alongside error %v", err)
+			}
+			return
+		}
+		re := Encode(fr)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical:\n in  % x\n out % x", data, re)
+		}
+	})
+}

@@ -35,6 +35,31 @@ type Listener interface {
 // PositionFunc reports a radio's position at a simulated time.
 type PositionFunc func(t sim.Time) geom.Point
 
+// Auditor is the channel's view of the runtime invariant auditor
+// (implemented by internal/check.Auditor): pure observation callbacks
+// for packet conservation and the transmission-record/frame pool
+// lifecycle. Declared here as a narrow interface so phy does not depend
+// on the auditor package; a nil Auditor (the default) costs one branch
+// per hook point.
+type Auditor interface {
+	// AuditTransmit observes a frame going on the air with the given
+	// number of in-range receivers.
+	AuditTransmit(at sim.Time, sender, receivers int)
+	// AuditTransmitEnd observes the transmission's airtime ending after
+	// all of its copies resolved; transmissions still in flight when a
+	// run stops never report it.
+	AuditTransmitEnd(at sim.Time, sender, receivers int)
+	// AuditDelivered / AuditCollided / AuditLost observe each in-range
+	// copy's single resolution.
+	AuditDelivered(at sim.Time, receiver int)
+	AuditCollided(at sim.Time, receiver int)
+	AuditLost(at sim.Time, receiver int)
+	// AuditAcquire / AuditRelease / AuditUse track pooled records.
+	AuditAcquire(at sim.Time, pool string, rec any)
+	AuditRelease(at sim.Time, pool string, rec any)
+	AuditUse(at sim.Time, pool string, rec any)
+}
+
 // Timing describes the physical layer bit timing. The zero value is not
 // usable; use DSSSTiming for the paper's parameters.
 type Timing struct {
@@ -168,6 +193,10 @@ type Channel struct {
 	txPoolHits   uint64
 	txPoolMisses uint64
 
+	// audit, when non-nil, receives conservation and pool-lifecycle
+	// observations (SetAudit).
+	audit Auditor
+
 	// Channel-load accounting for the telemetry subsystem, gated on
 	// obsBusy so uninstrumented runs pay a single branch per carrier
 	// transition. busyRadios counts radios currently sensing carrier;
@@ -186,6 +215,11 @@ func NewChannel(sched *sim.Scheduler, timing Timing, radius float64) *Channel {
 	}
 	return &Channel{sched: sched, timing: timing, radius: radius}
 }
+
+// SetAudit attaches an invariant auditor observing this channel's
+// transmissions, per-copy outcomes, and transmission-record pool. Call
+// before traffic starts; a nil auditor leaves the channel unaudited.
+func (c *Channel) SetAudit(a Auditor) { c.audit = a }
 
 // Timing returns the channel's PHY timing parameters.
 func (c *Channel) Timing() Timing { return c.timing }
@@ -405,6 +439,12 @@ func (c *Channel) Transmit(radio int, f *packet.Frame, onDone func()) sim.Durati
 		}
 	}
 	c.active = append(c.active, tx)
+	if c.audit != nil {
+		// The frame must be live at the moment it goes on the air: a
+		// pooled frame recycled while still queued would surface here.
+		c.audit.AuditUse(now, "frame", f)
+		c.audit.AuditTransmit(now, radio, len(tx.receivers))
+	}
 
 	// Carrier becomes busy for the sender and all in-range radios.
 	c.raiseBusy(radio)
@@ -436,6 +476,9 @@ func (c *Channel) newTransmission(f *packet.Frame, radio int, end sim.Time) *tra
 	tx.frame = f
 	tx.sender = radio
 	tx.end = end
+	if c.audit != nil {
+		c.audit.AuditAcquire(c.sched.Now(), "phy.tx", tx)
+	}
 	return tx
 }
 
@@ -474,6 +517,13 @@ func (c *Channel) SetCapture(ratio float64) {
 // finish ends a transmission: delivers intact copies, reports garbled
 // ones, and releases the carrier.
 func (c *Channel) finish(tx *transmission) {
+	if c.audit != nil {
+		// Both the record and its frame must still be live at airtime
+		// end; a recycle while in flight is a use-after-release.
+		now := c.sched.Now()
+		c.audit.AuditUse(now, "phy.tx", tx)
+		c.audit.AuditUse(now, "frame", tx.frame)
+	}
 	// Remove from active list first so deliveries that trigger immediate
 	// new transmissions (same instant) do not overlap with this one.
 	for i, a := range c.active {
@@ -492,13 +542,22 @@ func (c *Channel) finish(tx *transmission) {
 		switch {
 		case tx.garbled[i] && !c.DisableCollisions:
 			c.stats.Collisions++
+			if c.audit != nil {
+				c.audit.AuditCollided(c.sched.Now(), i)
+			}
 			c.listeners[i].DeliverGarbled(tx.frame)
 		case c.lossRate > 0 && c.lossRNG.Float64() < c.lossRate:
 			// Fading loss: the copy silently vanishes (the receiver still
 			// sensed carrier, so MAC timing is unaffected).
 			c.stats.Lost++
+			if c.audit != nil {
+				c.audit.AuditLost(c.sched.Now(), i)
+			}
 		default:
 			c.stats.Deliveries++
+			if c.audit != nil {
+				c.audit.AuditDelivered(c.sched.Now(), i)
+			}
 			c.listeners[i].Deliver(tx.frame)
 		}
 	}
@@ -508,6 +567,11 @@ func (c *Channel) finish(tx *transmission) {
 	// Recycle last: the delivery and onDone callbacks above may have
 	// started new transmissions, which must not have been handed this
 	// record while it was still being read.
+	if c.audit != nil {
+		now := c.sched.Now()
+		c.audit.AuditTransmitEnd(now, tx.sender, len(tx.receivers))
+		c.audit.AuditRelease(now, "phy.tx", tx)
+	}
 	tx.frame = nil
 	tx.onDone = nil
 	c.txFree = append(c.txFree, tx)

@@ -75,6 +75,12 @@ type Scheduler struct {
 	hook         func()
 	hookInterval Duration
 	hookNext     Time
+
+	// Audit hook: observes every event firing with its (time, seq) key,
+	// before the callback runs. Like the tick hook it is pure
+	// observation (the invariant auditor checks monotonicity and FIFO
+	// order through it); when nil the cost is one branch per Step.
+	audit func(at Time, seq uint64)
 }
 
 // NewScheduler returns a ladder-queue scheduler with the clock at time
@@ -240,6 +246,13 @@ func (s *Scheduler) SetTickHook(interval Duration, fn func()) {
 	s.hookNext = s.now.Add(interval)
 }
 
+// SetAuditHook installs fn to observe every event firing (its scheduled
+// time and sequence number), before the event's callback runs. The hook
+// must only read simulation state; the invariant auditor uses it to
+// verify clock monotonicity and same-instant FIFO order. A nil fn
+// removes the hook.
+func (s *Scheduler) SetAuditHook(fn func(at Time, seq uint64)) { s.audit = fn }
+
 // Step fires the single earliest pending event, advancing the clock to
 // its timestamp. It returns false when the queue is empty.
 func (s *Scheduler) Step() bool {
@@ -256,6 +269,9 @@ func (s *Scheduler) Step() bool {
 	if s.hook != nil && e.at >= s.hookNext {
 		s.hook()
 		s.hookNext = e.at.Add(s.hookInterval)
+	}
+	if s.audit != nil {
+		s.audit(e.at, e.seq)
 	}
 	e.fired = true
 	s.executed++

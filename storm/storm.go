@@ -20,6 +20,7 @@
 package storm
 
 import (
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/manet"
@@ -83,6 +84,17 @@ type (
 // Collector gathers run telemetry; attach one via Config.Telemetry.
 type Collector = obs.Collector
 
+// Auditor is the runtime invariant auditor; attach one via Config.Audit
+// to have every event of a run checked for conservation-law violations
+// (packet accounting, scheduler order, pool lifecycle, neighbor-table
+// soundness, metric sanity). Auditing is observation-only: the Summary
+// is byte-identical with or without it. Inspect Err, Ok, or Violations
+// after the run.
+type Auditor = check.Auditor
+
+// Violation is one invariant breach an Auditor observed.
+type Violation = check.Violation
+
 // Simulated-time units.
 const (
 	Millisecond = sim.Millisecond
@@ -129,6 +141,10 @@ func NewRNG(seed uint64) *RNG { return sim.NewRNG(seed) }
 // NewCollector creates a telemetry collector sampling every tick of
 // simulated time (tick <= 0 uses the default).
 func NewCollector(tick Duration) *Collector { return obs.New(tick) }
+
+// NewAuditor creates a runtime invariant auditor for one run; attach it
+// via Config.Audit.
+func NewAuditor() *Auditor { return check.New() }
 
 // PaperMaxSpeedKMH is the paper's speed rule: 10 km/h per map unit.
 func PaperMaxSpeedKMH(units int) float64 { return manet.PaperMaxSpeedKMH(units) }
