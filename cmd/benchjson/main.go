@@ -2,7 +2,7 @@
 // readable JSON record and enforces the zero-allocation event core's
 // budgets. CI pipes the benchmark-smoke output through it:
 //
-//	go test -run '^$' -bench . -benchtime 20x . | benchjson -out BENCH_3.json
+//	go test -run '^$' -bench . -benchtime 20x . | benchjson -out BENCH_5.json
 //
 // The exit status is nonzero when a budgeted benchmark is missing from
 // the input or exceeds its budget, so a regression (or a silent rename
@@ -13,6 +13,14 @@
 //     free-list.
 //   - BenchmarkBroadcastSim/queue=ladder must report at most 1
 //     allocs/event across a full end-to-end simulation.
+//   - BenchmarkSaturatedChannel/engine=localized must report at most 1
+//     allocs/event with tens of transmissions concurrently on the air.
+//
+// With -baseline, the new results are additionally gated against a
+// previously committed bench JSON: any benchmark present in both files
+// whose ns/op exceeds baseline x tolerance fails the run, so a timing
+// regression on the pinned kernels cannot land silently. (The gate is
+// one-sided; getting faster never fails.)
 package main
 
 import (
@@ -46,6 +54,7 @@ type budget struct {
 var budgets = []budget{
 	{"BenchmarkScheduler/queue=ladder", "allocs/op", 0},
 	{"BenchmarkBroadcastSim/queue=ladder", "allocs/event", 1},
+	{"BenchmarkSaturatedChannel/engine=localized", "allocs/event", 1},
 }
 
 func main() {
@@ -63,9 +72,33 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	in := fs.String("in", "", "benchmark output to read (default stdin)")
-	out := fs.String("out", "BENCH_3.json", "JSON file to write")
+	out := fs.String("out", "", "JSON file to write (required)")
+	baseline := fs.String("baseline", "", "previous bench JSON to gate ns/op against (optional)")
+	tolerance := fs.Float64("tolerance", 1.5, "allowed ns/op growth factor over the baseline")
 	if err := fs.Parse(argv); err != nil {
 		return 2
+	}
+	if *out == "" {
+		fmt.Fprintln(stderr, "benchjson: -out is required")
+		fs.Usage()
+		return 2
+	}
+	if *tolerance <= 0 {
+		fmt.Fprintln(stderr, "benchjson: -tolerance must be positive")
+		return 2
+	}
+	// Read the baseline before writing -out, so pointing both flags at
+	// the same path (CI regenerating the committed file in place)
+	// compares against the previous contents.
+	var base []Result
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			return fatal(err)
+		}
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fatal(fmt.Errorf("baseline %s: %v", *baseline, err))
+		}
 	}
 
 	src := stdin
@@ -97,11 +130,52 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	for _, v := range violations {
 		fmt.Fprintln(stderr, "benchjson: BUDGET EXCEEDED:", v)
 	}
-	if len(violations) > 0 {
+	regressions := compare(results, base, *tolerance)
+	for _, r := range regressions {
+		fmt.Fprintln(stderr, "benchjson: REGRESSION:", r)
+	}
+	if len(violations)+len(regressions) > 0 {
 		return 1
+	}
+	if *baseline != "" {
+		fmt.Fprintf(stdout, "benchjson: ns/op within %gx of baseline %s\n", *tolerance, *baseline)
 	}
 	fmt.Fprintln(stdout, "benchjson: all allocation budgets met")
 	return 0
+}
+
+// compare gates new results against a baseline run: every benchmark
+// present in both (names matched with the -GOMAXPROCS suffix stripped)
+// must keep its ns/op within tolerance x the baseline value. Benchmarks
+// only in one file are ignored — adding or retiring a benchmark is not a
+// regression.
+func compare(results, base []Result, tolerance float64) []string {
+	if len(base) == 0 {
+		return nil
+	}
+	baseNs := make(map[string]float64, len(base))
+	for _, r := range base {
+		if v, ok := r.Metrics["ns/op"]; ok {
+			baseNs[stripProcs(r.Name)] = v
+		}
+	}
+	var regressions []string
+	for _, r := range results {
+		old, ok := baseNs[stripProcs(r.Name)]
+		if !ok || old <= 0 {
+			continue
+		}
+		v, ok := r.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		if v > old*tolerance {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: ns/op = %g, baseline %g (x%.2f > allowed x%g)",
+					r.Name, v, old, v/old, tolerance))
+		}
+	}
+	return regressions
 }
 
 // parse extracts benchmark result lines of the form

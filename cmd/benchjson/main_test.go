@@ -15,6 +15,8 @@ pkg: repro
 BenchmarkScheduler/queue=ladder-8         	 1000000	        61.15 ns/op	       0 B/op	       0 allocs/op
 BenchmarkScheduler/queue=heap-8           	  500000	       379.6 ns/op	      48 B/op	       1 allocs/op
 BenchmarkBroadcastSim/queue=ladder-8      	      20	  15784327 ns/op	         0.886 allocs/event	     13063 events/op	 1128678 B/op	   11570 allocs/op
+BenchmarkSaturatedChannel/engine=localized-8 	       5	  11336093 ns/op	         0.004 allocs/event	      2984 tx/op	    1408 B/op	      11 allocs/op
+BenchmarkSaturatedChannel/engine=legacy-8 	       5	  25221276 ns/op	         0.004 allocs/event	      2984 tx/op	    1356 B/op	      10 allocs/op
 PASS
 `
 
@@ -23,8 +25,8 @@ func TestParse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 3 {
-		t.Fatalf("parsed %d results, want 3", len(results))
+	if len(results) != 5 {
+		t.Fatalf("parsed %d results, want 5", len(results))
 	}
 	sim := results[2]
 	if sim.Name != "BenchmarkBroadcastSim/queue=ladder-8" || sim.Iterations != 20 {
@@ -89,8 +91,8 @@ func TestRunSuccess(t *testing.T) {
 	if err := json.Unmarshal(data, &results); err != nil {
 		t.Fatalf("output is not valid JSON: %v", err)
 	}
-	if len(results) != 3 {
-		t.Fatalf("JSON holds %d results, want 3", len(results))
+	if len(results) != 5 {
+		t.Fatalf("JSON holds %d results, want 5", len(results))
 	}
 }
 
@@ -107,7 +109,8 @@ func TestRunReadsInputFile(t *testing.T) {
 }
 
 func TestRunMissingInputFile(t *testing.T) {
-	code, _, stderr := runWith(t, []string{"-in", filepath.Join(t.TempDir(), "absent.txt")}, "")
+	dir := t.TempDir()
+	code, _, stderr := runWith(t, []string{"-in", filepath.Join(dir, "absent.txt"), "-out", filepath.Join(dir, "b.json")}, "")
 	if code != 1 {
 		t.Fatalf("exit %d, want 1", code)
 	}
@@ -187,5 +190,124 @@ func TestStripProcs(t *testing.T) {
 		if got := stripProcs(in); got != want {
 			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+func TestRunMissingOutFlag(t *testing.T) {
+	code, _, stderr := runWith(t, nil, sample)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-out is required") {
+		t.Fatalf("stderr: %q", stderr)
+	}
+}
+
+func TestRunBadTolerance(t *testing.T) {
+	code, _, stderr := runWith(t, []string{"-out", filepath.Join(t.TempDir(), "b.json"), "-tolerance", "0"}, sample)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "tolerance") {
+		t.Fatalf("stderr: %q", stderr)
+	}
+}
+
+// writeBaseline runs the tool once to produce a baseline JSON from the
+// given benchmark text.
+func writeBaseline(t *testing.T, dir, text string) string {
+	t.Helper()
+	path := filepath.Join(dir, "baseline.json")
+	if code, _, stderr := runWith(t, []string{"-out", path}, text); code != 0 {
+		t.Fatalf("baseline write failed: %s", stderr)
+	}
+	return path
+}
+
+func TestRunBaselineWithinTolerancePasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBaseline(t, dir, sample)
+	// 40% slower scheduler: inside the default 1.5x tolerance.
+	slower := strings.Replace(sample, "61.15 ns/op", "85.0 ns/op", 1)
+	code, stdout, stderr := runWith(t, []string{"-out", filepath.Join(dir, "new.json"), "-baseline", base}, slower)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "within") {
+		t.Fatalf("stdout: %q", stdout)
+	}
+}
+
+func TestRunBaselineRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBaseline(t, dir, sample)
+	slower := strings.Replace(sample, "61.15 ns/op", "200.0 ns/op", 1)
+	code, _, stderr := runWith(t, []string{"-out", filepath.Join(dir, "new.json"), "-baseline", base}, slower)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "REGRESSION") || !strings.Contains(stderr, "BenchmarkScheduler/queue=ladder") {
+		t.Fatalf("stderr: %q", stderr)
+	}
+}
+
+func TestRunBaselineTightTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBaseline(t, dir, sample)
+	slower := strings.Replace(sample, "61.15 ns/op", "70.0 ns/op", 1)
+	code, _, stderr := runWith(t,
+		[]string{"-out", filepath.Join(dir, "new.json"), "-baseline", base, "-tolerance", "1.1"}, slower)
+	if code != 1 || !strings.Contains(stderr, "REGRESSION") {
+		t.Fatalf("exit %d, stderr: %q", code, stderr)
+	}
+}
+
+func TestRunBaselineInPlaceComparesPreviousContents(t *testing.T) {
+	// CI points -out and -baseline at the same committed file: the gate
+	// must compare against the old contents, then overwrite them.
+	dir := t.TempDir()
+	path := writeBaseline(t, dir, sample)
+	slower := strings.Replace(sample, "61.15 ns/op", "200.0 ns/op", 1)
+	code, _, stderr := runWith(t, []string{"-out", path, "-baseline", path}, slower)
+	if code != 1 || !strings.Contains(stderr, "REGRESSION") {
+		t.Fatalf("exit %d, stderr: %q", code, stderr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "200") {
+		t.Fatal("new results were not written out")
+	}
+}
+
+func TestRunBaselineNewBenchmarkIgnored(t *testing.T) {
+	// A benchmark absent from the baseline is not a regression.
+	dir := t.TempDir()
+	base := writeBaseline(t, dir, sample)
+	extra := sample + "BenchmarkNewThing-8 100 999999 ns/op\n"
+	code, _, stderr := runWith(t, []string{"-out", filepath.Join(dir, "new.json"), "-baseline", base}, extra)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+}
+
+func TestRunBaselineMissingFile(t *testing.T) {
+	code, _, stderr := runWith(t,
+		[]string{"-out", filepath.Join(t.TempDir(), "b.json"), "-baseline", "/no/such/baseline.json"}, sample)
+	if code != 1 || !strings.Contains(stderr, "benchjson:") {
+		t.Fatalf("exit %d, stderr: %q", code, stderr)
+	}
+}
+
+func TestRunBaselineMalformedJSON(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runWith(t, []string{"-out", filepath.Join(dir, "b.json"), "-baseline", bad}, sample)
+	if code != 1 || !strings.Contains(stderr, "baseline") {
+		t.Fatalf("exit %d, stderr: %q", code, stderr)
 	}
 }

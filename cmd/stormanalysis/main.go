@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/scheme"
 	"repro/internal/sim"
 )
@@ -31,6 +32,8 @@ func main() {
 		schemeSpec  = flag.String("scheme", "", "scheme spec to analyze with -funcs (run -schemes for syntax)")
 		funcsMax    = flag.Int("funcs", 0, "tabulate the -scheme spec's threshold/decision function for n=0..N")
 		listSchemes = flag.Bool("schemes", false, "print the scheme spec syntax and exit")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
@@ -38,6 +41,18 @@ func main() {
 		fmt.Print("scheme specs:\n", scheme.Usage())
 		return
 	}
+
+	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stormanalysis:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "stormanalysis:", err)
+			os.Exit(1)
+		}
+	}()
 	if *schemeSpec != "" {
 		if *funcsMax == 0 {
 			*funcsMax = 15

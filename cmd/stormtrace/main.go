@@ -32,6 +32,8 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "random seed")
 		jsonl       = flag.String("jsonl", "", "also write the event stream as JSONL to this file")
 		decode      = flag.String("decode", "", "decode a JSONL telemetry/trace file and print its event totals instead of simulating")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
@@ -52,6 +54,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stormtrace:", err)
 		os.Exit(2)
 	}
+
+	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stormtrace:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "stormtrace:", err)
+			os.Exit(1)
+		}
+	}()
 
 	net, err := manet.New(manet.Config{
 		Hosts:    *hosts,

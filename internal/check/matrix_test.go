@@ -86,6 +86,7 @@ func TestMatrixAuditedVariants(t *testing.T) {
 		{"waypoint", func(c *manet.Config) { c.Mobility = manet.MobilityWaypoint }},
 		{"heap-scheduler", func(c *manet.Config) { c.DisableLadderQueue = true }},
 		{"linear-channel", func(c *manet.Config) { c.DisableSpatialIndex = true }},
+		{"global-interference", func(c *manet.Config) { c.DisableInterferenceIndex = true }},
 		{"ideal-hello", func(c *manet.Config) { c.IdealHello = true }},
 	}
 	for _, v := range variants {

@@ -111,16 +111,44 @@ func (g *Grid) cellIndex(p Point) int32 {
 	return int32(cy*g.cols + cx)
 }
 
+// Cells returns the grid dimensions in cells (columns, rows). Both are
+// zero before the first Rebuild or when the snapshot is empty.
+func (g *Grid) Cells() (cols, rows int) { return g.cols, g.rows }
+
+// CellOf returns the clamped cell coordinates containing p. Points
+// outside the indexed bounding box map to the nearest boundary cell, so
+// the result is always a valid coordinate pair for a non-empty grid.
+// Row-major cell index = cy*cols + cx.
+func (g *Grid) CellOf(p Point) (cx, cy int) {
+	cx = clampCell(int((p.X-g.minX)/g.cell), g.cols)
+	cy = clampCell(int((p.Y-g.minY)/g.cell), g.rows)
+	return cx, cy
+}
+
+// CellRange returns the clamped cell-coordinate rectangle covering the
+// disk of radius r around p: any point q with Dist(p, q) <= r has
+// CellOf(q) within [cx0, cx1] x [cy0, cy1]. Because both CellOf and the
+// range endpoints clamp into the grid, the covering property holds even
+// for disks that extend past (or centers that lie outside) the indexed
+// bounding box — out-of-bounds points collapse into boundary cells the
+// range then includes. Callers iterate the rectangle for neighborhood
+// scans wider than the 3x3 block the cell = radius layout gives Within
+// (e.g. the channel's radius-2r interference queries).
+func (g *Grid) CellRange(p Point, r float64) (cx0, cy0, cx1, cy1 int) {
+	cx0 = clampCell(int((p.X-r-g.minX)/g.cell), g.cols)
+	cx1 = clampCell(int((p.X+r-g.minX)/g.cell), g.cols)
+	cy0 = clampCell(int((p.Y-r-g.minY)/g.cell), g.rows)
+	cy1 = clampCell(int((p.Y+r-g.minY)/g.cell), g.rows)
+	return cx0, cy0, cx1, cy1
+}
+
 // Within appends to buf every index i with Dist(pts[i], p) <= r, in
 // ascending order, and returns the extended slice.
 func (g *Grid) Within(p Point, r float64, buf []int) []int {
 	if len(g.pts) == 0 {
 		return buf
 	}
-	cx0 := clampCell(int((p.X-r-g.minX)/g.cell), g.cols)
-	cx1 := clampCell(int((p.X+r-g.minX)/g.cell), g.cols)
-	cy0 := clampCell(int((p.Y-r-g.minY)/g.cell), g.rows)
-	cy1 := clampCell(int((p.Y+r-g.minY)/g.cell), g.rows)
+	cx0, cy0, cx1, cy1 := g.CellRange(p, r)
 	r2 := r * r
 	from := len(buf)
 	for cy := cy0; cy <= cy1; cy++ {

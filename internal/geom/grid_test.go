@@ -1,6 +1,7 @@
 package geom_test
 
 import (
+	"math"
 	"math/rand"
 	"slices"
 	"testing"
@@ -129,4 +130,57 @@ func TestGridBadCellPanics(t *testing.T) {
 	}()
 	var g geom.Grid
 	g.Rebuild([]geom.Point{{}}, 0)
+}
+
+func TestGridCellOfAndCells(t *testing.T) {
+	var g geom.Grid
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 950, Y: 450}}
+	g.Rebuild(pts, 100)
+	cols, rows := g.Cells()
+	if cols != 10 || rows != 5 {
+		t.Fatalf("Cells = (%d, %d), want (10, 5)", cols, rows)
+	}
+	if cx, cy := g.CellOf(geom.Point{X: 250, Y: 130}); cx != 2 || cy != 1 {
+		t.Errorf("CellOf(250,130) = (%d,%d), want (2,1)", cx, cy)
+	}
+	// Out-of-bounds points clamp to boundary cells.
+	if cx, cy := g.CellOf(geom.Point{X: -50, Y: -50}); cx != 0 || cy != 0 {
+		t.Errorf("CellOf below min = (%d,%d), want (0,0)", cx, cy)
+	}
+	if cx, cy := g.CellOf(geom.Point{X: 5000, Y: 5000}); cx != cols-1 || cy != rows-1 {
+		t.Errorf("CellOf above max = (%d,%d), want (%d,%d)", cx, cy, cols-1, rows-1)
+	}
+}
+
+// CellRange must cover: for any center p (inside or outside the indexed
+// box) and any point q within r of p, CellOf(q) lies inside
+// CellRange(p, r). The interference engine's locality argument rests on
+// exactly this property.
+func TestGridCellRangeCovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var g geom.Grid
+	pts := randomPoints(rng, 60, 800, 600)
+	g.Rebuild(pts, 75)
+	for trial := 0; trial < 2000; trial++ {
+		// Centers sampled well beyond the box to exercise clamping.
+		p := geom.Point{X: rng.Float64()*1600 - 400, Y: rng.Float64()*1200 - 300}
+		r := rng.Float64() * 300
+		cx0, cy0, cx1, cy1 := g.CellRange(p, r)
+		if cx0 < 0 || cy0 < 0 {
+			t.Fatalf("negative range corner (%d,%d)", cx0, cy0)
+		}
+		cols, rows := g.Cells()
+		if cx1 >= cols || cy1 >= rows || cx0 > cx1 || cy0 > cy1 {
+			t.Fatalf("range (%d,%d)-(%d,%d) outside %dx%d grid", cx0, cy0, cx1, cy1, cols, rows)
+		}
+		// Random q within the disk.
+		ang := rng.Float64() * 2 * math.Pi
+		rad := rng.Float64() * r
+		q := geom.Point{X: p.X + rad*math.Cos(ang), Y: p.Y + rad*math.Sin(ang)}
+		qx, qy := g.CellOf(q)
+		if qx < cx0 || qx > cx1 || qy < cy0 || qy > cy1 {
+			t.Fatalf("q=%+v (cell %d,%d) escapes CellRange(%+v, %g) = (%d,%d)-(%d,%d)",
+				q, qx, qy, p, r, cx0, cy0, cx1, cy1)
+		}
+	}
 }

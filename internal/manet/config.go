@@ -155,6 +155,15 @@ type Config struct {
 	// identical either way; the switch exists for the equivalence tests
 	// and benchmarks that verify exactly that.
 	DisableSpatialIndex bool
+	// DisableInterferenceIndex resolves transmission overlap with the
+	// legacy engine: a global scan over every active transmission with
+	// per-record garbled maps, instead of grid-bucketed senders and
+	// word-parallel receiver-bitset intersections localized to the
+	// 2×radius (+ mobility drift) interference neighborhood. A pure
+	// optimization with no model effect, so results must be identical
+	// either way; the switch exists for the equivalence tests and
+	// benchmarks that verify exactly that.
+	DisableInterferenceIndex bool
 	// DisableLadderQueue runs the scheduler on the legacy binary heap
 	// (eager cancellation, per-event allocation) instead of the default
 	// ladder queue. Both fire events in the identical (time, seq) order,

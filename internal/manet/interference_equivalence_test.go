@@ -1,0 +1,107 @@
+package manet
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+// The localized interference engine must be a pure optimization: for a
+// fixed seed, resolving overlap only against senders within 2×radius
+// (+ drift) using receiver bitsets must produce the same Summary value
+// field for field as the legacy global scan over every active
+// transmission. Any divergence means the locality bound or the bitset
+// rule changed the collision model, not just its cost.
+func TestInterferenceIndexMatchesGlobalScan(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"flooding-mobile", Config{
+			Scheme: scheme.Flooding{}, MapUnits: 3, Hosts: 40, Requests: 12,
+		}},
+		{"flooding-static-dense", Config{
+			Scheme: scheme.Flooding{}, MapUnits: 1, Hosts: 60, Requests: 10,
+			Static: true,
+		}},
+		{"counter-capture", Config{
+			Scheme: scheme.Counter{C: 3}, MapUnits: 3, Hosts: 40, Requests: 12,
+			CaptureRatio: 4,
+		}},
+		{"adaptive-counter-loss", Config{
+			Scheme: scheme.AdaptiveCounter{}, MapUnits: 5, Hosts: 50, Requests: 12,
+			LossRate: 0.1,
+		}},
+		{"location-waypoint-capture", Config{
+			Scheme: scheme.AdaptiveLocation{}, MapUnits: 5, Hosts: 40, Requests: 10,
+			Mobility: MobilityWaypoint, CaptureRatio: 10,
+		}},
+		{"neighbor-coverage-repair", Config{
+			Scheme: scheme.NeighborCoverage{}, MapUnits: 3, Hosts: 30, Requests: 8,
+			Repair: true, HelloMode: HelloDynamic, Warmup: 5 * sim.Second,
+		}},
+		// DisableSpatialIndex removes the grid, forcing the bitset engine
+		// onto its global-scan fallback — the third overlap path.
+		{"flooding-no-grid", Config{
+			Scheme: scheme.Flooding{}, MapUnits: 3, Hosts: 40, Requests: 12,
+			DisableSpatialIndex: true,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 3; seed++ {
+				localized := tc.cfg
+				localized.Seed = seed
+				legacy := tc.cfg
+				legacy.Seed = seed
+				legacy.DisableInterferenceIndex = true
+
+				lo, err := New(localized)
+				if err != nil {
+					t.Fatal(err)
+				}
+				le, err := New(legacy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ls, gs := lo.Run(), le.Run()
+				if ls != gs {
+					t.Fatalf("seed %d: localized and legacy summaries diverge:\nlocalized: %+v\nlegacy:    %+v", seed, ls, gs)
+				}
+			}
+		})
+	}
+}
+
+// Both engines must also agree under the invariant auditor (which
+// reconciles per-receiver delivered/collided/lost counts against the
+// Summary), and auditing must not perturb either engine's result.
+func TestInterferenceIndexMatchesGlobalScanAudited(t *testing.T) {
+	base := Config{
+		Scheme: scheme.AdaptiveCounter{}, MapUnits: 3, Hosts: 40, Requests: 10,
+		CaptureRatio: 4, Seed: 2,
+	}
+	run := func(legacy bool) any {
+		cfg := base
+		cfg.DisableInterferenceIndex = legacy
+		a := check.New()
+		cfg.Audit = a
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := n.Run()
+		if err := a.Err(); err != nil {
+			t.Fatalf("legacy=%v: audit violation: %v", legacy, err)
+		}
+		if !a.SummaryChecked() {
+			t.Fatalf("legacy=%v: summary reconciliation did not run", legacy)
+		}
+		return s
+	}
+	if ls, gs := run(false), run(true); ls != gs {
+		t.Fatalf("audited localized and legacy summaries diverge:\nlocalized: %+v\nlegacy:    %+v", ls, gs)
+	}
+}

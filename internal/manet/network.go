@@ -107,6 +107,7 @@ func New(cfg Config) (*Network, error) {
 	}
 	n.ch.DisableCollisions = cfg.DisableCollisions
 	n.ch.DisableIndex = cfg.DisableSpatialIndex
+	n.ch.DisableInterference = cfg.DisableInterferenceIndex
 	if cfg.CaptureRatio > 0 {
 		n.ch.SetCapture(cfg.CaptureRatio)
 	}

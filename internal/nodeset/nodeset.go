@@ -26,7 +26,11 @@ func New(n int) *Set {
 
 // grow ensures the set can hold id without reallocation on the hot path.
 func (s *Set) grow(id packet.NodeID) {
-	need := int(id)/64 + 1
+	s.growWords(int(id)/64 + 1)
+}
+
+// growWords ensures the word slice spans at least need words.
+func (s *Set) growWords(need int) {
 	if need <= len(s.words) {
 		return
 	}
@@ -100,6 +104,46 @@ func (s *Set) ForEach(f func(packet.NodeID)) {
 			word &^= 1 << uint(b)
 		}
 	}
+}
+
+// UnionIntersection ors the intersection a AND b into s, word-parallel:
+// s |= a & b. The operands may alias s. The channel's collision engine
+// uses it to garble every receiver covered by two overlapping
+// transmissions in one pass over the backing words instead of a
+// per-receiver loop.
+func (s *Set) UnionIntersection(a, b *Set) {
+	n := min(len(a.words), len(b.words))
+	s.growWords(n)
+	for i := 0; i < n; i++ {
+		w := a.words[i] & b.words[i]
+		if w == 0 {
+			continue
+		}
+		old := s.words[i]
+		merged := old | w
+		if merged == old {
+			continue
+		}
+		s.words[i] = merged
+		s.count += bits.OnesCount64(merged) - bits.OnesCount64(old)
+	}
+}
+
+// AppendAnd appends the ids present in both s and o to buf in ascending
+// order and returns the extended slice. It is the iteration form of the
+// word-parallel intersection, for callers that need per-id work (e.g.
+// the capture-effect overlap rule).
+func (s *Set) AppendAnd(o *Set, buf []packet.NodeID) []packet.NodeID {
+	n := min(len(s.words), len(o.words))
+	for w := 0; w < n; w++ {
+		word := s.words[w] & o.words[w]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			buf = append(buf, packet.NodeID(w*64+b))
+			word &^= 1 << uint(b)
+		}
+	}
+	return buf
 }
 
 // AppendIDs appends the set's ids to buf in ascending order and returns

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/geom"
+	"repro/internal/nodeset"
 	"repro/internal/packet"
 	"repro/internal/sim"
 )
@@ -114,14 +115,42 @@ type transmission struct {
 	sender    int        // radio index
 	senderPos geom.Point // sender position at transmission start
 	end       sim.Time
-	receivers []int        // radio indices in range at start (excluding sender)
-	garbled   map[int]bool // receivers whose copy was destroyed
+	receivers []int // radio indices in range at start (excluding sender)
+	// Exactly one garbled-set representation is live per channel:
+	// the bitset engine (the default) keeps the receiver set and the
+	// destroyed-copy set as word-parallel bitsets, while the legacy
+	// engine (DisableInterference) keeps the original map. The map
+	// doubles as the mode discriminator: non-nil means legacy.
+	recvSet    *nodeset.Set // receiver bitset (mirror of receivers)
+	garbledSet *nodeset.Set // receivers whose copy was destroyed
+	garbled    map[int]bool // legacy representation of garbledSet
+	// cell is the interference-index bucket currently holding this
+	// record (-1 while unindexed).
+	cell int32
 	// onDone is the caller's completion callback for this flight, and
 	// fire is the end-of-airtime event body, bound once per record so a
 	// recycled transmission schedules its finish without allocating a
 	// fresh closure per Transmit.
 	onDone func()
 	fire   func()
+}
+
+// garble marks receiver i's copy destroyed in whichever representation
+// this record carries.
+func (tx *transmission) garble(i int) {
+	if tx.garbled != nil {
+		tx.garbled[i] = true
+		return
+	}
+	tx.garbledSet.Add(packet.NodeID(i))
+}
+
+// isGarbled reports whether receiver i's copy was destroyed.
+func (tx *transmission) isGarbled(i int) bool {
+	if tx.garbled != nil {
+		return tx.garbled[i]
+	}
+	return tx.garbledSet.Contains(packet.NodeID(i))
 }
 
 // Channel is the shared medium. It is owned by a single Scheduler and is
@@ -139,6 +168,19 @@ type Channel struct {
 	// produce identical results — so this switch exists only for the
 	// equivalence tests and benchmarks that prove it.
 	DisableIndex bool
+
+	// DisableInterference, when set before any transmission, resolves
+	// overlap with the legacy engine: a global scan over every active
+	// transmission, a scratch membership table per Transmit, and per-
+	// record garbled maps. The default engine buckets active
+	// transmissions by their sender's grid cell and intersects receiver
+	// bitsets only against senders within interference range (2×radius
+	// plus mobility drift), which is a pure optimization — both engines
+	// must produce identical results — so this switch exists only for
+	// the equivalence tests and benchmarks that prove it. Toggling it
+	// after traffic has started is not supported: in-flight and pooled
+	// transmission records carry the engine's representation.
+	DisableInterference bool
 
 	// Random per-reception loss (fading/shadowing failure injection),
 	// configured with SetLoss. Zero rate means the pure unit-disk model.
@@ -177,16 +219,30 @@ type Channel struct {
 	grid       geom.Grid
 	snapTime   sim.Time
 	gridOK     bool
+	gridGen    uint64 // bumped on every snapshot rebuild
 	snap       []geom.Point
 	speedBound float64
 	hasBound   bool
 
+	// Interference index: the active transmissions bucketed by the grid
+	// cell of their sender's start position, rebuilt lazily (from the
+	// tiny active list) whenever the snapshot grid re-snapshots. Senders
+	// more than 2×radius + drift apart cannot share a receiver, so a
+	// new transmission resolves overlap only against the buckets its
+	// CellRange(senderPos, 2r+drift) rectangle covers. maxAir bounds how
+	// long any flight can have been on the air, and hence how far a
+	// receiver can have drifted between two membership snapshots.
+	buckets [][]*transmission
+	ifxGen  uint64 // gridGen the buckets were last rebuilt for
+	maxAir  sim.Duration
+
 	// Scratch reused across Transmit calls so the hot path does not
-	// allocate: member marks the current frame's receiver set for O(deg)
-	// overlap checks against each active transmission, and txFree
-	// recycles finished transmission records (receiver slices and
-	// garbled maps included).
+	// allocate: member marks the current frame's receiver set for the
+	// legacy engine's O(deg) overlap checks, ovl holds the receiver
+	// intersection the capture rule walks, and txFree recycles finished
+	// transmission records (receiver slices and garbled sets included).
 	member []bool
+	ovl    []packet.NodeID
 	txFree []*transmission
 	// Transmission-record pool effectiveness, exposed via TxPoolStats
 	// and the phy.tx_pool_hit_rate telemetry gauge.
@@ -336,6 +392,7 @@ func (c *Channel) refresh() {
 	c.grid.Rebuild(c.snap, c.radius)
 	c.snapTime = now
 	c.gridOK = true
+	c.gridGen++
 }
 
 // driftMargin returns how far any radio can have moved since the
@@ -378,6 +435,9 @@ func (c *Channel) Transmit(radio int, f *packet.Frame, onDone func()) sim.Durati
 	}
 	now := c.sched.Now()
 	air := c.timing.Airtime(f.Bytes)
+	if air > c.maxAir {
+		c.maxAir = air
+	}
 	tx := c.newTransmission(f, radio, now.Add(air))
 	c.stats.Transmissions++
 	c.transmitting[radio] = true
@@ -408,37 +468,36 @@ func (c *Channel) Transmit(radio int, f *packet.Frame, onDone func()) sim.Durati
 	// Collision rule: any temporal overlap at a common receiver garbles
 	// both copies (unless the capture effect lets the much-stronger one
 	// through); a receiver that is itself transmitting cannot decode.
-	// The scratch membership table makes each pairwise check O(deg of
-	// the other transmission) with no per-pair allocation.
-	if len(c.member) < len(c.positions) {
-		c.member = make([]bool, len(c.positions))
-	}
-	for _, i := range tx.receivers {
-		c.member[i] = true
-	}
-	for _, other := range c.active {
-		for _, i := range other.receivers {
-			if c.member[i] {
-				c.resolveOverlap(tx, other, i)
+	local := false
+	if c.DisableInterference {
+		c.legacyOverlapScan(tx, radio, now)
+	} else {
+		for _, i := range tx.receivers {
+			tx.recvSet.Add(packet.NodeID(i))
+		}
+		// Localizing overlap needs both the grid (for the buckets) and a
+		// declared speed bound (to cap how far a receiver can drift
+		// between two membership snapshots); without either, fall back
+		// to scanning the whole active list with the bitset rule.
+		local = !c.DisableIndex && c.hasBound
+		if local {
+			c.localOverlapScan(tx, now)
+		} else {
+			for _, other := range c.active {
+				c.resolveAgainst(tx, other, now)
 			}
 		}
-		// The new sender cannot receive the ongoing frame (half-duplex).
-		if contains(other.receivers, radio) {
-			other.garbled[radio] = true
-		}
-		// An ongoing sender cannot receive the new frame.
-		if c.member[other.sender] {
-			tx.garbled[other.sender] = true
-		}
 	}
 	for _, i := range tx.receivers {
-		c.member[i] = false
 		// A receiver already transmitting cannot decode the new frame.
 		if c.transmitting[i] {
-			tx.garbled[i] = true
+			tx.garble(i)
 		}
 	}
 	c.active = append(c.active, tx)
+	if local {
+		c.bucketAdd(tx)
+	}
 	if c.audit != nil {
 		// The frame must be live at the moment it goes on the air: a
 		// pooled frame recycled while still queued would surface here.
@@ -459,17 +518,28 @@ func (c *Channel) Transmit(radio int, f *packet.Frame, onDone func()) sim.Durati
 
 // newTransmission takes a transmission record off the free list (or
 // allocates one), so steady-state transmissions reuse their receiver
-// slices and garbled maps instead of allocating per frame.
+// slices and garbled sets instead of allocating per frame.
 func (c *Channel) newTransmission(f *packet.Frame, radio int, end sim.Time) *transmission {
 	var tx *transmission
 	if n := len(c.txFree); n > 0 {
 		tx = c.txFree[n-1]
 		c.txFree = c.txFree[:n-1]
 		tx.receivers = tx.receivers[:0]
-		clear(tx.garbled)
+		if tx.garbled != nil {
+			clear(tx.garbled)
+		} else {
+			tx.recvSet.Clear()
+			tx.garbledSet.Clear()
+		}
 		c.txPoolHits++
 	} else {
-		tx = &transmission{garbled: make(map[int]bool)}
+		tx = &transmission{cell: -1}
+		if c.DisableInterference {
+			tx.garbled = make(map[int]bool)
+		} else {
+			tx.recvSet = nodeset.New(len(c.positions))
+			tx.garbledSet = nodeset.New(len(c.positions))
+		}
 		tx.fire = func() { c.finish(tx) }
 		c.txPoolMisses++
 	}
@@ -482,26 +552,177 @@ func (c *Channel) newTransmission(f *packet.Frame, radio int, end sim.Time) *tra
 	return tx
 }
 
+// legacyOverlapScan is the original overlap engine: every active
+// transmission in the whole map is checked receiver by receiver against
+// a scratch membership table. Kept selectable (DisableInterference) as
+// the oracle the localized engine is proven byte-identical to, and as
+// the benchmark baseline its speedup is measured against.
+func (c *Channel) legacyOverlapScan(tx *transmission, radio int, now sim.Time) {
+	if len(c.member) < len(c.positions) {
+		c.member = make([]bool, len(c.positions))
+	}
+	for _, i := range tx.receivers {
+		c.member[i] = true
+	}
+	for _, other := range c.active {
+		for _, i := range other.receivers {
+			if c.member[i] {
+				c.resolveOverlap(tx, other, i, now)
+			}
+		}
+		// The new sender cannot receive the ongoing frame (half-duplex).
+		if contains(other.receivers, radio) {
+			other.garbled[radio] = true
+		}
+		// An ongoing sender cannot receive the new frame.
+		if c.member[other.sender] {
+			tx.garbled[other.sender] = true
+		}
+	}
+	for _, i := range tx.receivers {
+		c.member[i] = false
+	}
+}
+
+// localOverlapScan resolves overlap for tx against only the active
+// transmissions whose senders can possibly share a receiver with it.
+// Receiver membership is fixed when a flight starts, so if receiver i
+// is covered by both tx (starting now) and an older flight o (started
+// at t0), the triangle inequality bounds the sender separation:
+//
+//	|tx.senderPos - o.senderPos| <= r + r + v·(now-t0)
+//
+// — i's two membership positions differ by at most the drift v·(now-t0),
+// and now-t0 is capped by o's airtime (<= maxAir). The same bound covers
+// the two half-duplex rules (a sender is a point of its own flight). Any
+// active sender farther than 2r + v·maxAir away is therefore provably
+// interference-free and never touched, turning the per-Transmit scan
+// from O(all active) into O(locally active).
+func (c *Channel) localOverlapScan(tx *transmission, now sim.Time) {
+	c.syncBuckets()
+	reach := 2*c.radius + c.speedBound*c.maxAir.Seconds() + driftEpsilon
+	cx0, cy0, cx1, cy1 := c.grid.CellRange(tx.senderPos, reach)
+	cols, _ := c.grid.Cells()
+	reach2 := reach * reach
+	for cy := cy0; cy <= cy1; cy++ {
+		row := cy * cols
+		for cx := cx0; cx <= cx1; cx++ {
+			for _, other := range c.buckets[row+cx] {
+				if other.senderPos.Dist2(tx.senderPos) <= reach2 {
+					c.resolveAgainst(tx, other, now)
+				}
+			}
+		}
+	}
+}
+
+// resolveAgainst applies the collision/capture rule between tx and one
+// active transmission using the bitset representation: the receivers
+// covered by both flights are the word-parallel intersection of the two
+// receiver bitsets, and without capture the whole intersection garbles
+// in one pass over the backing words.
+func (c *Channel) resolveAgainst(tx, other *transmission, now sim.Time) {
+	if c.captureRatio > 0 {
+		c.ovl = tx.recvSet.AppendAnd(other.recvSet, c.ovl[:0])
+		for _, id := range c.ovl {
+			c.resolveOverlap(tx, other, int(id), now)
+		}
+	} else {
+		tx.garbledSet.UnionIntersection(tx.recvSet, other.recvSet)
+		other.garbledSet.UnionIntersection(tx.recvSet, other.recvSet)
+	}
+	// The new sender cannot receive the ongoing frame (half-duplex),
+	// and an ongoing sender cannot receive the new frame.
+	if other.recvSet.Contains(packet.NodeID(tx.sender)) {
+		other.garbledSet.Add(packet.NodeID(tx.sender))
+	}
+	if tx.recvSet.Contains(packet.NodeID(other.sender)) {
+		tx.garbledSet.Add(packet.NodeID(other.sender))
+	}
+}
+
+// rxPosAt returns receiver i's position at now, served from the grid
+// snapshot (a plain array read) when the snapshot is exact for this
+// instant — the same rule Transmit applies for receiver discovery —
+// instead of re-evaluating the mover function per overlapping pair.
+func (c *Channel) rxPosAt(i int, now sim.Time) geom.Point {
+	if !c.DisableIndex && c.gridOK && now == c.snapTime && i < len(c.snap) {
+		return c.snap[i]
+	}
+	return c.positions[i](now)
+}
+
 // resolveOverlap applies the collision/capture rule for one receiver
 // covered by two overlapping transmissions.
-func (c *Channel) resolveOverlap(a, b *transmission, i int) {
+func (c *Channel) resolveOverlap(a, b *transmission, i int, now sim.Time) {
 	if c.captureRatio > 0 {
-		rxPos := c.positions[i](c.sched.Now())
+		rxPos := c.rxPosAt(i, now)
 		da := a.senderPos.Dist2(rxPos)
 		db := b.senderPos.Dist2(rxPos)
 		// Free-space power goes as 1/d^2, so a power ratio of R means a
 		// squared-distance ratio of R.
 		switch {
 		case db >= da*c.captureRatio:
-			b.garbled[i] = true // a captures
+			b.garble(i) // a captures
 			return
 		case da >= db*c.captureRatio:
-			a.garbled[i] = true // b captures
+			a.garble(i) // b captures
 			return
 		}
 	}
-	a.garbled[i] = true
-	b.garbled[i] = true
+	a.garble(i)
+	b.garble(i)
+}
+
+// syncBuckets rebuilds the interference-index buckets when the snapshot
+// grid has re-snapshotted since they were last laid out (cell geometry
+// follows the snapshot's bounding box). The rebuild walks only the
+// active list, so it is O(cells + active) and amortizes with the grid
+// rebuild that triggered it.
+func (c *Channel) syncBuckets() {
+	cols, rows := c.grid.Cells()
+	n := cols * rows
+	if c.ifxGen == c.gridGen && len(c.buckets) == n {
+		return
+	}
+	if cap(c.buckets) < n {
+		c.buckets = make([][]*transmission, n)
+	} else {
+		c.buckets = c.buckets[:n]
+		for i := range c.buckets {
+			c.buckets[i] = c.buckets[i][:0]
+		}
+	}
+	for _, tx := range c.active {
+		c.bucketAdd(tx)
+	}
+	c.ifxGen = c.gridGen
+}
+
+// bucketAdd places an active transmission in the bucket of its sender's
+// (clamped) grid cell.
+func (c *Channel) bucketAdd(tx *transmission) {
+	cx, cy := c.grid.CellOf(tx.senderPos)
+	cols, _ := c.grid.Cells()
+	cell := int32(cy*cols + cx)
+	tx.cell = cell
+	c.buckets[cell] = append(c.buckets[cell], tx)
+}
+
+// bucketRemove takes a finished transmission out of its bucket
+// (swap-remove; buckets hold a handful of records at most).
+func (c *Channel) bucketRemove(tx *transmission) {
+	b := c.buckets[tx.cell]
+	for i, o := range b {
+		if o == tx {
+			last := len(b) - 1
+			b[i] = b[last]
+			b[last] = nil
+			c.buckets[tx.cell] = b[:last]
+			break
+		}
+	}
+	tx.cell = -1
 }
 
 // SetCapture enables the capture effect with the given power ratio
@@ -533,6 +754,9 @@ func (c *Channel) finish(tx *transmission) {
 		}
 	}
 	c.transmitting[tx.sender] = false
+	if tx.cell >= 0 {
+		c.bucketRemove(tx)
+	}
 
 	c.lowerBusy(tx.sender)
 	for _, i := range tx.receivers {
@@ -540,7 +764,7 @@ func (c *Channel) finish(tx *transmission) {
 	}
 	for _, i := range tx.receivers {
 		switch {
-		case tx.garbled[i] && !c.DisableCollisions:
+		case tx.isGarbled(i) && !c.DisableCollisions:
 			c.stats.Collisions++
 			if c.audit != nil {
 				c.audit.AuditCollided(c.sched.Now(), i)
