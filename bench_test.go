@@ -454,6 +454,72 @@ func BenchmarkScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkMegaScale runs million-host-class worlds: populations far
+// beyond the paper's 100 hosts on maps hundreds of units across, the
+// regime the struct-of-arrays host state, the lazy dense neighbor
+// tables, the two-level (macro over fine) grid, and the streaming
+// record fold exist for. The map keeps the paper's density rule out of
+// reach on purpose — mean degree is below the percolation threshold, so
+// broadcasts touch small components while the machinery (movement,
+// spatial index maintenance, interference buckets) carries the full
+// population.
+//
+// Two things are gated via cmd/benchjson: the benchmark completing at
+// all (construction or run state scaling as O(hosts^2) makes 100k hosts
+// unreachable), and run-bytes/op — the heap allocated during Run — which
+// must track the event count and the handful of active broadcasts, not
+// the population or the total number of broadcasts ever issued.
+func BenchmarkMegaScale(b *testing.B) {
+	cases := []struct{ hosts, mapUnits, requests int }{
+		{100_000, 300, 20},
+		{1_000_000, 900, 10},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(fmt.Sprintf("hosts=%d", tc.hosts), func(b *testing.B) {
+			if testing.Short() && tc.hosts > 100_000 {
+				b.Skip("million-host arm skipped in short mode")
+			}
+			var events uint64
+			var runBytes uint64
+			var ms0, ms1 runtime.MemStats
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				n, err := manet.New(manet.Config{
+					Hosts:    tc.hosts,
+					MapUnits: tc.mapUnits,
+					Scheme:   scheme.Flooding{},
+					Requests: tc.requests,
+					// The paper's 10 km/h-per-unit rule extrapolates to
+					// thousands of km/h on mega maps; pin vehicular speed.
+					MaxSpeedKMH: 50,
+					Seed:        uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				runtime.GC()
+				runtime.ReadMemStats(&ms0)
+				b.StartTimer()
+				s := n.Run()
+				b.StopTimer()
+				runtime.ReadMemStats(&ms1)
+				if s.Broadcasts != tc.requests {
+					b.Fatalf("ran %d broadcasts, want %d", s.Broadcasts, tc.requests)
+				}
+				events += s.Events
+				runBytes += ms1.TotalAlloc - ms0.TotalAlloc
+				b.StartTimer()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(events)/float64(b.N), "events/op")
+			b.ReportMetric(float64(runBytes)/float64(b.N), "run-bytes/op")
+		})
+	}
+}
+
 // BenchmarkTelemetry measures the cost of the run-telemetry subsystem:
 // the off arm leaves Config.Telemetry nil (the instrument points reduce
 // to untaken branches, so it must match pre-instrumentation

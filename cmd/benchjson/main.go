@@ -16,6 +16,11 @@
 //   - BenchmarkSaturatedChannel/engine=localized must report at most 1
 //     allocs/event with tens of transmissions concurrently on the air.
 //
+// A second budget suite (-suite mega) gates the mega-scale smoke run
+// instead: BenchmarkMegaScale/hosts=100000 must keep its run-phase
+// allocation (run-bytes/op) under a fixed ceiling, pinning the
+// O(active-state) memory behavior of the dense host/record layout.
+//
 // With -baseline, the new results are additionally gated against a
 // previously committed bench JSON: any benchmark present in both files
 // whose ns/op exceeds baseline x tolerance fails the run, so a timing
@@ -51,10 +56,22 @@ type budget struct {
 	Max    float64
 }
 
-var budgets = []budget{
-	{"BenchmarkScheduler/queue=ladder", "allocs/op", 0},
-	{"BenchmarkBroadcastSim/queue=ladder", "allocs/event", 1},
-	{"BenchmarkSaturatedChannel/engine=localized", "allocs/event", 1},
+// suites groups budgets by the CI step that produces their input, so a
+// step that runs only its own benchmarks is not failed for the other
+// step's budgets being "missing". The core suite pins the event-loop
+// allocation budgets; the mega suite pins the mega-scale run's memory
+// footprint — run-time allocation must stay O(active state), so a
+// regression back to per-broadcast retention (which would add ~hosts x
+// requests bytes) trips the bound by orders of magnitude.
+var suites = map[string][]budget{
+	"core": {
+		{"BenchmarkScheduler/queue=ladder", "allocs/op", 0},
+		{"BenchmarkBroadcastSim/queue=ladder", "allocs/event", 1},
+		{"BenchmarkSaturatedChannel/engine=localized", "allocs/event", 1},
+	},
+	"mega": {
+		{"BenchmarkMegaScale/hosts=100000", "run-bytes/op", 32e6},
+	},
 }
 
 func main() {
@@ -75,6 +92,7 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	out := fs.String("out", "", "JSON file to write (required)")
 	baseline := fs.String("baseline", "", "previous bench JSON to gate ns/op against (optional)")
 	tolerance := fs.Float64("tolerance", 1.5, "allowed ns/op growth factor over the baseline")
+	suite := fs.String("suite", "core", "budget suite to enforce (core or mega)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -85,6 +103,11 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	if *tolerance <= 0 {
 		fmt.Fprintln(stderr, "benchjson: -tolerance must be positive")
+		return 2
+	}
+	budgets, ok := suites[*suite]
+	if !ok {
+		fmt.Fprintf(stderr, "benchjson: unknown -suite %q\n", *suite)
 		return 2
 	}
 	// Read the baseline before writing -out, so pointing both flags at
@@ -126,7 +149,7 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "benchjson: wrote %d results to %s\n", len(results), *out)
 
-	violations := enforce(results)
+	violations := enforce(results, budgets)
 	for _, v := range violations {
 		fmt.Fprintln(stderr, "benchjson: BUDGET EXCEEDED:", v)
 	}
@@ -210,7 +233,7 @@ func parse(r io.Reader) ([]Result, error) {
 
 // enforce checks every budget against the parsed results and returns the
 // violations (including budgets whose benchmark never ran).
-func enforce(results []Result) []string {
+func enforce(results []Result, budgets []budget) []string {
 	var violations []string
 	for _, b := range budgets {
 		found := false

@@ -43,7 +43,7 @@ func TestParse(t *testing.T) {
 
 func TestEnforcePasses(t *testing.T) {
 	results, _ := parse(strings.NewReader(sample))
-	if v := enforce(results); len(v) != 0 {
+	if v := enforce(results, suites["core"]); len(v) != 0 {
 		t.Fatalf("budgets violated on passing input: %v", v)
 	}
 }
@@ -52,7 +52,7 @@ func TestEnforceCatchesRegression(t *testing.T) {
 	bad := strings.Replace(sample,
 		"0.886 allocs/event", "1.52 allocs/event", 1)
 	results, _ := parse(strings.NewReader(bad))
-	v := enforce(results)
+	v := enforce(results, suites["core"])
 	if len(v) != 1 || !strings.Contains(v[0], "allocs/event") {
 		t.Fatalf("violations = %v, want one allocs/event breach", v)
 	}
@@ -60,8 +60,44 @@ func TestEnforceCatchesRegression(t *testing.T) {
 
 func TestEnforceCatchesMissingBenchmark(t *testing.T) {
 	results, _ := parse(strings.NewReader("BenchmarkOther-8 10 5 ns/op\n"))
-	if v := enforce(results); len(v) != len(budgets) {
+	if v := enforce(results, suites["core"]); len(v) != len(suites["core"]) {
 		t.Fatalf("violations = %v, want every budgeted benchmark reported missing", v)
+	}
+}
+
+const megaSample = "BenchmarkMegaScale/hosts=100000-8 1 64992382 ns/op 24211 events/op 15051680 run-bytes/op 152478 allocs/op\n"
+
+func TestEnforceMegaSuite(t *testing.T) {
+	results, _ := parse(strings.NewReader(megaSample))
+	if v := enforce(results, suites["mega"]); len(v) != 0 {
+		t.Fatalf("mega budgets violated on passing input: %v", v)
+	}
+	// A regression to per-broadcast retention would add ~hosts x requests
+	// bytes; model it as a 10x memory jump and require the gate to trip.
+	blown := strings.Replace(megaSample, "15051680 run-bytes/op", "150516800 run-bytes/op", 1)
+	results, _ = parse(strings.NewReader(blown))
+	v := enforce(results, suites["mega"])
+	if len(v) != 1 || !strings.Contains(v[0], "run-bytes/op") {
+		t.Fatalf("violations = %v, want one run-bytes/op breach", v)
+	}
+}
+
+func TestRunSuiteFlag(t *testing.T) {
+	dir := t.TempDir()
+	code, _, stderr := runWith(t, []string{"-out", filepath.Join(dir, "b.json"), "-suite", "mega"}, megaSample)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	// The core sample must fail under the mega suite: its budgeted
+	// benchmark is absent, and silence here would mean a renamed mega
+	// bench could skate past the gate.
+	code, _, stderr = runWith(t, []string{"-out", filepath.Join(dir, "b2.json"), "-suite", "mega"}, sample)
+	if code != 1 || !strings.Contains(stderr, "missing") {
+		t.Fatalf("exit %d, stderr: %q", code, stderr)
+	}
+	code, _, stderr = runWith(t, []string{"-out", filepath.Join(dir, "b3.json"), "-suite", "nope"}, sample)
+	if code != 2 || !strings.Contains(stderr, "unknown -suite") {
+		t.Fatalf("exit %d, stderr: %q", code, stderr)
 	}
 }
 

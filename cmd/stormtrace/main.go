@@ -73,6 +73,9 @@ func main() {
 		Scheme:   sch,
 		Requests: *requests,
 		Seed:     *seed,
+
+		// The per-broadcast report below walks the full record set.
+		RetainRecords: true,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stormtrace:", err)

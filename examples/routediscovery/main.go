@@ -57,6 +57,9 @@ func discover(sch storm.Scheme, hosts, mapUnits, requests int) (success, txPerDi
 		Scheme:   sch,
 		Requests: requests,
 		Seed:     7,
+
+		// The per-request loop below walks the full record set.
+		RetainRecords: true,
 	}
 	net, err := storm.New(cfg)
 	if err != nil {

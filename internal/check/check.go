@@ -66,6 +66,7 @@ const (
 	InvPool         = "pool-lifecycle"
 	InvConservation = "packet-conservation"
 	InvNeighbor     = "neighbor-soundness"
+	InvMobility     = "mobility-bound"
 	InvMetrics      = "metric-sanity"
 )
 
@@ -301,6 +302,24 @@ func (a *Auditor) AuditNeighborEntry(at sim.Time, owner, id packet.NodeID, age, 
 	}
 	if dist > maxDist {
 		a.report(at, InvNeighbor, "%v's entry for %v unreachable: %.1fm apart, drift bound %.1fm", owner, id, dist, maxDist)
+	}
+}
+
+// AuditMoverSpeed checks one host's instantaneous speed against the
+// configured mobility bound. The bound is load-bearing, not cosmetic:
+// the channel's spatial index converts it into a drift budget that
+// decides how long a position snapshot stays valid, so a mobility model
+// that exceeds it silently serves stale range queries. A tiny epsilon
+// absorbs float round-off in speed reconstruction (hypot of velocity
+// components).
+func (a *Auditor) AuditMoverSpeed(at sim.Time, id packet.NodeID, speed, bound float64) {
+	const eps = 1e-9
+	if speed < 0 {
+		a.report(at, InvMobility, "%v: negative speed %.3f m/s", id, speed)
+		return
+	}
+	if speed > bound+eps {
+		a.report(at, InvMobility, "%v: speed %.3f m/s exceeds configured bound %.3f m/s", id, speed, bound)
 	}
 }
 

@@ -101,6 +101,7 @@ func TestAuditTransparency(t *testing.T) {
 // yields the identical aggregate.
 func TestSummaryPermutationInvariance(t *testing.T) {
 	cfg := matrixConfig(scheme.AdaptiveCounter{}, false, 1)
+	cfg.RetainRecords = true // the permutation below needs the full record set
 	n, err := manet.New(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -30,7 +30,25 @@ type Grid struct {
 	// points in index order).
 	start []int32
 	items []int32
+
+	// Macro level: a second, coarser grid whose cells are square blocks
+	// of 2^macroShift fine cells. Rebuild picks the smallest shift that
+	// keeps the macro-cell count at or below maxMacroCells, so on small
+	// maps the shift is zero and the macro level coincides with the fine
+	// level, while a sparse mega-map (300×300 fine cells) collapses to a
+	// few thousand macro cells. Consumers that keep per-cell side tables
+	// (the channel's interference buckets) key them by macro cell, so
+	// their O(cells) clear/rebuild cost is bounded by maxMacroCells no
+	// matter how large the map grows.
+	macroShift           int
+	macroCols, macroRows int
 }
+
+// maxMacroCells bounds the macro-level cell count. 4096 keeps a side
+// table of slice headers under 100 KB — small enough to clear per
+// snapshot rebuild — while a 64×64 macro layout still localizes queries
+// on any map this simulator runs.
+const maxMacroCells = 4096
 
 // Rebuild indexes the given snapshot with the given cell edge (normally
 // the radio radius). The snapshot slice is retained until the next
@@ -43,6 +61,7 @@ func (g *Grid) Rebuild(pts []Point, cell float64) {
 	g.pts = pts
 	if len(pts) == 0 {
 		g.cols, g.rows = 0, 0
+		g.macroShift, g.macroCols, g.macroRows = 0, 0, 0
 		return
 	}
 
@@ -57,6 +76,14 @@ func (g *Grid) Rebuild(pts []Point, cell float64) {
 	g.minX, g.minY = minX, minY
 	g.cols = int((maxX-minX)/cell) + 1
 	g.rows = int((maxY-minY)/cell) + 1
+
+	shift := 0
+	for ((g.cols+(1<<shift)-1)>>shift)*((g.rows+(1<<shift)-1)>>shift) > maxMacroCells {
+		shift++
+	}
+	g.macroShift = shift
+	g.macroCols = (g.cols + (1 << shift) - 1) >> shift
+	g.macroRows = (g.rows + (1 << shift) - 1) >> shift
 
 	ncells := g.cols * g.rows
 	if cap(g.start) < ncells+1 {
@@ -187,4 +214,32 @@ func clampCell(c, n int) int {
 		return n - 1
 	}
 	return c
+}
+
+// MacroShift returns log2 of the macro-cell edge in fine cells: 0 means
+// the macro level coincides with the fine level.
+func (g *Grid) MacroShift() int { return g.macroShift }
+
+// MacroCells returns the macro-level dimensions (columns, rows). Both
+// are zero before the first Rebuild or when the snapshot is empty. The
+// product never exceeds maxMacroCells.
+func (g *Grid) MacroCells() (cols, rows int) { return g.macroCols, g.macroRows }
+
+// MacroOf returns the clamped macro-cell coordinates containing p:
+// CellOf shifted down to the macro level, so the same clamping rules
+// apply. Row-major macro index = my*macroCols + mx.
+func (g *Grid) MacroOf(p Point) (mx, my int) {
+	cx, cy := g.CellOf(p)
+	return cx >> g.macroShift, cy >> g.macroShift
+}
+
+// MacroRange returns the clamped macro-cell rectangle covering the disk
+// of radius r around p: any point q with Dist(p, q) <= r has MacroOf(q)
+// within [mx0, mx1] x [my0, my1]. It inherits CellRange's covering
+// property — shifting both endpoints of a fine-cell interval down
+// preserves containment of every shifted fine cell in between.
+func (g *Grid) MacroRange(p Point, r float64) (mx0, my0, mx1, my1 int) {
+	cx0, cy0, cx1, cy1 := g.CellRange(p, r)
+	s := g.macroShift
+	return cx0 >> s, cy0 >> s, cx1 >> s, cy1 >> s
 }

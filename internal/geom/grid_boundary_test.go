@@ -1,0 +1,228 @@
+package geom_test
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// Boundary audit for the grid's clamp arithmetic: points sitting exactly
+// on the indexed bounding box's max edge, query centers on exact
+// cell-multiple coordinates, and CellRange disks that straddle the
+// clamp. Every query must match the brute-force scan bit for bit — an
+// off-by-one in cellIndex/CellOf/CellRange shows up here as a dropped or
+// duplicated index.
+func TestGridBoundaryExactEdges(t *testing.T) {
+	const cell = 100.0
+	// A lattice whose extremes land exactly on cell multiples, plus the
+	// four corners and points epsilon inside/outside the max edge.
+	var pts []geom.Point
+	for x := 0.0; x <= 500; x += 100 {
+		for y := 0.0; y <= 300; y += 100 {
+			pts = append(pts, geom.Point{X: x, Y: y})
+		}
+	}
+	maxX, maxY := 500.0, 300.0
+	pts = append(pts,
+		geom.Point{X: maxX, Y: maxY},
+		geom.Point{X: math.Nextafter(maxX, 0), Y: maxY},
+		geom.Point{X: maxX, Y: math.Nextafter(maxY, 0)},
+		geom.Point{X: 0, Y: maxY},
+		geom.Point{X: maxX, Y: 0},
+	)
+	var g geom.Grid
+	g.Rebuild(pts, cell)
+
+	queries := []geom.Point{
+		{X: 0, Y: 0}, {X: maxX, Y: maxY}, {X: maxX, Y: 0}, {X: 0, Y: maxY},
+		{X: 200, Y: 200},                     // interior exact multiple
+		{X: maxX + cell, Y: maxY + cell},     // beyond the max corner
+		{X: -cell, Y: -cell},                 // beyond the min corner
+		{X: maxX - 1e-9, Y: maxY - 1e-9},     // just inside the edge
+		{X: maxX + 1e-9, Y: maxY + 1e-9},     // just outside the edge
+		{X: 250, Y: maxY}, {X: maxX, Y: 150}, // mid-edge
+	}
+	radii := []float64{0, 1e-9, cell / 2, cell, cell * 1.5, 2 * cell, 10 * cell}
+	for _, p := range queries {
+		for _, r := range radii {
+			got := g.Within(p, r, nil)
+			want := bruteWithin(pts, p, r)
+			if !slices.Equal(got, want) {
+				t.Fatalf("Within(%+v, %g): got %v want %v", p, r, got, want)
+			}
+		}
+	}
+}
+
+// CellRange disks whose edges land exactly on cell boundaries, or whose
+// centers sit outside the box so one or both range endpoints clamp, must
+// still cover every in-disk point's cell and stay within the grid.
+func TestGridCellRangeStraddlesClamp(t *testing.T) {
+	var g geom.Grid
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 400, Y: 400}}
+	g.Rebuild(pts, 100) // 5x5 cells over [0,400]^2
+	cols, rows := g.Cells()
+
+	cases := []struct {
+		p geom.Point
+		r float64
+	}{
+		{geom.Point{X: 200, Y: 200}, 100},  // edges exactly on cell lines
+		{geom.Point{X: 200, Y: 200}, 200},  // edges exactly on the box border
+		{geom.Point{X: 0, Y: 0}, 100},      // min-corner center, left half clamps
+		{geom.Point{X: 400, Y: 400}, 100},  // max-corner center, right half clamps
+		{geom.Point{X: -150, Y: 200}, 100}, // disk entirely left of the box
+		{geom.Point{X: 550, Y: 200}, 100},  // disk entirely right of the box
+		{geom.Point{X: -50, Y: -50}, 300},  // disk straddling the min corner
+		{geom.Point{X: 450, Y: 450}, 300},  // disk straddling the max corner
+		{geom.Point{X: 200, Y: 200}, 1e6},  // disk dwarfing the box
+	}
+	for _, tc := range cases {
+		cx0, cy0, cx1, cy1 := g.CellRange(tc.p, tc.r)
+		if cx0 < 0 || cy0 < 0 || cx1 >= cols || cy1 >= rows || cx0 > cx1 || cy0 > cy1 {
+			t.Fatalf("CellRange(%+v, %g) = (%d,%d)-(%d,%d) invalid for %dx%d grid",
+				tc.p, tc.r, cx0, cy0, cx1, cy1, cols, rows)
+		}
+		// Sample the disk boundary and interior: every sampled point's
+		// clamped cell must fall inside the rectangle.
+		for k := 0; k < 64; k++ {
+			ang := float64(k) / 64 * 2 * math.Pi
+			for _, rad := range []float64{tc.r, tc.r / 2, 0} {
+				q := geom.Point{X: tc.p.X + rad*math.Cos(ang), Y: tc.p.Y + rad*math.Sin(ang)}
+				qx, qy := g.CellOf(q)
+				if qx < cx0 || qx > cx1 || qy < cy0 || qy > cy1 {
+					t.Fatalf("q=%+v (cell %d,%d) escapes CellRange(%+v, %g) = (%d,%d)-(%d,%d)",
+						q, qx, qy, tc.p, tc.r, cx0, cy0, cx1, cy1)
+				}
+			}
+		}
+	}
+}
+
+// Randomized boundary property sweep: snapshots whose coordinates are
+// drawn from a lattice (so ties with cell edges are common, not
+// measure-zero), queried at lattice points, box corners, and the exact
+// max edge, always against the brute-force reference.
+func TestGridBoundaryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var g geom.Grid
+	for trial := 0; trial < 200; trial++ {
+		cell := []float64{50, 100, 250}[rng.Intn(3)]
+		n := 1 + rng.Intn(80)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			// Half the points on the cell lattice, half uniform.
+			if rng.Intn(2) == 0 {
+				pts[i] = geom.Point{
+					X: float64(rng.Intn(12)) * cell,
+					Y: float64(rng.Intn(12)) * cell,
+				}
+			} else {
+				pts[i] = geom.Point{X: rng.Float64() * 11 * cell, Y: rng.Float64() * 11 * cell}
+			}
+		}
+		g.Rebuild(pts, cell)
+		for k := 0; k < 10; k++ {
+			var p geom.Point
+			switch rng.Intn(3) {
+			case 0: // lattice point
+				p = geom.Point{X: float64(rng.Intn(13)-1) * cell, Y: float64(rng.Intn(13)-1) * cell}
+			case 1: // an indexed point (often on the bounding-box edge)
+				p = pts[rng.Intn(n)]
+			default: // uniform, extending past the box
+				p = geom.Point{X: rng.Float64()*14*cell - cell, Y: rng.Float64()*14*cell - cell}
+			}
+			r := []float64{0, cell / 2, cell, 2 * cell, rng.Float64() * 4 * cell}[rng.Intn(5)]
+			got := g.Within(p, r, nil)
+			want := bruteWithin(pts, p, r)
+			if !slices.Equal(got, want) {
+				t.Fatalf("trial %d: Within(%+v, %g): got %v want %v", trial, p, r, got, want)
+			}
+		}
+	}
+}
+
+// The macro level must tile the fine level exactly: every fine cell maps
+// into a macro cell inside the declared dimensions, the macro-cell count
+// respects the cap, and small maps collapse to shift 0 (macro == fine).
+func TestGridMacroLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var g geom.Grid
+	for _, tc := range []struct {
+		n         int
+		w, h      float64
+		cell      float64
+		wantShift int // -1 = don't care, assert invariants only
+	}{
+		{50, 1000, 1000, 500, 0},       // 3x3 fine cells: macro == fine
+		{200, 5500, 5500, 500, 0},      // 12x12 = 144 <= 4096
+		{500, 150000, 150000, 500, -1}, // 301x301 = 90601 fine cells: shift > 0
+		{100, 150000, 500, 500, -1},    // degenerate strip
+	} {
+		pts := randomPoints(rng, tc.n, tc.w, tc.h)
+		g.Rebuild(pts, tc.cell)
+		cols, rows := g.Cells()
+		mcols, mrows := g.MacroCells()
+		shift := g.MacroShift()
+		if tc.wantShift >= 0 && shift != tc.wantShift {
+			t.Fatalf("%gx%g/%g: MacroShift = %d, want %d", tc.w, tc.h, tc.cell, shift, tc.wantShift)
+		}
+		if mcols*mrows > 4096 {
+			t.Fatalf("%gx%g/%g: %d macro cells exceed the cap", tc.w, tc.h, tc.cell, mcols*mrows)
+		}
+		if want := (cols + (1 << shift) - 1) >> shift; mcols != want {
+			t.Fatalf("macro cols = %d, want %d", mcols, want)
+		}
+		if want := (rows + (1 << shift) - 1) >> shift; mrows != want {
+			t.Fatalf("macro rows = %d, want %d", mrows, want)
+		}
+		if shift == 0 && (mcols != cols || mrows != rows) {
+			t.Fatalf("shift 0 but macro %dx%d != fine %dx%d", mcols, mrows, cols, rows)
+		}
+		// MacroOf must agree with CellOf >> shift for arbitrary points,
+		// clamped inside the macro dimensions.
+		for k := 0; k < 200; k++ {
+			p := geom.Point{X: rng.Float64()*tc.w*1.4 - 0.2*tc.w, Y: rng.Float64()*tc.h*1.4 - 0.2*tc.h}
+			cx, cy := g.CellOf(p)
+			mx, my := g.MacroOf(p)
+			if mx != cx>>shift || my != cy>>shift {
+				t.Fatalf("MacroOf(%+v) = (%d,%d), want CellOf>>%d = (%d,%d)", p, mx, my, shift, cx>>shift, cy>>shift)
+			}
+			if mx < 0 || my < 0 || mx >= mcols || my >= mrows {
+				t.Fatalf("MacroOf(%+v) = (%d,%d) outside %dx%d", p, mx, my, mcols, mrows)
+			}
+		}
+	}
+}
+
+// MacroRange inherits CellRange's covering property at the macro level.
+func TestGridMacroRangeCovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var g geom.Grid
+	pts := randomPoints(rng, 400, 60000, 60000)
+	g.Rebuild(pts, 500) // ~121x121 fine cells: forces a nonzero shift
+	if g.MacroShift() == 0 {
+		t.Fatalf("expected a nonzero macro shift for %dx%d fine cells", 121, 121)
+	}
+	mcols, mrows := g.MacroCells()
+	for trial := 0; trial < 2000; trial++ {
+		p := geom.Point{X: rng.Float64()*80000 - 10000, Y: rng.Float64()*80000 - 10000}
+		r := rng.Float64() * 5000
+		mx0, my0, mx1, my1 := g.MacroRange(p, r)
+		if mx0 < 0 || my0 < 0 || mx1 >= mcols || my1 >= mrows || mx0 > mx1 || my0 > my1 {
+			t.Fatalf("MacroRange(%+v, %g) = (%d,%d)-(%d,%d) outside %dx%d",
+				p, r, mx0, my0, mx1, my1, mcols, mrows)
+		}
+		ang := rng.Float64() * 2 * math.Pi
+		rad := rng.Float64() * r
+		q := geom.Point{X: p.X + rad*math.Cos(ang), Y: p.Y + rad*math.Sin(ang)}
+		qx, qy := g.MacroOf(q)
+		if qx < mx0 || qx > mx1 || qy < my0 || qy > my1 {
+			t.Fatalf("q=%+v (macro %d,%d) escapes MacroRange(%+v, %g) = (%d,%d)-(%d,%d)",
+				q, qx, qy, p, r, mx0, my0, mx1, my1)
+		}
+	}
+}

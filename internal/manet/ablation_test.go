@@ -182,7 +182,9 @@ func TestWaypointMobilityEndToEnd(t *testing.T) {
 		Scheme:   scheme.AdaptiveCounter{},
 		Mobility: MobilityWaypoint,
 		Requests: 10,
-		Seed:     19,
+
+		RetainRecords: true,
+		Seed:          19,
 	}
 	n, err := New(cfg)
 	if err != nil {
@@ -264,9 +266,9 @@ func TestEveryBroadcastResolves(t *testing.T) {
 	}
 	n.Run()
 	for i, h := range n.hosts {
-		if len(h.pending) != 0 {
+		if h.pendingCount() != 0 {
 			t.Errorf("host %d still holds %d pending rebroadcasts after drain",
-				i, len(h.pending))
+				i, h.pendingCount())
 		}
 	}
 }
@@ -276,11 +278,12 @@ func TestEveryBroadcastResolves(t *testing.T) {
 // more than in the same-size uniformly mixed network.
 func TestGroupMobilityEndToEnd(t *testing.T) {
 	base := Config{
-		Hosts:    60,
-		MapUnits: 7,
-		Scheme:   scheme.AdaptiveCounter{},
-		Requests: 15,
-		Seed:     47,
+		Hosts:         60,
+		MapUnits:      7,
+		Scheme:        scheme.AdaptiveCounter{},
+		Requests:      15,
+		RetainRecords: true,
+		Seed:          47,
 	}
 	uniform := base
 	nu, err := New(uniform)

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/geom"
+	"repro/internal/mobility"
 	"repro/internal/neighbor"
 	"repro/internal/obs"
 	"repro/internal/phy"
@@ -164,6 +165,16 @@ type Config struct {
 	// either way; the switch exists for the equivalence tests and
 	// benchmarks that verify exactly that.
 	DisableInterferenceIndex bool
+	// DisableDenseState runs the per-host waiting state and per-broadcast
+	// bookkeeping on the legacy map-backed stores (per-host pending and
+	// NACK maps, a broadcast-keyed record map with completed records
+	// retained until summarize) instead of the dense layout (index-linked
+	// pending lists, a sequence-indexed record arena whose completed
+	// records are folded into streaming aggregates and released). A pure
+	// storage change with no model effect, so results must be
+	// byte-identical either way; the switch exists for the equivalence
+	// tests and benchmarks that verify exactly that.
+	DisableDenseState bool
 	// DisableLadderQueue runs the scheduler on the legacy binary heap
 	// (eager cancellation, per-event allocation) instead of the default
 	// ladder queue. Both fire events in the identical (time, seq) order,
@@ -187,6 +198,13 @@ type Config struct {
 	// (default 10 s).
 	RepairWindow sim.Duration
 
+	// RetainRecords keeps every per-broadcast record alive until the end
+	// of the run so Records() can return them. By default the dense
+	// bookkeeping folds a record into the run aggregates and releases it
+	// as soon as its broadcast can no longer change — the memory fix that
+	// keeps long runs O(active broadcasts) — after which Records() panics.
+	RetainRecords bool
+
 	// Telemetry, when non-nil, collects run time series (channel load,
 	// contention, scheme decisions) on the collector's tick. Sampling is
 	// observation-only: it schedules no events and draws no random
@@ -209,6 +227,35 @@ type Config struct {
 // PaperMaxSpeedKMH returns the paper's per-map maximum roaming speed:
 // 10 km/h on the 1x1 map, 30 on 3x3, 50 on 5x5, i.e. 10 km/h per unit.
 func PaperMaxSpeedKMH(units int) float64 { return 10 * float64(units) }
+
+// groupConfig derives the RPGM parameters from the run configuration
+// (valid only when Groups > 0).
+func (c Config) groupConfig() mobility.GroupConfig {
+	gcfg := mobility.DefaultGroupConfig(c.MaxSpeedKMH)
+	if c.GroupSpread > 0 {
+		gcfg.Spread = c.GroupSpread
+	}
+	return gcfg
+}
+
+// MaxSpeedMPS returns the fastest speed any host in this configuration
+// can move at, in meters/second. It is the single source of truth for
+// the mobility bound: the channel's spatial index sizes its drift budget
+// from it and the invariant auditor checks every mover against it, so
+// the two can never disagree. Group members ride the center's motion
+// plus their own jitter; all other models cap at MaxSpeedKMH. Call on a
+// defaulted config (New defaults before using it).
+func (c Config) MaxSpeedMPS() float64 {
+	switch {
+	case c.Static:
+		return 0
+	case c.Groups > 0:
+		gcfg := c.groupConfig()
+		return gcfg.Center.MaxSpeedMPS + gcfg.JitterSpeedMPS
+	default:
+		return mobility.KMHToMPS(c.MaxSpeedKMH)
+	}
+}
 
 // WithDefaults fills unset fields with the paper's parameters.
 func (c Config) WithDefaults() Config {

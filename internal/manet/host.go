@@ -23,11 +23,17 @@ type host struct {
 	dedup *packet.DedupTable
 	rng   *sim.RNG // assessment delays and hello phase
 
-	// pending tracks broadcasts whose rebroadcast decision is still open;
-	// prFree recycles resolved records so a storm allocates no waiting
-	// state once warm.
-	pending map[packet.BroadcastID]*pendingRebroadcast
-	prFree  []*pendingRebroadcast
+	// Broadcasts whose rebroadcast decision is still open. The dense
+	// layout (the default) keeps them in an unordered slice with each
+	// record carrying its own index (live) for O(1) swap-remove — the
+	// open set per host is a handful of entries, so lookup is a short
+	// linear scan and the map's hashing and bucket storage are pure
+	// overhead. The map layout remains behind Config.DisableDenseState
+	// (pending non-nil) as the equivalence oracle. prFree recycles
+	// resolved records so a storm allocates no waiting state once warm.
+	pending     map[packet.BroadcastID]*pendingRebroadcast
+	livePending []*pendingRebroadcast
+	prFree      []*pendingRebroadcast
 
 	// Bound-once HELLO callbacks plus the FIFO of beacons currently on
 	// the air. HELLO frames are broadcast, so the MAC completes them in
@@ -39,7 +45,9 @@ type host struct {
 	helloFly    []*packet.Frame
 
 	// Reliable-broadcast repair state (Config.Repair): recently received
-	// broadcasts to advertise, and ids already NACKed.
+	// broadcasts to advertise, and ids NACKed but not yet repaired. The
+	// map is allocated on first NACK and entries are deleted once the
+	// repair arrives, so it stays bounded by still-missing packets.
 	recent []recentEntry
 	nacked map[packet.BroadcastID]bool
 }
@@ -58,6 +66,7 @@ type pendingRebroadcast struct {
 	frame    *packet.Frame // the enqueued rebroadcast frame
 	started  bool          // transmission began; decision locked
 	resolved bool          // inhibited or completed
+	live     int32         // index in host.livePending (dense layout)
 	assessFn func()        // assessment-delay timer target
 	startFn  func()        // MAC OnStart
 	doneFn   func()        // MAC OnDone
@@ -101,6 +110,52 @@ func (h *host) recyclePendingRebroadcast(p *pendingRebroadcast) {
 	p.mp = nil
 	p.frame = nil
 	h.prFree = append(h.prFree, p)
+}
+
+// trackPending registers an open rebroadcast decision.
+func (h *host) trackPending(p *pendingRebroadcast) {
+	if h.pending != nil {
+		h.pending[p.bid] = p
+		return
+	}
+	p.live = int32(len(h.livePending))
+	h.livePending = append(h.livePending, p)
+}
+
+// lookupPending finds the open decision for bid, nil if none.
+func (h *host) lookupPending(bid packet.BroadcastID) *pendingRebroadcast {
+	if h.pending != nil {
+		return h.pending[bid]
+	}
+	for _, p := range h.livePending {
+		if p.bid == bid {
+			return p
+		}
+	}
+	return nil
+}
+
+// untrackPending removes a resolved decision (O(1) swap-remove on the
+// dense layout).
+func (h *host) untrackPending(p *pendingRebroadcast) {
+	if h.pending != nil {
+		delete(h.pending, p.bid)
+		return
+	}
+	l := len(h.livePending) - 1
+	last := h.livePending[l]
+	h.livePending[p.live] = last
+	last.live = p.live
+	h.livePending[l] = nil
+	h.livePending = h.livePending[:l]
+}
+
+// pendingCount returns the number of open rebroadcast decisions.
+func (h *host) pendingCount() int {
+	if h.pending != nil {
+		return len(h.pending)
+	}
+	return len(h.livePending)
 }
 
 var (
@@ -177,7 +232,8 @@ func (h *host) onBroadcast(f *packet.Frame) {
 			h.net.obs.Inc(h.net.obsProceedInit)
 		}
 		p := h.newPendingRebroadcast(bid, judge)
-		h.pending[bid] = p
+		h.trackPending(p)
+		h.net.openInc(bid) // record stays open until this decision resolves
 		// S2: random assessment delay of 0..AssessmentSlots slots before
 		// submitting the rebroadcast to the MAC.
 		slots := h.rng.IntN(h.net.cfg.AssessmentSlots + 1)
@@ -188,7 +244,7 @@ func (h *host) onBroadcast(f *packet.Frame) {
 
 	// Duplicate reception (S4) while a rebroadcast may still be pending.
 	h.net.trace(trace.Duplicate, bid, h.id)
-	p := h.pending[bid]
+	p := h.lookupPending(bid)
 	if p == nil || p.started || p.resolved {
 		return
 	}
@@ -222,11 +278,13 @@ func (h *host) complete(p *pendingRebroadcast) {
 		h.net.audit.AuditUse(h.net.sched.Now(), "manet.pending", p)
 	}
 	p.resolved = true
-	delete(h.pending, p.bid)
+	h.untrackPending(p)
 	scheme.ReleaseJudge(p.judge)
 	h.net.recycleFrame(p.frame)
 	h.net.noteActivity(p.bid)
+	bid := p.bid
 	h.recyclePendingRebroadcast(p)
+	h.net.openDec(bid) // after the final mutations: may fold the record
 }
 
 // inhibit cancels the pending rebroadcast (S5).
@@ -246,10 +304,12 @@ func (h *host) inhibit(p *pendingRebroadcast) {
 		h.net.recycleFrame(p.frame)
 	}
 	scheme.ReleaseJudge(p.judge)
-	delete(h.pending, p.bid)
+	h.untrackPending(p)
 	h.net.noteActivity(p.bid)
 	h.net.trace(trace.Inhibit, p.bid, h.id)
+	bid := p.bid
 	h.recyclePendingRebroadcast(p)
+	h.net.openDec(bid) // after the final mutations: may fold the record
 }
 
 // originate makes this host the source of a new broadcast: the source
@@ -265,6 +325,7 @@ func (h *host) originate(bid packet.BroadcastID) {
 		func() {
 			h.net.recycleFrame(frame)
 			h.net.noteActivity(bid)
+			h.net.openDec(bid) // the source's transmission no longer holds it
 		},
 	)
 }

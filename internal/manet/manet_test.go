@@ -64,6 +64,8 @@ func TestFloodingTransmissionCount(t *testing.T) {
 		Scheme:    scheme.Flooding{},
 		Requests:  1,
 		Seed:      3,
+
+		RetainRecords: true,
 	}
 	n, err := New(cfg)
 	if err != nil {
@@ -142,11 +144,12 @@ func TestInvariantTransmittedLEReceived(t *testing.T) {
 	}
 	for _, sch := range schemes {
 		cfg := Config{
-			Hosts:    25,
-			MapUnits: 3,
-			Scheme:   sch,
-			Requests: 15,
-			Seed:     13,
+			Hosts:         25,
+			MapUnits:      3,
+			Scheme:        sch,
+			Requests:      15,
+			RetainRecords: true,
+			Seed:          13,
 		}
 		n, err := New(cfg)
 		if err != nil {
@@ -337,6 +340,8 @@ func TestPartitionLimitsReachabilityDenominator(t *testing.T) {
 		Scheme:    scheme.Flooding{},
 		Requests:  6,
 		Seed:      37,
+
+		RetainRecords: true,
 	}
 	n, err := New(cfg)
 	if err != nil {

@@ -77,8 +77,26 @@ type Network struct {
 	framePool []*packet.Frame
 	helloPool []*packet.Frame
 
-	records          map[packet.BroadcastID]*metrics.BroadcastRecord
-	order            []packet.BroadcastID
+	// Legacy map-backed bookkeeping (cfg.DisableDenseState): records keyed
+	// by broadcast id, all retained until summarize, iterated in arrival
+	// order via order.
+	records map[packet.BroadcastID]*metrics.BroadcastRecord
+	order   []packet.BroadcastID
+
+	// Dense bookkeeping (the default): records live in an arena ordered by
+	// origination. The broadcast with Seq s sits at recs[s-1-recBase];
+	// recOpen counts the references still holding it open (the source's
+	// in-flight transmission plus every undecided pendingRebroadcast).
+	// When fold is set, foldFront folds the arrival-order prefix of closed
+	// records into stream and releases it, so live state is O(active
+	// broadcasts) instead of O(all broadcasts ever issued); recBase counts
+	// the records released that way.
+	recs    []metrics.BroadcastRecord
+	recOpen []int32
+	recBase uint32
+	stream  metrics.Stream
+	fold    bool
+
 	helloSent        int
 	repairsRequested int
 	repairsDelivered int
@@ -99,11 +117,18 @@ func New(cfg Config) (*Network, error) {
 		sched = sim.NewHeapScheduler()
 	}
 	n := &Network{
-		cfg:     cfg,
-		sched:   sched,
-		ch:      phy.NewChannel(sched, cfg.Timing, cfg.Radius),
-		area:    mobility.NewSquareMap(cfg.MapUnits, cfg.UnitMeters),
-		records: make(map[packet.BroadcastID]*metrics.BroadcastRecord, cfg.Requests),
+		cfg:   cfg,
+		sched: sched,
+		ch:    phy.NewChannel(sched, cfg.Timing, cfg.Radius),
+		area:  mobility.NewSquareMap(cfg.MapUnits, cfg.UnitMeters),
+	}
+	if cfg.DisableDenseState {
+		n.records = make(map[packet.BroadcastID]*metrics.BroadcastRecord, cfg.Requests)
+	} else {
+		// Folding is off when records must survive the run: RetainRecords
+		// by request, Repair because a repaired delivery can reopen a
+		// broadcast long after its best-effort wave completed.
+		n.fold = !cfg.RetainRecords && !cfg.Repair
 	}
 	n.ch.DisableCollisions = cfg.DisableCollisions
 	n.ch.DisableIndex = cfg.DisableSpatialIndex
@@ -120,12 +145,8 @@ func New(cfg Config) (*Network, error) {
 	hostRNG := root.Fork(3)
 
 	var groups []*mobility.Group
-	var gcfg mobility.GroupConfig
 	if cfg.Groups > 0 {
-		gcfg = mobility.DefaultGroupConfig(cfg.MaxSpeedKMH)
-		if cfg.GroupSpread > 0 {
-			gcfg.Spread = cfg.GroupSpread
-		}
+		gcfg := cfg.groupConfig()
 		groups = make([]*mobility.Group, cfg.Groups)
 		for gi := range groups {
 			groups[gi] = mobility.NewGroup(sched, n.area, gcfg, moveRNG.Fork(1000+uint64(gi)))
@@ -134,19 +155,11 @@ func New(cfg Config) (*Network, error) {
 
 	// Declare how fast hosts can move so the channel's spatial index can
 	// amortize snapshot rebuilds over a drift budget instead of
-	// re-snapshotting every radio at every distinct timestamp. The bound
-	// must cover the fastest possible mover: group members ride the
-	// center's motion plus their own jitter; all other models cap at
-	// MaxSpeedKMH.
-	var maxSpeed float64
-	switch {
-	case cfg.Static:
-		maxSpeed = 0
-	case cfg.Groups > 0:
-		maxSpeed = gcfg.Center.MaxSpeedMPS + gcfg.JitterSpeedMPS
-	default:
-		maxSpeed = mobility.KMHToMPS(cfg.MaxSpeedKMH)
-	}
+	// re-snapshotting every radio at every distinct timestamp.
+	// Config.MaxSpeedMPS is the single source of truth for the bound; the
+	// auditor's per-tick mover sweep checks every host against the same
+	// number.
+	maxSpeed := cfg.MaxSpeedMPS()
 	n.ch.SetMaxSpeed(maxSpeed)
 	if cfg.Audit != nil {
 		n.audit = cfg.Audit
@@ -158,12 +171,13 @@ func New(cfg Config) (*Network, error) {
 	n.hosts = make([]*host, cfg.Hosts)
 	for i := range n.hosts {
 		h := &host{
-			id:      packet.NodeID(i),
-			net:     n,
-			dedup:   packet.NewDedupTable(),
-			rng:     hostRNG.Fork(uint64(i)),
-			pending: make(map[packet.BroadcastID]*pendingRebroadcast),
-			nacked:  make(map[packet.BroadcastID]bool),
+			id:    packet.NodeID(i),
+			net:   n,
+			dedup: packet.NewDedupTable(),
+			rng:   hostRNG.Fork(uint64(i)),
+		}
+		if cfg.DisableDenseState {
+			h.pending = make(map[packet.BroadcastID]*pendingRebroadcast)
 		}
 		switch {
 		case cfg.Groups > 0:
@@ -242,7 +256,7 @@ func (n *Network) observe(o *obs.Collector) {
 		return float64(s)
 	})
 	o.Gauge("manet.hello_sent", func() float64 { return float64(n.helloSent) })
-	o.Gauge("manet.broadcasts", func() float64 { return float64(len(n.order)) })
+	o.Gauge("manet.broadcasts", func() float64 { return float64(n.seq) })
 	n.ch.Observe(o)
 }
 
@@ -422,8 +436,12 @@ func (n *Network) Run() metrics.Summary {
 // hello intervals since last heard) and its host must lie within the
 // radio radius expanded by the worst-case drift both endpoints can
 // accumulate since the HELLO's transmission began (its age plus the
-// beacon's maximum airtime, at auditSpeed each). Pure observation: reads
-// positions and table entries, mutates nothing.
+// beacon's maximum airtime, at auditSpeed each). It also checks every
+// mover against the configured speed bound — the same auditSpeed the
+// spatial index sizes its drift budget from, so a mobility model
+// exceeding Config.MaxSpeedMPS is flagged before it can silently
+// invalidate index snapshots. Pure observation: reads positions, speeds,
+// and table entries, mutates nothing.
 func (n *Network) auditNeighborSweep(now sim.Time) {
 	// In-range membership is fixed when a transmission starts, and the
 	// entry timestamp is stamped at delivery — one maximal HELLO airtime
@@ -436,6 +454,7 @@ func (n *Network) auditNeighborSweep(now sim.Time) {
 	for _, h := range n.hosts {
 		owner := h
 		pos := owner.mover.Position()
+		n.audit.AuditMoverSpeed(now, owner.id, owner.mover.Speed(), n.auditSpeed)
 		owner.table.AuditEntries(func(id packet.NodeID, lastHeard sim.Time, interval sim.Duration) {
 			age := now.Sub(lastHeard)
 			bound := sim.Duration(n.cfg.ExpiryIntervals) * interval
@@ -450,10 +469,18 @@ func (n *Network) auditNeighborSweep(now sim.Time) {
 func (n *Network) originate(src *host) {
 	n.seq++
 	bid := packet.BroadcastID{Source: src.id, Seq: n.seq}
-	rec := metrics.NewBroadcastRecord(bid, n.sched.Now(), n.reachableFrom(src))
-	rec.Received = 1 // the source holds the packet
-	n.records[bid] = rec
-	n.order = append(n.order, bid)
+	if n.records != nil {
+		rec := metrics.NewBroadcastRecord(bid, n.sched.Now(), n.reachableFrom(src))
+		rec.Received = 1 // the source holds the packet
+		n.records[bid] = rec
+		n.order = append(n.order, bid)
+	} else {
+		n.recs = append(n.recs, metrics.MakeBroadcastRecord(bid, n.sched.Now(), n.reachableFrom(src)))
+		n.recs[len(n.recs)-1].Received = 1 // the source holds the packet
+		// Open until the source's own transmission completes; every
+		// pendingRebroadcast the wave spawns adds its own hold.
+		n.recOpen = append(n.recOpen, 1)
+	}
 	if n.DeliveryHook != nil {
 		n.DeliveryHook(bid, src.id)
 	}
@@ -493,15 +520,71 @@ func (n *Network) reachableFrom(src *host) int {
 	return count
 }
 
-// record fetches the bookkeeping entry for a broadcast; unknown ids
-// (possible only through misuse) panic loudly rather than silently
-// skewing metrics.
+// record fetches the bookkeeping entry for a broadcast; unknown ids and
+// already-folded records (possible only through misuse or an open-count
+// bug) panic loudly rather than silently skewing metrics.
 func (n *Network) record(bid packet.BroadcastID) *metrics.BroadcastRecord {
-	rec, ok := n.records[bid]
-	if !ok {
+	if n.records != nil {
+		rec, ok := n.records[bid]
+		if !ok {
+			panic(fmt.Sprintf("manet: no record for %v", bid))
+		}
+		return rec
+	}
+	// Seq is the global origination counter (starting at 1), so the
+	// arena index is direct. A folded broadcast wraps the unsigned
+	// subtraction to a huge index and fails the bounds check.
+	idx := int(bid.Seq - 1 - n.recBase)
+	if idx < 0 || idx >= len(n.recs) || n.recs[idx].ID != bid {
 		panic(fmt.Sprintf("manet: no record for %v", bid))
 	}
-	return rec
+	return &n.recs[idx]
+}
+
+// openInc adds one hold on a broadcast's record (dense bookkeeping only):
+// the record cannot fold while any transmission or rebroadcast decision
+// that can still mutate it is outstanding.
+func (n *Network) openInc(bid packet.BroadcastID) {
+	if n.records != nil {
+		return
+	}
+	n.recOpen[bid.Seq-1-n.recBase]++
+}
+
+// openDec drops one hold; when the arrival-order prefix of the arena is
+// fully closed it is folded into the streaming aggregates and released.
+// Call after the final record mutations of the closing event.
+func (n *Network) openDec(bid packet.BroadcastID) {
+	if n.records != nil {
+		return
+	}
+	idx := bid.Seq - 1 - n.recBase
+	n.recOpen[idx]--
+	if n.recOpen[idx] < 0 {
+		panic(fmt.Sprintf("manet: open count for %v went negative", bid))
+	}
+	if n.fold && idx == 0 {
+		n.foldFront()
+	}
+}
+
+// foldFront folds every leading closed record into the run aggregates
+// and releases it from the arena. Records must fold in arrival order —
+// that is what makes the streamed summary byte-identical to Summarize
+// over the retained set — so the frontier stops at the first record
+// still held open.
+func (n *Network) foldFront() {
+	now := n.sched.Now()
+	for len(n.recOpen) > 0 && n.recOpen[0] == 0 {
+		rec := &n.recs[0]
+		n.stream.Fold(rec)
+		if n.audit != nil {
+			n.audit.AuditRecord(now, rec)
+		}
+		n.recs = n.recs[1:]
+		n.recOpen = n.recOpen[1:]
+		n.recBase++
+	}
 }
 
 func (n *Network) noteReceived(bid packet.BroadcastID, h packet.NodeID) {
@@ -532,11 +615,32 @@ func (n *Network) noteActivity(bid packet.BroadcastID) {
 // summarize folds per-broadcast records and channel counters into the
 // run summary.
 func (n *Network) summarize() metrics.Summary {
-	recs := make([]*metrics.BroadcastRecord, 0, len(n.order))
-	for _, bid := range n.order {
-		recs = append(recs, n.records[bid])
+	now := n.sched.Now()
+	var s metrics.Summary
+	if n.records != nil {
+		recs := make([]*metrics.BroadcastRecord, 0, len(n.order))
+		for _, bid := range n.order {
+			recs = append(recs, n.records[bid])
+		}
+		s = metrics.Summarize(recs)
+		if n.audit != nil {
+			for _, rec := range recs {
+				n.audit.AuditRecord(now, rec)
+			}
+		}
+	} else {
+		// Fold the stragglers: a record still held open when the clock
+		// runs out is final now. They stay in the arena (not released),
+		// so Records() keeps working under RetainRecords.
+		for i := range n.recs {
+			rec := &n.recs[i]
+			n.stream.Fold(rec)
+			if n.audit != nil {
+				n.audit.AuditRecord(now, rec)
+			}
+		}
+		s = n.stream.Summary()
 	}
-	s := metrics.Summarize(recs)
 	st := n.ch.Stats()
 	s.HelloSent = n.helloSent
 	s.RepairsRequested = n.repairsRequested
@@ -544,24 +648,33 @@ func (n *Network) summarize() metrics.Summary {
 	s.Transmissions = st.Transmissions
 	s.Deliveries = st.Deliveries
 	s.Collisions = st.Collisions
-	s.SimulatedTime = n.sched.Now().Sub(0)
+	s.SimulatedTime = now.Sub(0)
 	s.Events = n.sched.Executed()
 	if n.audit != nil {
-		now := n.sched.Now()
-		for _, rec := range recs {
-			n.audit.AuditRecord(now, rec)
-		}
 		n.audit.AuditSummary(now, s, st.Lost)
 	}
 	return s
 }
 
 // Records returns the per-broadcast records in arrival order (available
-// after Run; used by tests and detailed analyses).
+// after Run; used by tests and detailed analyses). The default dense
+// bookkeeping folds completed records into the run aggregates and
+// releases them mid-run, so callers that need the full set must set
+// Config.RetainRecords.
 func (n *Network) Records() []*metrics.BroadcastRecord {
-	recs := make([]*metrics.BroadcastRecord, 0, len(n.order))
-	for _, bid := range n.order {
-		recs = append(recs, n.records[bid])
+	if n.records != nil {
+		recs := make([]*metrics.BroadcastRecord, 0, len(n.order))
+		for _, bid := range n.order {
+			recs = append(recs, n.records[bid])
+		}
+		return recs
+	}
+	if len(n.recs) != int(n.seq) {
+		panic("manet: records were folded and released mid-run; set Config.RetainRecords to keep them")
+	}
+	recs := make([]*metrics.BroadcastRecord, len(n.recs))
+	for i := range n.recs {
+		recs[i] = &n.recs[i]
 	}
 	return recs
 }

@@ -43,10 +43,17 @@ type recentEntry struct {
 	heard sim.Time
 }
 
-// noteRecent records a received broadcast for future advertisement.
+// noteRecent records a received broadcast for future advertisement and
+// retires any NACK marker for it: dedup.Seen short-circuits the nacked
+// test for every id the host holds, so the entry can never be read
+// again — deleting it is invisible to behavior and keeps the NACK set
+// bounded by still-missing packets instead of growing for the whole run.
 func (h *host) noteRecent(bid packet.BroadcastID) {
 	if !h.net.cfg.Repair {
 		return
+	}
+	if h.nacked != nil {
+		delete(h.nacked, bid)
 	}
 	h.recent = append(h.recent, recentEntry{id: bid, heard: h.net.sched.Now()})
 }
@@ -73,6 +80,9 @@ func (h *host) onHelloRecent(from packet.NodeID, recent []packet.BroadcastID) {
 		if h.dedup.Seen(bid) || h.nacked[bid] {
 			continue
 		}
+		if h.nacked == nil {
+			h.nacked = make(map[packet.BroadcastID]bool)
+		}
 		h.nacked[bid] = true
 		h.net.repairsRequested++
 		f := packet.NewData(h.id, from, repairRequestBytes, repairRequest{ID: bid}, h.Position())
@@ -96,7 +106,8 @@ func (h *host) onRepairFrame(f *packet.Frame) {
 		}
 		if h.dedup.Observe(msg.ID) {
 			// A repaired delivery: counted as received, never forwarded
-			// (the best-effort wave has long passed).
+			// (the best-effort wave has long passed). noteRecent retires
+			// the NACK marker.
 			h.net.repairsDelivered++
 			h.net.noteReceived(msg.ID, h.id)
 			h.noteRecent(msg.ID)

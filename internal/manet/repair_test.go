@@ -20,6 +20,7 @@ func repairConfig(repair bool, seed uint64) Config {
 		HelloMode:     HelloFixed,
 		HelloInterval: 1 * sim.Second,
 		Drain:         8 * sim.Second, // time for advertisement + repair rounds
+		RetainRecords: true,
 		Seed:          seed,
 	}
 }

@@ -36,11 +36,12 @@ func TestSoakRandomConfigurations(t *testing.T) {
 	for trial := 0; trial < 24; trial++ {
 		sch := schemes[trial%len(schemes)]
 		cfg := Config{
-			Hosts:    15 + rng.IntN(35),
-			MapUnits: []int{1, 3, 5, 7, 9}[rng.IntN(5)],
-			Scheme:   sch,
-			Requests: 5 + rng.IntN(10),
-			Seed:     uint64(trial + 1),
+			Hosts:         15 + rng.IntN(35),
+			MapUnits:      []int{1, 3, 5, 7, 9}[rng.IntN(5)],
+			Scheme:        sch,
+			Requests:      5 + rng.IntN(10),
+			RetainRecords: true,
+			Seed:          uint64(trial + 1),
 		}
 		switch rng.IntN(4) {
 		case 0:
@@ -85,7 +86,7 @@ func TestSoakRandomConfigurations(t *testing.T) {
 			}
 		}
 		for i, h := range n.hosts {
-			if len(h.pending) != 0 {
+			if h.pendingCount() != 0 {
 				t.Errorf("trial %d: host %d pending not drained", trial, i)
 			}
 		}

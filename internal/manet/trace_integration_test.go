@@ -13,13 +13,15 @@ import (
 // delivery; inhibits and transmits are mutually exclusive per host.
 func TestTracerCausality(t *testing.T) {
 	cfg := Config{
-		Hosts:     15,
-		MapUnits:  3,
-		Scheme:    scheme.Counter{C: 2},
-		Requests:  8,
-		Seed:      3,
-		Placement: cluster(15),
-		Static:    true,
+		Hosts:    15,
+		MapUnits: 3,
+		Scheme:   scheme.Counter{C: 2},
+		Requests: 8,
+		Seed:     3,
+
+		RetainRecords: true,
+		Placement:     cluster(15),
+		Static:        true,
 	}
 	n, err := New(cfg)
 	if err != nil {
@@ -87,7 +89,9 @@ func TestTracerDeliveryCountsMatchRecords(t *testing.T) {
 		MapUnits: 5,
 		Scheme:   scheme.AdaptiveCounter{},
 		Requests: 10,
-		Seed:     9,
+
+		RetainRecords: true,
+		Seed:          9,
 	}
 	n, err := New(cfg)
 	if err != nil {

@@ -47,6 +47,12 @@ func NewBroadcastRecord(id packet.BroadcastID, start sim.Time, reachable int) *B
 	return &BroadcastRecord{ID: id, Start: start, Reachable: reachable, lastActivity: start}
 }
 
+// MakeBroadcastRecord is NewBroadcastRecord by value, for callers that
+// store records in an arena rather than behind per-record pointers.
+func MakeBroadcastRecord(id packet.BroadcastID, start sim.Time, reachable int) BroadcastRecord {
+	return BroadcastRecord{ID: id, Start: start, Reachable: reachable, lastActivity: start}
+}
+
 // NoteActivity extends the broadcast's completion time.
 func (r *BroadcastRecord) NoteActivity(at sim.Time) {
 	if at > r.lastActivity {
@@ -68,12 +74,20 @@ func (r *BroadcastRecord) RE() float64 {
 	return re
 }
 
-// SRB returns the saved-rebroadcast ratio (r-t)/r.
+// SRB returns the saved-rebroadcast ratio (r-t)/r, clamped to [0, 1]
+// like RE: a zero-reach record (r = 0) yields 0 rather than NaN, and a
+// record misreporting t > r yields 0 rather than a negative ratio, so a
+// single degenerate broadcast can never poison MeanSRB/StdSRB across a
+// whole run.
 func (r *BroadcastRecord) SRB() float64 {
 	if r.Received == 0 {
 		return 0
 	}
-	return float64(r.Received-r.Transmitted) / float64(r.Received)
+	srb := float64(r.Received-r.Transmitted) / float64(r.Received)
+	if srb < 0 {
+		return 0
+	}
+	return srb
 }
 
 // Latency returns the broadcast completion latency.

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Running is a mergeable running aggregate (Welford's algorithm): mean
+// and variance in O(1) state, combinable across shards with the
+// parallel-variance update of Chan et al. It is the pure-streaming
+// counterpart to Stream below — use it where per-sample history must
+// not be retained at all (live gauges, future spatially-sharded runs
+// that merge per-shard aggregates instead of shipping records).
+type Running struct {
+	n    int
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+}
+
+// Add folds one sample into the aggregate.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// Merge folds another aggregate into this one.
+func (r *Running) Merge(o Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = o
+		return
+	}
+	n := r.n + o.n
+	d := o.mean - r.mean
+	r.mean += d * float64(o.n) / float64(n)
+	r.m2 += o.m2 + d*d*float64(r.n)*float64(o.n)/float64(n)
+	r.n = n
+}
+
+// Count returns the number of samples folded in.
+func (r Running) Count() int { return r.n }
+
+// Mean returns the running mean (0 before any sample).
+func (r Running) Mean() float64 { return r.mean }
+
+// Std returns the population standard deviation (0 before any sample).
+func (r Running) Std() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return math.Sqrt(r.m2 / float64(r.n))
+}
+
+// Stream folds completed BroadcastRecords into run aggregates so the
+// records themselves can be released: per broadcast it retains only the
+// (RE, SRB, latency) triple — 24 bytes — instead of the full record
+// behind a map entry and a pointer. Records MUST be folded in arrival
+// order and only once final: Summary then reproduces metrics.Summarize
+// over the same records byte for byte (same summation order, same
+// two-pass variance, same nearest-rank percentiles), which is what lets
+// the dense network path fold eagerly and still match the map-based
+// oracle exactly.
+//
+// The triples are what exactness costs: StdRE/StdSRB need a second pass
+// and the latency percentiles need a sort, so the history cannot be
+// collapsed further without changing results. Callers that can accept
+// running aggregates instead use the embedded Running views (RunningRE,
+// RunningSRB), which are maintained alongside and need no history.
+type Stream struct {
+	res  []float64
+	srbs []float64
+	lats []sim.Duration
+
+	re, srb Running
+}
+
+// Fold absorbs one completed record. The record is not retained; the
+// caller may release or reuse it immediately.
+func (s *Stream) Fold(r *BroadcastRecord) {
+	re, srb := r.RE(), r.SRB()
+	s.res = append(s.res, re)
+	s.srbs = append(s.srbs, srb)
+	s.lats = append(s.lats, r.Latency())
+	s.re.Add(re)
+	s.srb.Add(srb)
+}
+
+// Len returns the number of records folded so far.
+func (s *Stream) Len() int { return len(s.res) }
+
+// RunningRE returns the live Welford aggregate over folded RE samples.
+func (s *Stream) RunningRE() Running { return s.re }
+
+// RunningSRB returns the live Welford aggregate over folded SRB samples.
+func (s *Stream) RunningSRB() Running { return s.srb }
+
+// Summary computes the run aggregates over everything folded so far,
+// with arithmetic identical to Summarize over the same records in fold
+// order. The channel-level counters (HelloSent, Transmissions, ...) are
+// outside the per-broadcast stream; the caller fills them in.
+func (s *Stream) Summary() Summary {
+	out := Summary{Broadcasts: len(s.res)}
+	if len(s.res) == 0 {
+		return out
+	}
+	var sumRE, sumSRB float64
+	var sumLat sim.Duration
+	for i := range s.res {
+		sumRE += s.res[i]
+		sumSRB += s.srbs[i]
+		sumLat += s.lats[i]
+	}
+	n := float64(len(s.res))
+	out.MeanRE = sumRE / n
+	out.MeanSRB = sumSRB / n
+	out.MeanLatency = sim.Duration(float64(sumLat) / n)
+
+	var varRE, varSRB float64
+	for i := range s.res {
+		dre := s.res[i] - out.MeanRE
+		dsrb := s.srbs[i] - out.MeanSRB
+		varRE += dre * dre
+		varSRB += dsrb * dsrb
+	}
+	out.StdRE = math.Sqrt(varRE / n)
+	out.StdSRB = math.Sqrt(varSRB / n)
+
+	lats := make([]sim.Duration, len(s.lats))
+	copy(lats, s.lats)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	out.LatencyP50 = percentile(lats, 0.50)
+	out.LatencyP95 = percentile(lats, 0.95)
+	return out
+}

@@ -145,6 +145,57 @@ func TestNeighborSetExposure(t *testing.T) {
 	}
 }
 
+// TestDenseLazyAllocation pins the O(1)-until-used contract of the dense
+// layout: construction must not allocate the O(hosts) backing arrays, a
+// never-touched table must answer every read-only query without
+// materializing them, and the first HELLO must bring the table up
+// transparently.
+func TestDenseLazyAllocation(t *testing.T) {
+	sched := sim.NewScheduler()
+	tab := NewDenseTable(0, sched, 0, 1<<20)
+	if tab.dense != nil || tab.present != nil {
+		t.Fatal("dense storage materialized at construction")
+	}
+	if tab.Count() != 0 || tab.Contains(3) || tab.TwoHop(3) != nil {
+		t.Fatal("idle dense table reports phantom neighbors")
+	}
+	if got := tab.Neighbors(); len(got) != 0 {
+		t.Fatalf("idle Neighbors = %v, want empty", got)
+	}
+	if got := tab.AppendNeighbors(nil); len(got) != 0 {
+		t.Fatalf("idle AppendNeighbors = %v, want empty", got)
+	}
+	tab.AuditEntries(func(packet.NodeID, sim.Time, sim.Duration) {
+		t.Fatal("idle AuditEntries visited an entry")
+	})
+	tab.Clear() // must tolerate never-materialized storage
+	if tab.dense != nil {
+		t.Fatal("read-only queries materialized the dense storage")
+	}
+	tab.OnHello(9, []packet.NodeID{1, 2}, sim.Second)
+	if tab.dense == nil || tab.present == nil {
+		t.Fatal("first OnHello did not materialize the dense storage")
+	}
+	if !tab.Contains(9) || tab.Count() != 1 || len(tab.TwoHop(9)) != 2 {
+		t.Fatal("table not usable after lazy materialization")
+	}
+	// NeighborSet must uphold the dense-table → non-nil contract even on
+	// an untouched table (coverage judges capture it at construction).
+	fresh := NewDenseTable(1, sched, 0, 8)
+	if fresh.NeighborSet() == nil {
+		t.Fatal("NeighborSet returned nil on a dense table")
+	}
+}
+
+func TestDenseTableRejectsZeroHosts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDenseTable(hosts=0) did not panic")
+		}
+	}()
+	NewDenseTable(0, sim.NewScheduler(), 0, 0)
+}
+
 // TestClearReusesStorage pins satellite 1: Clear must retain backing
 // storage on both layouts instead of reallocating, and the table must be
 // fully usable afterwards.

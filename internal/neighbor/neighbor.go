@@ -86,18 +86,22 @@ type Table struct {
 	sched           *sim.Scheduler
 	expiryIntervals int
 
-	// Map layout (nil dense). free recycles expired/cleared records so
-	// churn does not allocate.
+	// Map layout (denseHosts == 0). free recycles expired/cleared
+	// records so churn does not allocate.
 	entries map[packet.NodeID]*entry
 	free    []*entry
 
-	// Dense layout: slot i holds the entry for NodeID i, live iff
-	// present.Contains(i). neighbors caches the sorted id list between
-	// mutations.
-	dense     []entry
-	present   *nodeset.Set
-	neighbors []packet.NodeID
-	dirty     bool
+	// Dense layout (denseHosts > 0): slot i holds the entry for NodeID
+	// i, live iff present.Contains(i). neighbors caches the sorted id
+	// list between mutations. The O(hosts) backing storage (dense,
+	// present) is materialized lazily on first use: an idle table costs
+	// O(1), which keeps network construction O(hosts) instead of
+	// O(hosts²) at mega scale, and a HELLO-off run never pays at all.
+	denseHosts int
+	dense      []entry
+	present    *nodeset.Set
+	neighbors  []packet.NodeID
+	dirty      bool
 
 	changes []sim.Time // join/leave timestamps within the variation window
 }
@@ -118,8 +122,13 @@ func NewTable(owner packet.NodeID, sched *sim.Scheduler, expiryIntervals int) *T
 
 // NewDenseTable creates an empty table for a host in a population whose
 // ids are exactly 0..hosts-1, using flat-array storage and bitset
-// membership. expiryIntervals <= 0 uses the paper's default of 2.
+// membership. The storage itself is allocated on first use, so building
+// tables for a large, mostly idle population is O(1) per table.
+// expiryIntervals <= 0 uses the paper's default of 2.
 func NewDenseTable(owner packet.NodeID, sched *sim.Scheduler, expiryIntervals, hosts int) *Table {
+	if hosts < 1 {
+		panic("neighbor: dense table needs a positive population size")
+	}
 	if expiryIntervals <= 0 {
 		expiryIntervals = DefaultExpiryIntervals
 	}
@@ -127,8 +136,15 @@ func NewDenseTable(owner packet.NodeID, sched *sim.Scheduler, expiryIntervals, h
 		owner:           owner,
 		sched:           sched,
 		expiryIntervals: expiryIntervals,
-		dense:           make([]entry, hosts),
-		present:         nodeset.New(hosts),
+		denseHosts:      hosts,
+	}
+}
+
+// ensureDense materializes the dense layout's backing storage.
+func (t *Table) ensureDense() {
+	if t.dense == nil {
+		t.dense = make([]entry, t.denseHosts)
+		t.present = nodeset.New(t.denseHosts)
 	}
 }
 
@@ -143,7 +159,8 @@ func (t *Table) OnHello(h packet.NodeID, neighbors []packet.NodeID, interval sim
 	}
 	now := t.sched.Now()
 	var e *entry
-	if t.dense != nil {
+	if t.denseHosts > 0 {
+		t.ensureDense()
 		e = &t.dense[h]
 		if t.present.Add(h) {
 			t.dirty = true
@@ -186,8 +203,8 @@ func (t *Table) OnHello(h packet.NodeID, neighbors []packet.NodeID, interval sim
 // recycles fired events, so a retained handle would go stale.
 func (t *Table) expire(h packet.NodeID, deadline sim.Time) {
 	var e *entry
-	if t.dense != nil {
-		if !t.present.Contains(h) {
+	if t.denseHosts > 0 {
+		if t.present == nil || !t.present.Contains(h) {
 			return
 		}
 		e = &t.dense[h]
@@ -203,7 +220,7 @@ func (t *Table) expire(h packet.NodeID, deadline sim.Time) {
 	}
 	e.expiry = nil
 	e.twoHop = e.twoHop[:0] // keep the backing array for the next tenant
-	if t.dense != nil {
+	if t.denseHosts > 0 {
 		t.present.Remove(h)
 		t.dirty = true
 	} else {
@@ -229,7 +246,10 @@ func (t *Table) recordChange(now sim.Time) {
 // Count returns the current number of one-hop neighbors |N_x| — the "n"
 // the adaptive threshold functions C(n) and A(n) consume.
 func (t *Table) Count() int {
-	if t.dense != nil {
+	if t.denseHosts > 0 {
+		if t.present == nil {
+			return 0
+		}
 		return t.present.Count()
 	}
 	return len(t.entries)
@@ -237,8 +257,8 @@ func (t *Table) Count() int {
 
 // Contains reports whether h is currently a known one-hop neighbor.
 func (t *Table) Contains(h packet.NodeID) bool {
-	if t.dense != nil {
-		return t.present.Contains(h)
+	if t.denseHosts > 0 {
+		return t.present != nil && t.present.Contains(h)
 	}
 	_, ok := t.entries[h]
 	return ok
@@ -249,7 +269,7 @@ func (t *Table) Contains(h packet.NodeID) bool {
 // table mutation; callers must not modify it and must copy it to retain
 // it (packet.NewHello already copies).
 func (t *Table) Neighbors() []packet.NodeID {
-	if t.dense != nil {
+	if t.denseHosts > 0 {
 		if t.dirty {
 			t.neighbors = t.present.AppendIDs(t.neighbors[:0])
 			t.dirty = false
@@ -267,7 +287,10 @@ func (t *Table) Neighbors() []packet.NodeID {
 // AppendNeighbors appends the sorted one-hop neighbor set to buf and
 // returns the extended slice, allocating only when buf lacks capacity.
 func (t *Table) AppendNeighbors(buf []packet.NodeID) []packet.NodeID {
-	if t.dense != nil {
+	if t.denseHosts > 0 {
+		if t.present == nil {
+			return buf
+		}
 		return t.present.AppendIDs(buf)
 	}
 	return append(buf, t.Neighbors()...)
@@ -275,8 +298,13 @@ func (t *Table) AppendNeighbors(buf []packet.NodeID) []packet.NodeID {
 
 // NeighborSet exposes the one-hop membership bitset on the dense layout
 // (nil on the map layout). It is live storage: callers must not mutate
-// it, and its contents shift with the table.
+// it, and its contents shift with the table. Asking for the set
+// materializes the lazy storage — only hosts whose neighborhood is
+// actually consulted (coverage-scheme judges) pay for it.
 func (t *Table) NeighborSet() *nodeset.Set {
+	if t.denseHosts > 0 {
+		t.ensureDense()
+	}
 	return t.present
 }
 
@@ -284,8 +312,8 @@ func (t *Table) NeighborSet() *nodeset.Set {
 // this host (it may include the owner itself), or nil if h is unknown.
 // The returned slice is shared storage; callers must not modify it.
 func (t *Table) TwoHop(h packet.NodeID) []packet.NodeID {
-	if t.dense != nil {
-		if int(h) < len(t.dense) && t.present.Contains(h) {
+	if t.denseHosts > 0 {
+		if t.present != nil && int(h) < len(t.dense) && t.present.Contains(h) {
 			return t.dense[h].twoHop
 		}
 		return nil
@@ -302,7 +330,10 @@ func (t *Table) TwoHop(h packet.NodeID) []packet.NodeID {
 // It is an observation-only walk for the invariant auditor: the table
 // is not mutated and no expiry timers are touched.
 func (t *Table) AuditEntries(f func(id packet.NodeID, lastHeard sim.Time, interval sim.Duration)) {
-	if t.dense != nil {
+	if t.denseHosts > 0 {
+		if t.present == nil {
+			return
+		}
 		t.present.ForEach(func(h packet.NodeID) {
 			e := &t.dense[h]
 			f(e.id, e.lastHeard, e.interval)
@@ -337,16 +368,18 @@ func (t *Table) Variation() float64 {
 // backing storage — map buckets, dense slots, and the change log — is
 // retained for reuse rather than reallocated.
 func (t *Table) Clear() {
-	if t.dense != nil {
-		t.present.ForEach(func(h packet.NodeID) {
-			e := &t.dense[h]
-			if e.expiry != nil {
-				t.sched.Cancel(e.expiry)
-				e.expiry = nil
-			}
-			e.twoHop = e.twoHop[:0]
-		})
-		t.present.Clear()
+	if t.denseHosts > 0 {
+		if t.present != nil {
+			t.present.ForEach(func(h packet.NodeID) {
+				e := &t.dense[h]
+				if e.expiry != nil {
+					t.sched.Cancel(e.expiry)
+					e.expiry = nil
+				}
+				e.twoHop = e.twoHop[:0]
+			})
+			t.present.Clear()
+		}
 		t.dirty = true
 	} else {
 		for h, e := range t.entries {

@@ -243,6 +243,91 @@ func runScript(hosts int, mkPos func(i int) PositionFunc, capture float64, confi
 	return log, ch.Stats()
 }
 
+// TestInterferenceDifferentialMegaMap repeats the engine cross-check on
+// a map large enough that the grid's macro level actually coarsens
+// (MacroShift > 0), with hosts clustered into distant patches so
+// collisions still occur locally. This pins the macro-bucketed
+// interference index against the legacy global scan in exactly the
+// regime the hierarchical grid exists for.
+func TestInterferenceDifferentialMegaMap(t *testing.T) {
+	const (
+		side     = 60000.0 // 120x120 fine cells at radius 500
+		clusters = 8
+		perClust = 12
+		speed    = 20.0
+	)
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			hosts := clusters * perClust
+			type traj struct {
+				p0     geom.Point
+				vx, vy float64
+			}
+			trajs := make([]traj, 0, hosts)
+			for c := 0; c < clusters; c++ {
+				center := geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+				for k := 0; k < perClust; k++ {
+					trajs = append(trajs, traj{
+						p0: geom.Point{
+							X: center.X + (rng.Float64()*2-1)*300,
+							Y: center.Y + (rng.Float64()*2-1)*300,
+						},
+						vx: (rng.Float64()*2 - 1) * speed,
+						vy: (rng.Float64()*2 - 1) * speed,
+					})
+				}
+			}
+			mkPos := func(i int) PositionFunc {
+				tr := trajs[i]
+				return func(t sim.Time) geom.Point {
+					s := t.Sub(0).Seconds()
+					return geom.Point{X: tr.p0.X + tr.vx*s, Y: tr.p0.Y + tr.vy*s}
+				}
+			}
+			air := DSSSTiming().Airtime(280)
+			script := genScript(rng, hosts, 500, 40000*sim.Microsecond, air)
+
+			refLog, refStats := runScript(hosts, mkPos, 0, func(ch *Channel) {
+				ch.DisableInterference = true
+				ch.SetMaxSpeed(speed)
+			}, script)
+			if refStats.Collisions == 0 {
+				t.Fatalf("script produced no collisions; differential test is vacuous")
+			}
+			log, stats := runScript(hosts, mkPos, 0, func(ch *Channel) {
+				ch.SetMaxSpeed(speed)
+			}, script)
+			if stats != refStats {
+				t.Fatalf("localized stats diverge from legacy:\n%+v\nvs\n%+v", stats, refStats)
+			}
+			if len(log) != len(refLog) {
+				t.Fatalf("localized: %d outcomes vs legacy %d", len(log), len(refLog))
+			}
+			for i := range log {
+				if log[i] != refLog[i] {
+					t.Fatalf("outcome %d diverges:\n%s\nvs legacy\n%s", i, log[i], refLog[i])
+				}
+			}
+			// The regime check: the snapshot grid over this population must
+			// actually have coarsened, or the test is not exercising the
+			// macro path.
+			var g geom.Grid
+			pts := make([]geom.Point, hosts)
+			for i := range pts {
+				pts[i] = trajs[i].p0
+			}
+			g.Rebuild(pts, 500)
+			if g.MacroShift() == 0 {
+				t.Fatalf("mega map did not trigger a macro shift (cells %v)", func() string {
+					c, r := g.Cells()
+					return fmt.Sprintf("%dx%d", c, r)
+				}())
+			}
+		})
+	}
+}
+
 // TestInterferenceDifferential cross-checks the three overlap engines on
 // randomized saturating traffic: same seeds, same scripts, same mover
 // trajectories — every per-receiver copy outcome (delivered vs garbled,

@@ -225,13 +225,18 @@ type Channel struct {
 	hasBound   bool
 
 	// Interference index: the active transmissions bucketed by the grid
-	// cell of their sender's start position, rebuilt lazily (from the
-	// tiny active list) whenever the snapshot grid re-snapshots. Senders
-	// more than 2×radius + drift apart cannot share a receiver, so a
-	// new transmission resolves overlap only against the buckets its
-	// CellRange(senderPos, 2r+drift) rectangle covers. maxAir bounds how
-	// long any flight can have been on the air, and hence how far a
-	// receiver can have drifted between two membership snapshots.
+	// macro cell of their sender's start position, rebuilt lazily (from
+	// the tiny active list) whenever the snapshot grid re-snapshots.
+	// Senders more than 2×radius + drift apart cannot share a receiver,
+	// so a new transmission resolves overlap only against the buckets
+	// its MacroRange(senderPos, 2r+drift) rectangle covers. Keying by
+	// macro cell (geom.Grid's coarse level, capped at a few thousand
+	// cells however large the map) bounds the per-rebuild clear and the
+	// bucket table itself, so a sparse mega-map does not pay O(fine
+	// cells) here; on small maps the macro level coincides with the fine
+	// level and nothing changes. maxAir bounds how long any flight can
+	// have been on the air, and hence how far a receiver can have
+	// drifted between two membership snapshots.
 	buckets [][]*transmission
 	ifxGen  uint64 // gridGen the buckets were last rebuilt for
 	maxAir  sim.Duration
@@ -601,8 +606,8 @@ func (c *Channel) legacyOverlapScan(tx *transmission, radio int, now sim.Time) {
 func (c *Channel) localOverlapScan(tx *transmission, now sim.Time) {
 	c.syncBuckets()
 	reach := 2*c.radius + c.speedBound*c.maxAir.Seconds() + driftEpsilon
-	cx0, cy0, cx1, cy1 := c.grid.CellRange(tx.senderPos, reach)
-	cols, _ := c.grid.Cells()
+	cx0, cy0, cx1, cy1 := c.grid.MacroRange(tx.senderPos, reach)
+	cols, _ := c.grid.MacroCells()
 	reach2 := reach * reach
 	for cy := cy0; cy <= cy1; cy++ {
 		row := cy * cols
@@ -677,10 +682,11 @@ func (c *Channel) resolveOverlap(a, b *transmission, i int, now sim.Time) {
 // syncBuckets rebuilds the interference-index buckets when the snapshot
 // grid has re-snapshotted since they were last laid out (cell geometry
 // follows the snapshot's bounding box). The rebuild walks only the
-// active list, so it is O(cells + active) and amortizes with the grid
-// rebuild that triggered it.
+// active list, so it is O(macro cells + active) — and the macro-cell
+// count is capped by the grid regardless of map size — amortizing with
+// the grid rebuild that triggered it.
 func (c *Channel) syncBuckets() {
-	cols, rows := c.grid.Cells()
+	cols, rows := c.grid.MacroCells()
 	n := cols * rows
 	if c.ifxGen == c.gridGen && len(c.buckets) == n {
 		return
@@ -700,10 +706,10 @@ func (c *Channel) syncBuckets() {
 }
 
 // bucketAdd places an active transmission in the bucket of its sender's
-// (clamped) grid cell.
+// (clamped) macro cell.
 func (c *Channel) bucketAdd(tx *transmission) {
-	cx, cy := c.grid.CellOf(tx.senderPos)
-	cols, _ := c.grid.Cells()
+	cx, cy := c.grid.MacroOf(tx.senderPos)
+	cols, _ := c.grid.MacroCells()
 	cell := int32(cy*cols + cx)
 	tx.cell = cell
 	c.buckets[cell] = append(c.buckets[cell], tx)
