@@ -309,7 +309,7 @@ func BenchmarkSaturatedChannel(b *testing.B) {
 			for i := 0; i < hosts; i++ {
 				i := i
 				p := geom.Point{X: rng.UniformFloat(0, side), Y: rng.UniformFloat(0, side)}
-				ch.Attach(func(sim.Time) geom.Point { return p }, nopListener{})
+				ch.Attach(phy.PositionFunc(func(sim.Time) geom.Point { return p }), nopListener{})
 				f := packet.NewBroadcast(packet.BroadcastID{Source: packet.NodeID(i), Seq: 1},
 					packet.NodeID(i), p)
 				var rearm func()
@@ -516,6 +516,68 @@ func BenchmarkMegaScale(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(events)/float64(b.N), "events/op")
 			b.ReportMetric(float64(runBytes)/float64(b.N), "run-bytes/op")
+		})
+	}
+}
+
+// BenchmarkShardedScaling measures the sharded engine end to end —
+// network construction plus run, because shard-batched slab
+// construction and the per-shard calendar wheels are where a mega-map
+// build spends its time — against the sequential oracle on the
+// 100k-host mega map. Every arm produces the byte-identical summary
+// (TestShardedMatchesSequential pins that); the arms differ only in
+// wall-clock cost. cmd/benchjson -suite shard gates the 4-shard arm at
+// >= 2.5x the sequential arm's ns/op.
+//
+// The sharded arms thread one Arena per arm — the engine's documented
+// sweep shape, where consecutive same-size constructions reuse the
+// previous world's slabs. The sequential oracle has no arena path, so
+// its arm measures the per-world allocation cost a sweep actually pays
+// on that engine.
+func BenchmarkShardedScaling(b *testing.B) {
+	arms := []struct {
+		name   string
+		engine manet.Engine
+		shards int
+	}{
+		{"engine=sequential", manet.EngineSequentialOracle, 0},
+		{"shards=1", manet.EngineSharded, 1},
+		{"shards=2", manet.EngineSharded, 2},
+		{"shards=4", manet.EngineSharded, 4},
+		{"shards=8", manet.EngineSharded, 8},
+	}
+	for _, arm := range arms {
+		arm := arm
+		b.Run(arm.name, func(b *testing.B) {
+			var events uint64
+			var arena *manet.Arena
+			if arm.engine == manet.EngineSharded {
+				arena = manet.NewArena()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n, err := manet.New(manet.Config{
+					Hosts:    100_000,
+					MapUnits: 300,
+					Scheme:   scheme.Flooding{},
+					Requests: 20,
+					// The paper's 10 km/h-per-unit rule extrapolates to
+					// thousands of km/h on mega maps; pin vehicular speed.
+					MaxSpeedKMH: 50,
+					Engine:      arm.engine,
+					Shards:      arm.shards,
+					Arena:       arena,
+					Seed:        uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := n.Run()
+				events += s.Events
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(events)/float64(b.N), "events/op")
 		})
 	}
 }

@@ -21,6 +21,14 @@
 // allocation (run-bytes/op) under a fixed ceiling, pinning the
 // O(active-state) memory behavior of the dense host/record layout.
 //
+// A third suite (-suite shard) gates the sharded engine's scaling run:
+// the sequential oracle's ns/op divided by the 4-shard arm's ns/op must
+// be at least 2.5 on the 100k-host mega map, and the 4-shard arm's
+// allocs/op must stay within the arena-reuse budget. Ratio gates are
+// self-normalizing — both arms run on the same machine in the same
+// process, so the gate holds on slow CI runners and fast workstations
+// alike.
+//
 // With -baseline, the new results are additionally gated against a
 // previously committed bench JSON: any benchmark present in both files
 // whose ns/op exceeds baseline x tolerance fails the run, so a timing
@@ -71,6 +79,35 @@ var suites = map[string][]budget{
 	},
 	"mega": {
 		{"BenchmarkMegaScale/hosts=100000", "run-bytes/op", 32e6},
+	},
+	"shard": {
+		// Steady-state arena reuse keeps sharded construction off the
+		// allocator entirely; the residue is run-phase (wheel buckets,
+		// snapshot churn) plus one amortized fresh build. A slide back
+		// to per-host construction allocation would add ~10 allocs/host
+		// (1M/op) and overshoot this by an order of magnitude.
+		{"BenchmarkShardedScaling/shards=4", "allocs/op", 100_000},
+	},
+}
+
+// ratioBudget is a lower bound on the ratio of one metric between two
+// benchmarks from the same run, Num's value over Den's. Ratios compare
+// arms measured back to back in one process, so they gate relative
+// performance without pinning absolute timings to a machine class.
+type ratioBudget struct {
+	Num    string
+	Den    string
+	Metric string
+	Min    float64
+}
+
+// ratioSuites attaches ratio gates to the suite that runs both arms.
+// The shard suite enforces the sharded engine's headline contract: the
+// 4-shard arm beats the sequential oracle by >= 2.5x end to end on the
+// 100k-host mega map.
+var ratioSuites = map[string][]ratioBudget{
+	"shard": {
+		{"BenchmarkShardedScaling/engine=sequential", "BenchmarkShardedScaling/shards=4", "ns/op", 2.5},
 	},
 }
 
@@ -150,6 +187,7 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "benchjson: wrote %d results to %s\n", len(results), *out)
 
 	violations := enforce(results, budgets)
+	violations = append(violations, enforceRatios(results, ratioSuites[*suite])...)
 	for _, v := range violations {
 		fmt.Fprintln(stderr, "benchjson: BUDGET EXCEEDED:", v)
 	}
@@ -256,6 +294,43 @@ func enforce(results []Result, budgets []budget) []string {
 		if !found {
 			violations = append(violations,
 				fmt.Sprintf("%s (%s budget) missing from benchmark output", b.Bench, b.Metric))
+		}
+	}
+	return violations
+}
+
+// enforceRatios checks every ratio gate against the parsed results and
+// returns the violations, including gates whose arms never ran or never
+// reported the gated metric — a renamed arm must fail loudly, not
+// silently stop being gated.
+func enforceRatios(results []Result, ratios []ratioBudget) []string {
+	metric := func(bench, unit string) (float64, bool) {
+		for _, r := range results {
+			if stripProcs(r.Name) == bench {
+				v, ok := r.Metrics[unit]
+				return v, ok
+			}
+		}
+		return 0, false
+	}
+	var violations []string
+	for _, rb := range ratios {
+		num, okN := metric(rb.Num, rb.Metric)
+		den, okD := metric(rb.Den, rb.Metric)
+		switch {
+		case !okN:
+			violations = append(violations,
+				fmt.Sprintf("%s (%s ratio numerator) missing from benchmark output", rb.Num, rb.Metric))
+		case !okD:
+			violations = append(violations,
+				fmt.Sprintf("%s (%s ratio denominator) missing from benchmark output", rb.Den, rb.Metric))
+		case den <= 0:
+			violations = append(violations,
+				fmt.Sprintf("%s: %s = %g, cannot form ratio", rb.Den, rb.Metric, den))
+		case num/den < rb.Min:
+			violations = append(violations,
+				fmt.Sprintf("%s / %s: %s ratio %.2f below required %g",
+					rb.Num, rb.Den, rb.Metric, num/den, rb.Min))
 		}
 	}
 	return violations

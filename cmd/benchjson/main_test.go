@@ -82,6 +82,62 @@ func TestEnforceMegaSuite(t *testing.T) {
 	}
 }
 
+const shardSample = `BenchmarkShardedScaling/engine=sequential-8 5 231706353 ns/op 27054 events/op 149454284 B/op 1129573 allocs/op
+BenchmarkShardedScaling/shards=1-8 5 121000000 ns/op 27054 events/op 36616798 B/op 17827 allocs/op
+BenchmarkShardedScaling/shards=4-8 5 85479971 ns/op 27054 events/op 36616798 B/op 17827 allocs/op
+`
+
+func TestEnforceShardSuite(t *testing.T) {
+	results, _ := parse(strings.NewReader(shardSample))
+	if v := enforce(results, suites["shard"]); len(v) != 0 {
+		t.Fatalf("shard budgets violated on passing input: %v", v)
+	}
+	if v := enforceRatios(results, ratioSuites["shard"]); len(v) != 0 {
+		t.Fatalf("shard ratios violated on passing input: %v", v)
+	}
+
+	// A sharded arm that slid back toward sequential cost must trip the
+	// speedup ratio even though both arms still "pass" in isolation.
+	slow := strings.Replace(shardSample, "85479971 ns/op", "110000000 ns/op", 1)
+	results, _ = parse(strings.NewReader(slow))
+	v := enforceRatios(results, ratioSuites["shard"])
+	if len(v) != 1 || !strings.Contains(v[0], "ratio") {
+		t.Fatalf("violations = %v, want one ratio breach", v)
+	}
+
+	// Losing an arm (renamed, filtered out) must fail loudly.
+	oneArm := strings.SplitAfter(shardSample, "\n")[0]
+	results, _ = parse(strings.NewReader(oneArm))
+	v = enforceRatios(results, ratioSuites["shard"])
+	if len(v) != 1 || !strings.Contains(v[0], "denominator") {
+		t.Fatalf("violations = %v, want a missing-denominator breach", v)
+	}
+
+	// A slide back to per-host construction allocation (~10 allocs/host
+	// on the 100k map) must trip the allocation budget.
+	blown := strings.Replace(shardSample,
+		"85479971 ns/op 27054 events/op 36616798 B/op 17827 allocs/op",
+		"85479971 ns/op 27054 events/op 149454284 B/op 1129573 allocs/op", 1)
+	results, _ = parse(strings.NewReader(blown))
+	v = enforce(results, suites["shard"])
+	if len(v) != 1 || !strings.Contains(v[0], "allocs/op") {
+		t.Fatalf("violations = %v, want one allocs/op breach", v)
+	}
+}
+
+func TestRunShardSuite(t *testing.T) {
+	dir := t.TempDir()
+	code, _, stderr := runWith(t, []string{"-out", filepath.Join(dir, "s.json"), "-suite", "shard"}, shardSample)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	slow := strings.Replace(shardSample, "85479971 ns/op", "231000000 ns/op", 1)
+	code, _, stderr = runWith(t, []string{"-out", filepath.Join(dir, "s2.json"), "-suite", "shard"}, slow)
+	if code != 1 || !strings.Contains(stderr, "ratio") {
+		t.Fatalf("exit %d, stderr: %q", code, stderr)
+	}
+}
+
 func TestRunSuiteFlag(t *testing.T) {
 	dir := t.TempDir()
 	code, _, stderr := runWith(t, []string{"-out", filepath.Join(dir, "b.json"), "-suite", "mega"}, megaSample)

@@ -15,9 +15,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/manet"
@@ -43,6 +45,8 @@ func main() {
 		helloMS     = flag.Int("hello-interval", 1000, "fixed hello interval, milliseconds")
 		seed        = flag.Uint64("seed", 1, "random seed")
 		static      = flag.Bool("static", false, "freeze hosts (no mobility)")
+		engineName  = flag.String("engine", "auto", "simulation engine: auto|sequential-oracle|sharded")
+		shards      = flag.Int("shards", 0, "shard count for the sharded engine (power of two, 0 = engine default)")
 		topo        = flag.Bool("topo", false, "print the final topology as an ASCII map")
 		progress    = flag.Bool("progress", false, "report simulated-time progress on stderr")
 		telemetry   = flag.String("telemetry", "", "write run telemetry (time series + trace events) as JSONL to this file")
@@ -69,6 +73,12 @@ func main() {
 		os.Exit(1)
 	}
 
+	engine, err := manet.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stormsim:", err)
+		os.Exit(2)
+	}
+
 	cfg := manet.Config{
 		Hosts:         *hosts,
 		MapUnits:      *mapUnits,
@@ -77,6 +87,8 @@ func main() {
 		Scheme:        sch,
 		Requests:      *requests,
 		HelloInterval: sim.Duration(*helloMS) * sim.Millisecond,
+		Engine:        engine,
+		Shards:        *shards,
 		Seed:          *seed,
 	}
 	switch *hello {
@@ -112,9 +124,22 @@ func main() {
 	if *progress {
 		n.Progress = os.Stderr
 	}
-	s := n.Run()
+	// Ctrl-C cancels cooperatively at the engine's next barrier window
+	// instead of killing the process mid-event.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	s, err := n.RunContext(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stormsim: run cancelled:", err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("scheme            %s\n", sch.Name())
+	fmt.Printf("engine            %s", n.Engine())
+	if n.ShardCount() > 0 {
+		fmt.Printf(" (%d shards)", n.ShardCount())
+	}
+	fmt.Println()
 	fmt.Printf("map               %dx%d units (%d hosts, max %g km/h)\n",
 		*mapUnits, *mapUnits, *hosts, n.Config().MaxSpeedKMH)
 	fmt.Printf("broadcasts        %d\n", s.Broadcasts)

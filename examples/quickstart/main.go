@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/storm"
@@ -28,14 +29,17 @@ func main() {
 			Requests: 60,  // broadcast operations (paper: 10,000)
 			Seed:     42,  // deterministic: same seed, same run
 		}
-		net, err := storm.New(cfg)
+		// RunContext supports cooperative cancellation and reports which
+		// engine executed the run; results are byte-identical across
+		// engines, so picking one is purely a performance decision.
+		res, err := storm.RunContext(context.Background(), cfg)
 		if err != nil {
 			panic(err)
 		}
-		s := net.Run()
-		fmt.Printf("%-10s  RE %.3f   SRB %.3f   latency %6.1f ms   data tx %d   hello tx %d\n",
+		s := res.Summary
+		fmt.Printf("%-10s  RE %.3f   SRB %.3f   latency %6.1f ms   data tx %d   hello tx %d   (%s, %v)\n",
 			sch.Name(), s.MeanRE, s.MeanSRB, s.MeanLatency.Milliseconds(),
-			s.Transmissions-s.HelloSent, s.HelloSent)
+			s.Transmissions-s.HelloSent, s.HelloSent, res.Engine, res.Elapsed.Round(1e6))
 	}
 
 	fmt.Println()

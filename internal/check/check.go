@@ -68,6 +68,7 @@ const (
 	InvNeighbor     = "neighbor-soundness"
 	InvMobility     = "mobility-bound"
 	InvMetrics      = "metric-sanity"
+	InvShard        = "shard-barrier"
 )
 
 // recState tracks one pooled record's lifecycle. The generation counter
@@ -109,6 +110,10 @@ type Auditor struct {
 	delivered      int
 	collided       int
 	lost           int
+
+	// Cross-shard barrier monotonicity state.
+	haveBarrier bool
+	lastBarrier sim.Time
 
 	summaryChecked bool
 }
@@ -187,6 +192,31 @@ func (a *Auditor) AuditEvent(at sim.Time, seq uint64) {
 	a.haveEvent = true
 	a.lastAt = at
 	a.lastSeq = seq
+}
+
+// --- Cross-shard time monotonicity (manet sharded engine barriers) ---
+
+// AuditShardBarrier observes one conservative barrier of the sharded
+// engine. Barriers must advance monotonically and the merged clock must
+// never pass the barrier it just ran to.
+func (a *Auditor) AuditShardBarrier(now, barrier sim.Time) {
+	if a.haveBarrier && barrier < a.lastBarrier {
+		a.report(now, InvShard, "barrier %v precedes previous barrier %v", barrier, a.lastBarrier)
+	}
+	a.haveBarrier = true
+	a.lastBarrier = barrier
+	if now > barrier {
+		a.report(now, InvShard, "clock %v passed barrier %v", now, barrier)
+	}
+}
+
+// AuditShardHead checks one shard wheel's head event against the merged
+// clock at a barrier: a head in the past means the merged pop skipped
+// an event that was due.
+func (a *Auditor) AuditShardHead(now sim.Time, shard int, head sim.Time) {
+	if head < now {
+		a.report(now, InvShard, "shard %d head %v lags clock %v", shard, head, now)
+	}
 }
 
 // --- Pool lifecycle (phy/mac/manet acquire-release-use hooks) ---

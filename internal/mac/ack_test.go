@@ -16,14 +16,14 @@ func dataFrame(src, dst packet.NodeID) *packet.Frame {
 func TestUnicastGetsAcked(t *testing.T) {
 	r := newRig(geom.Point{X: 0}, geom.Point{X: 100})
 	var delivered int
-	r.macs[1].Receiver = func(f *packet.Frame) {
+	r.macs[1].Receiver = ReceiverFunc(func(f *packet.Frame) {
 		if f.Kind != packet.KindData {
 			t.Errorf("host layer saw %v frame", f.Kind)
 		}
 		delivered++
-	}
+	})
 	var done bool
-	p := r.macs[0].Enqueue(dataFrame(0, 1), nil, func() { done = true })
+	p := r.macs[0].Enqueue(dataFrame(0, 1), TxFuncs{Done: func() { done = true }})
 	r.sched.Run()
 
 	if delivered != 1 {
@@ -46,9 +46,9 @@ func TestUnicastGetsAcked(t *testing.T) {
 func TestAcksInvisibleToHostLayer(t *testing.T) {
 	r := newRig(geom.Point{X: 0}, geom.Point{X: 100})
 	var kinds []packet.Kind
-	r.macs[0].Receiver = func(f *packet.Frame) { kinds = append(kinds, f.Kind) }
-	r.macs[1].Receiver = func(*packet.Frame) {}
-	r.macs[0].Enqueue(dataFrame(0, 1), nil, nil)
+	r.macs[0].Receiver = ReceiverFunc(func(f *packet.Frame) { kinds = append(kinds, f.Kind) })
+	r.macs[1].Receiver = ReceiverFunc(func(*packet.Frame) {})
+	r.macs[0].Enqueue(dataFrame(0, 1), nil)
 	r.sched.Run()
 	for _, k := range kinds {
 		if k == packet.KindAck {
@@ -61,7 +61,7 @@ func TestUnicastToAbsentHostRetriesAndDrops(t *testing.T) {
 	// Destination out of range: no ACK ever comes back.
 	r := newRig(geom.Point{X: 0}, geom.Point{X: 5000})
 	var done bool
-	p := r.macs[0].Enqueue(dataFrame(0, 1), nil, func() { done = true })
+	p := r.macs[0].Enqueue(dataFrame(0, 1), TxFuncs{Done: func() { done = true }})
 	r.sched.Run()
 
 	if !p.Failed() {
@@ -86,7 +86,7 @@ func TestUnicastToAbsentHostRetriesAndDrops(t *testing.T) {
 func TestOnStartFiresOnceAcrossRetries(t *testing.T) {
 	r := newRig(geom.Point{X: 0}, geom.Point{X: 5000})
 	starts := 0
-	r.macs[0].Enqueue(dataFrame(0, 1), func() { starts++ }, nil)
+	r.macs[0].Enqueue(dataFrame(0, 1), TxFuncs{Start: func() { starts++ }})
 	r.sched.Run()
 	if starts != 1 {
 		t.Errorf("OnStart fired %d times across retries, want 1", starts)
@@ -95,8 +95,8 @@ func TestOnStartFiresOnceAcrossRetries(t *testing.T) {
 
 func TestBroadcastNeverAwaitsAck(t *testing.T) {
 	r := newRig(geom.Point{X: 0}, geom.Point{X: 100})
-	r.macs[1].Receiver = func(*packet.Frame) {}
-	r.macs[0].Enqueue(frame(0, 1), nil, nil)
+	r.macs[1].Receiver = ReceiverFunc(func(*packet.Frame) {})
+	r.macs[0].Enqueue(frame(0, 1), nil)
 	r.sched.Run()
 	st := r.macs[0].Stats()
 	if st.Retries != 0 || st.Dropped != 0 {
@@ -112,17 +112,17 @@ func TestUnicastChainUnderContention(t *testing.T) {
 	// storm runs. With ARQ every data frame must eventually arrive.
 	r := newRig(geom.Point{X: 0}, geom.Point{X: 100}, geom.Point{X: 200})
 	got := map[packet.NodeID]int{}
-	r.macs[1].Receiver = func(f *packet.Frame) {
+	r.macs[1].Receiver = ReceiverFunc(func(f *packet.Frame) {
 		if f.Kind == packet.KindData && f.Dest == 1 {
 			got[f.Sender]++
 		}
-	}
-	r.macs[2].Receiver = func(*packet.Frame) {}
-	r.macs[0].Receiver = func(*packet.Frame) {}
+	})
+	r.macs[2].Receiver = ReceiverFunc(func(*packet.Frame) {})
+	r.macs[0].Receiver = ReceiverFunc(func(*packet.Frame) {})
 	for i := 0; i < 5; i++ {
-		r.macs[0].Enqueue(dataFrame(0, 1), nil, nil)
-		r.macs[2].Enqueue(dataFrame(2, 1), nil, nil)
-		r.macs[1].Enqueue(frame(1, uint32(i)), nil, nil) // interfering broadcasts
+		r.macs[0].Enqueue(dataFrame(0, 1), nil)
+		r.macs[2].Enqueue(dataFrame(2, 1), nil)
+		r.macs[1].Enqueue(frame(1, uint32(i)), nil) // interfering broadcasts
 	}
 	r.sched.Run()
 	if got[0] != 5 || got[2] != 5 {
@@ -133,7 +133,7 @@ func TestUnicastChainUnderContention(t *testing.T) {
 func TestSetAddr(t *testing.T) {
 	sched := sim.NewScheduler()
 	ch := phy.NewChannel(sched, phy.DSSSTiming(), 500)
-	m := New(sched, ch, func(sim.Time) geom.Point { return geom.Point{} }, sim.NewRNG(1))
+	m := New(sched, ch, phy.PositionFunc(func(sim.Time) geom.Point { return geom.Point{} }), sim.NewRNG(1))
 	if m.Addr() != packet.NodeID(m.Radio()) {
 		t.Error("default addr != radio index")
 	}

@@ -40,13 +40,13 @@ func TestAckTimingExactlySIFS(t *testing.T) {
 	rng := sim.NewRNG(1)
 	tm := ch.Timing()
 
-	a := New(sched, ch, func(sim.Time) geom.Point { return geom.Point{} }, rng.Fork(1))
-	b := New(sched, ch, func(sim.Time) geom.Point { return geom.Point{X: 100} }, rng.Fork(2))
-	b.Receiver = func(*packet.Frame) {}
+	a := New(sched, ch, phy.PositionFunc(func(sim.Time) geom.Point { return geom.Point{} }), rng.Fork(1))
+	b := New(sched, ch, phy.PositionFunc(func(sim.Time) geom.Point { return geom.Point{X: 100} }), rng.Fork(2))
+	b.Receiver = ReceiverFunc(func(*packet.Frame) {})
 	watcher := &spy{sched: sched}
-	ch.Attach(func(sim.Time) geom.Point { return geom.Point{X: 50} }, watcher)
+	ch.Attach(phy.PositionFunc(func(sim.Time) geom.Point { return geom.Point{X: 50} }), watcher)
 
-	a.Enqueue(packet.NewData(packet.NodeID(a.Radio()), packet.NodeID(b.Radio()), 100, "x", geom.Point{}), nil, nil)
+	a.Enqueue(packet.NewData(packet.NodeID(a.Radio()), packet.NodeID(b.Radio()), 100, "x", geom.Point{}), nil)
 	sched.Run()
 
 	var dataEnd, ackEnd sim.Time
@@ -75,14 +75,14 @@ func TestRTSCTSDataTiming(t *testing.T) {
 	rng := sim.NewRNG(3)
 	tm := ch.Timing()
 
-	a := New(sched, ch, func(sim.Time) geom.Point { return geom.Point{} }, rng.Fork(1))
-	b := New(sched, ch, func(sim.Time) geom.Point { return geom.Point{X: 100} }, rng.Fork(2))
+	a := New(sched, ch, phy.PositionFunc(func(sim.Time) geom.Point { return geom.Point{} }), rng.Fork(1))
+	b := New(sched, ch, phy.PositionFunc(func(sim.Time) geom.Point { return geom.Point{X: 100} }), rng.Fork(2))
 	a.SetRTSThreshold(1)
-	b.Receiver = func(*packet.Frame) {}
+	b.Receiver = ReceiverFunc(func(*packet.Frame) {})
 	watcher := &spy{sched: sched}
-	ch.Attach(func(sim.Time) geom.Point { return geom.Point{X: 50} }, watcher)
+	ch.Attach(phy.PositionFunc(func(sim.Time) geom.Point { return geom.Point{X: 50} }), watcher)
 
-	a.Enqueue(packet.NewData(packet.NodeID(a.Radio()), packet.NodeID(b.Radio()), 200, "x", geom.Point{}), nil, nil)
+	a.Enqueue(packet.NewData(packet.NodeID(a.Radio()), packet.NodeID(b.Radio()), 200, "x", geom.Point{}), nil)
 	sched.Run()
 
 	ends := map[packet.Kind]sim.Time{}
@@ -111,9 +111,9 @@ func TestBackoffSlotArithmetic(t *testing.T) {
 		sched := sim.NewScheduler()
 		ch := phy.NewChannel(sched, phy.DSSSTiming(), 500)
 		tm := ch.Timing()
-		m := New(sched, ch, func(sim.Time) geom.Point { return geom.Point{} }, sim.NewRNG(seed))
+		m := New(sched, ch, phy.PositionFunc(func(sim.Time) geom.Point { return geom.Point{} }), sim.NewRNG(seed))
 		var start sim.Time
-		m.Enqueue(frame(0, 1), func() { start = sched.Now() }, nil)
+		m.Enqueue(frame(0, 1), TxFuncs{Start: func() { start = sched.Now() }})
 		sched.Run()
 
 		offset := start.Sub(sim.Time(0)) - tm.DIFS
@@ -137,17 +137,17 @@ func TestNAVValueMatchesExchange(t *testing.T) {
 	rng := sim.NewRNG(5)
 	tm := ch.Timing()
 
-	a := New(sched, ch, func(sim.Time) geom.Point { return geom.Point{} }, rng.Fork(1))
-	b := New(sched, ch, func(sim.Time) geom.Point { return geom.Point{X: 100} }, rng.Fork(2))
+	a := New(sched, ch, phy.PositionFunc(func(sim.Time) geom.Point { return geom.Point{} }), rng.Fork(1))
+	b := New(sched, ch, phy.PositionFunc(func(sim.Time) geom.Point { return geom.Point{X: 100} }), rng.Fork(2))
 	a.SetRTSThreshold(1)
-	b.Receiver = func(*packet.Frame) {}
+	b.Receiver = ReceiverFunc(func(*packet.Frame) {})
 
 	var nav sim.Duration
 	watcher := &navSpy{sched: sched, navs: &nav}
-	ch.Attach(func(sim.Time) geom.Point { return geom.Point{X: 50} }, watcher)
+	ch.Attach(phy.PositionFunc(func(sim.Time) geom.Point { return geom.Point{X: 50} }), watcher)
 
 	const bytes = 300
-	a.Enqueue(packet.NewData(packet.NodeID(a.Radio()), packet.NodeID(b.Radio()), bytes, "x", geom.Point{}), nil, nil)
+	a.Enqueue(packet.NewData(packet.NodeID(a.Radio()), packet.NodeID(b.Radio()), bytes, "x", geom.Point{}), nil)
 	sched.Run()
 
 	want := 3*tm.SIFS + tm.Airtime(packet.CTSBytes) + tm.Airtime(bytes) + tm.Airtime(packet.AckBytes)

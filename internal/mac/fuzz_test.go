@@ -29,7 +29,7 @@ func TestMACRandomWorkloadInvariants(t *testing.T) {
 			macs := make([]*MAC, nMACs)
 			for i := 0; i < nMACs; i++ {
 				p := geom.Point{X: float64(i) * 120} // all mutually in range
-				macs[i] = New(sched, ch, func(sim.Time) geom.Point { return p }, rng.Fork(uint64(i)))
+				macs[i] = New(sched, ch, phy.PositionFunc(func(sim.Time) geom.Point { return p }), rng.Fork(uint64(i)))
 			}
 
 			type tracked struct {
@@ -53,19 +53,17 @@ func TestMACRandomWorkloadInvariants(t *testing.T) {
 					seq := uint32(op)
 					sched.Schedule(at, func() {
 						f := packet.NewBroadcast(packet.BroadcastID{Seq: seq}, 0, geom.Point{})
-						tr.p = m.Enqueue(f,
-							func() {
-								if tr.cancelled {
-									t.Error("cancelled frame started")
-								}
-								tr.started = true
-							},
-							func() {
-								if !tr.started {
-									t.Error("onDone before onStart")
-								}
-								tr.done = true
-							})
+						tr.p = m.Enqueue(f, TxFuncs{Start: func() {
+							if tr.cancelled {
+								t.Error("cancelled frame started")
+							}
+							tr.started = true
+						}, Done: func() {
+							if !tr.started {
+								t.Error("onDone before onStart")
+							}
+							tr.done = true
+						}})
 					})
 				} else {
 					// Cancel a random earlier frame through its owning
@@ -122,16 +120,16 @@ func TestCancelUnderLiveTraffic(t *testing.T) {
 	sched := sim.NewScheduler()
 	ch := phy.NewChannel(sched, phy.DSSSTiming(), 500)
 	rng := sim.NewRNG(42)
-	a := New(sched, ch, func(sim.Time) geom.Point { return geom.Point{} }, rng.Fork(1))
-	b := New(sched, ch, func(sim.Time) geom.Point { return geom.Point{X: 50} }, rng.Fork(2))
+	a := New(sched, ch, phy.PositionFunc(func(sim.Time) geom.Point { return geom.Point{} }), rng.Fork(1))
+	b := New(sched, ch, phy.PositionFunc(func(sim.Time) geom.Point { return geom.Point{X: 50} }), rng.Fork(2))
 
 	// Keep the medium loaded from a.
 	for i := 0; i < 10; i++ {
-		a.Enqueue(packet.NewBroadcast(packet.BroadcastID{Source: 1, Seq: uint32(i)}, 1, geom.Point{}), nil, nil)
+		a.Enqueue(packet.NewBroadcast(packet.BroadcastID{Source: 1, Seq: uint32(i)}, 1, geom.Point{}), nil)
 	}
 	var ps []*Pending
 	for i := 0; i < 10; i++ {
-		ps = append(ps, b.Enqueue(packet.NewBroadcast(packet.BroadcastID{Source: 2, Seq: uint32(i)}, 2, geom.Point{}), nil, nil))
+		ps = append(ps, b.Enqueue(packet.NewBroadcast(packet.BroadcastID{Source: 2, Seq: uint32(i)}, 2, geom.Point{}), nil))
 	}
 	// Cancel every other frame of b at staggered times.
 	for i := 0; i < 10; i += 2 {

@@ -19,15 +19,44 @@ import (
 	"repro/internal/sim"
 )
 
+// TxObserver is notified about an enqueued frame's transmission:
+// TxStarted runs at the instant the transmission begins (the frame is
+// "on the air" and can no longer be cancelled); TxDone runs when the
+// transmission ends (or a unicast frame is abandoned). Callers with a
+// natural per-frame record implement it on that record — an interface
+// value of an existing object costs nothing, where the closure pair it
+// replaces cost two allocations per enqueue site.
+type TxObserver interface {
+	TxStarted()
+	TxDone()
+}
+
+// TxFuncs adapts bare functions to TxObserver for call sites without a
+// record type; either field may be nil.
+type TxFuncs struct {
+	Start, Done func()
+}
+
+// TxStarted implements TxObserver.
+func (t TxFuncs) TxStarted() {
+	if t.Start != nil {
+		t.Start()
+	}
+}
+
+// TxDone implements TxObserver.
+func (t TxFuncs) TxDone() {
+	if t.Done != nil {
+		t.Done()
+	}
+}
+
 // Pending is a frame handed to the MAC and not yet fully transmitted.
 type Pending struct {
 	Frame *packet.Frame
 
-	// OnStart runs at the instant the transmission begins (the frame is
-	// "on the air"); the frame can no longer be cancelled.
-	OnStart func()
-	// OnDone runs when the transmission ends.
-	OnDone func()
+	// obs observes the transmission start and end (may be nil).
+	obs TxObserver
 
 	cancelled  bool
 	started    bool
@@ -86,10 +115,12 @@ type MAC struct {
 	stats Stats
 	cw    int // current contention window (grows on retries)
 
-	// Receiver, if set, is invoked for every intact frame delivered to
-	// this radio. GarbledReceiver, if set, is invoked for collisions.
-	Receiver        func(f *packet.Frame)
-	GarbledReceiver func(f *packet.Frame)
+	// Receiver, if set, receives every intact frame delivered to this
+	// radio. GarbledReceiver, if set, receives collided frames. Both are
+	// interfaces rather than function fields so a host implementing them
+	// attaches itself without allocating bound closures.
+	Receiver        FrameReceiver
+	GarbledReceiver GarbledReceiver
 
 	// queue[qhead:] is the FIFO of waiting frames; consuming by index
 	// instead of reslicing keeps the backing array's capacity, so a
@@ -104,11 +135,16 @@ type MAC struct {
 	pendingPool bool
 	pFree       []*Pending
 	// audit, when non-nil, observes the Pending pool lifecycle (SetAudit).
-	audit Auditor
-	inflight    *Pending // the frame whose airtime end finishTxFn awaits
-	startTx     func()
-	finishTxFn  func()
-	finishRTSFn func()
+	audit    Auditor
+	inflight *Pending // the frame whose airtime end txEnd awaits
+	// The MAC schedules its own attempt timer as a sim.Runner and its
+	// response timeout through respTimer; txEnd and rtsEnd are the
+	// airtime-completion handlers the channel calls back through. All
+	// are embedded values, so arming a timer or handing &m.txEnd to
+	// Transmit allocates nothing.
+	respTimer respTimer
+	txEnd     dataEnd
+	rtsEnd    rtsEnd
 
 	busy      bool
 	idleSince sim.Time
@@ -150,12 +186,34 @@ const (
 	awaitACK
 )
 
+// FrameReceiver is the upper layer's intake for intact frames.
+type FrameReceiver interface {
+	ReceiveFrame(f *packet.Frame)
+}
+
+// ReceiverFunc adapts a function to FrameReceiver.
+type ReceiverFunc func(f *packet.Frame)
+
+// ReceiveFrame implements FrameReceiver.
+func (fn ReceiverFunc) ReceiveFrame(f *packet.Frame) { fn(f) }
+
+// GarbledReceiver is the upper layer's intake for collided frames.
+type GarbledReceiver interface {
+	ReceiveGarbled(f *packet.Frame)
+}
+
+// GarbledFunc adapts a function to GarbledReceiver.
+type GarbledFunc func(f *packet.Frame)
+
+// ReceiveGarbled implements GarbledReceiver.
+func (fn GarbledFunc) ReceiveGarbled(f *packet.Frame) { fn(f) }
+
 var _ phy.Listener = (*MAC)(nil)
 
 // New attaches a new MAC to the channel at the given position provider.
 // Its link-layer address defaults to its radio index (which is also how
 // the host assemblies number their hosts); SetAddr overrides it.
-func New(sched *sim.Scheduler, ch *phy.Channel, pos phy.PositionFunc, rng *sim.RNG) *MAC {
+func New(sched *sim.Scheduler, ch *phy.Channel, pos phy.Positioner, rng *sim.RNG) *MAC {
 	m := &MAC{
 		sched:            sched,
 		ch:               ch,
@@ -167,10 +225,45 @@ func New(sched *sim.Scheduler, ch *phy.Channel, pos phy.PositionFunc, rng *sim.R
 	m.cw = m.t.CWMin
 	m.radio = ch.Attach(pos, m)
 	m.addr = packet.NodeID(m.radio)
-	m.startTx = m.startTransmission
-	m.finishTxFn = func() { m.finishTransmission(m.inflight) }
-	m.finishRTSFn = func() { m.finishRTS(m.inflight) }
+	m.respTimer.m = m
+	m.txEnd.m = m
+	m.rtsEnd.m = m
 	return m
+}
+
+// dataEnd completes the in-flight data/broadcast frame at airtime end.
+type dataEnd struct{ m *MAC }
+
+// TxEnded implements phy.TxEnder.
+func (e *dataEnd) TxEnded() { e.m.finishTransmission(e.m.inflight) }
+
+// rtsEnd arms the CTS timeout when the in-flight RTS's airtime ends.
+type rtsEnd struct{ m *MAC }
+
+// TxEnded implements phy.TxEnder.
+func (e *rtsEnd) TxEnded() { e.m.finishRTS(e.m.inflight) }
+
+// NewInto initializes a slab-allocated MAC in place, filling a radio
+// slot pre-claimed with phy.Channel.AttachBatch. Behavior is identical
+// to New; the split exists so the sharded engine can construct hosts in
+// parallel — SetRadio writes are per-slot and therefore disjoint across
+// workers, unlike Attach's shared appends.
+func NewInto(m *MAC, sched *sim.Scheduler, ch *phy.Channel, pos phy.Positioner, rng *sim.RNG, radio int) {
+	*m = MAC{
+		sched:            sched,
+		ch:               ch,
+		rng:              rng,
+		t:                ch.Timing(),
+		backoffRemaining: -1,
+		idleSince:        sched.Now(),
+		radio:            radio,
+		addr:             packet.NodeID(radio),
+	}
+	m.cw = m.t.CWMin
+	ch.SetRadio(radio, pos, m)
+	m.respTimer.m = m
+	m.txEnd.m = m
+	m.rtsEnd.m = m
 }
 
 // SetPendingPool enables recycling of Pending records once their frame
@@ -187,15 +280,15 @@ func (m *MAC) SetPendingPool(on bool) { m.pendingPool = on }
 func (m *MAC) SetAudit(a Auditor) { m.audit = a }
 
 // allocPending takes a record off the free list or allocates one.
-func (m *MAC) allocPending(f *packet.Frame, onStart, onDone func()) *Pending {
+func (m *MAC) allocPending(f *packet.Frame, obs TxObserver) *Pending {
 	var p *Pending
 	if l := len(m.pFree); l > 0 {
 		p = m.pFree[l-1]
 		m.pFree[l-1] = nil
 		m.pFree = m.pFree[:l-1]
-		*p = Pending{Frame: f, OnStart: onStart, OnDone: onDone}
+		*p = Pending{Frame: f, obs: obs}
 	} else {
-		p = &Pending{Frame: f, OnStart: onStart, OnDone: onDone}
+		p = &Pending{Frame: f, obs: obs}
 	}
 	if m.audit != nil {
 		m.audit.AuditAcquire(m.sched.Now(), "mac.pending", p)
@@ -214,8 +307,7 @@ func (m *MAC) recyclePending(p *Pending) {
 		m.audit.AuditRelease(m.sched.Now(), "mac.pending", p)
 	}
 	p.Frame = nil
-	p.OnStart = nil
-	p.OnDone = nil
+	p.obs = nil
 	m.pFree = append(m.pFree, p)
 }
 
@@ -249,9 +341,10 @@ func (m *MAC) QueueLen() int {
 	return n
 }
 
-// Enqueue submits a frame for transmission and returns its handle.
-func (m *MAC) Enqueue(f *packet.Frame, onStart, onDone func()) *Pending {
-	p := m.allocPending(f, onStart, onDone)
+// Enqueue submits a frame for transmission and returns its handle. obs
+// (which may be nil) observes the transmission's start and end.
+func (m *MAC) Enqueue(f *packet.Frame, obs TxObserver) *Pending {
+	p := m.allocPending(f, obs)
 	m.queue = append(m.queue, p)
 	m.stats.Enqueued++
 	// A frame arriving to a busy medium owes a fresh backoff draw, per
@@ -340,7 +433,7 @@ func (m *MAC) maybeSchedule() {
 			// least DIFS, so the frame goes out right away.
 			m.txEventBase = now
 			m.txEventSlots = -1
-			m.txEvent = m.sched.Schedule(now, m.startTx)
+			m.txEvent = m.sched.ScheduleRunner(now, m)
 			return
 		}
 		// The medium has not been idle long enough: the DCF requires a
@@ -363,7 +456,7 @@ func (m *MAC) maybeSchedule() {
 	at := effStart.Add(sim.Duration(m.backoffRemaining) * m.t.SlotTime)
 	m.txEventBase = effStart
 	m.txEventSlots = m.backoffRemaining
-	m.txEvent = m.sched.Schedule(at, m.startTx)
+	m.txEvent = m.sched.ScheduleRunner(at, m)
 }
 
 // interruptAttempt cancels the scheduled attempt. If freeze is true the
@@ -418,8 +511,8 @@ func (m *MAC) startTransmission() {
 	if m.audit != nil {
 		m.audit.AuditUse(m.sched.Now(), "mac.pending", p)
 	}
-	if p.OnStart != nil && !p.retransmit {
-		p.OnStart()
+	if p.obs != nil && !p.retransmit {
+		p.obs.TxStarted()
 	}
 	// At most one transmission with a completion callback is outstanding
 	// per MAC (guarded by m.transmitting), so the bound finish closures
@@ -429,10 +522,10 @@ func (m *MAC) startTransmission() {
 		// Reserve the medium first: RTS now, data after the CTS.
 		nav := m.exchangeNAV(p.Frame)
 		rts := packet.NewRTS(m.addr, p.Frame.Dest, nav, m.ch.PositionOf(m.radio))
-		m.ch.Transmit(m.radio, rts, m.finishRTSFn)
+		m.ch.Transmit(m.radio, rts, &m.rtsEnd)
 		return
 	}
-	m.ch.Transmit(m.radio, p.Frame, m.finishTxFn)
+	m.ch.Transmit(m.radio, p.Frame, &m.txEnd)
 }
 
 // useRTS reports whether the frame warrants an RTS/CTS exchange.
@@ -454,7 +547,7 @@ func (m *MAC) finishRTS(p *Pending) {
 	m.awaiting = p
 	m.awaitKind = awaitCTS
 	timeout := m.t.SIFS + m.t.Airtime(packet.CTSBytes) + 2*m.t.SlotTime
-	m.awaitTimer = m.sched.After(timeout, m.responseTimeout)
+	m.awaitTimer = m.sched.AfterRunner(timeout, &m.respTimer)
 }
 
 // finishTransmission runs at airtime end. Broadcast (and ACK) frames
@@ -471,16 +564,26 @@ func (m *MAC) finishTransmission(p *Pending) {
 		// The ACK arrives SIFS + ACK airtime after our frame ends; allow
 		// two slots of slack before declaring it missing.
 		timeout := m.t.SIFS + m.t.Airtime(packet.AckBytes) + 2*m.t.SlotTime
-		m.awaitTimer = m.sched.After(timeout, m.responseTimeout)
+		m.awaitTimer = m.sched.AfterRunner(timeout, &m.respTimer)
 		return
 	}
 	m.backoffRemaining = m.drawBackoff()
-	if p.OnDone != nil {
-		p.OnDone()
+	if p.obs != nil {
+		p.obs.TxDone()
 	}
 	m.recyclePending(p)
 	m.maybeSchedule()
 }
+
+// RunEvent fires a scheduled transmission attempt: the MAC schedules
+// itself as a sim.Runner so arming the attempt timer never allocates.
+func (m *MAC) RunEvent() { m.startTransmission() }
+
+// respTimer adapts the response-timeout callback to sim.Runner; a
+// value field on MAC, so arming the await timer is allocation-free.
+type respTimer struct{ m *MAC }
+
+func (r *respTimer) RunEvent() { r.m.responseTimeout() }
 
 // responseTimeout fires when the awaited CTS or ACK never arrived:
 // retry the whole exchange with a doubled contention window, or drop the
@@ -499,8 +602,8 @@ func (m *MAC) responseTimeout() {
 		p.failed = true
 		m.stats.Dropped++
 		m.backoffRemaining = m.drawBackoff()
-		if p.OnDone != nil {
-			p.OnDone()
+		if p.obs != nil {
+			p.obs.TxDone()
 		}
 		m.recyclePending(p)
 		m.maybeSchedule()
@@ -536,8 +639,8 @@ func (m *MAC) ackReceived() {
 	m.resetCW()
 	m.backoffRemaining = m.drawBackoff()
 	if p != nil {
-		if p.OnDone != nil {
-			p.OnDone()
+		if p.obs != nil {
+			p.obs.TxDone()
 		}
 		m.recyclePending(p)
 	}
@@ -561,7 +664,7 @@ func (m *MAC) ctsReceived() {
 			return // pathological overlap; the ACK timeout will retry
 		}
 		m.transmitting = true
-		m.ch.Transmit(m.radio, p.Frame, func() { m.finishTransmission(p) })
+		m.ch.Transmit(m.radio, p.Frame, phy.TxEndFunc(func() { m.finishTransmission(p) }))
 	})
 }
 
@@ -661,13 +764,13 @@ func (m *MAC) Deliver(f *packet.Frame) {
 		m.sendAck(f.Sender)
 	}
 	if m.Receiver != nil {
-		m.Receiver(f)
+		m.Receiver.ReceiveFrame(f)
 	}
 }
 
 // DeliverGarbled implements phy.Listener.
 func (m *MAC) DeliverGarbled(f *packet.Frame) {
 	if m.GarbledReceiver != nil {
-		m.GarbledReceiver(f)
+		m.GarbledReceiver.ReceiveGarbled(f)
 	}
 }

@@ -22,7 +22,7 @@ func newRig(positions ...geom.Point) *rig {
 	r := &rig{sched: sched, ch: ch}
 	for i, p := range positions {
 		p := p
-		m := New(sched, ch, func(sim.Time) geom.Point { return p }, rng.Fork(uint64(i)))
+		m := New(sched, ch, phy.PositionFunc(func(sim.Time) geom.Point { return p }), rng.Fork(uint64(i)))
 		r.macs = append(r.macs, m)
 	}
 	return r
@@ -35,13 +35,13 @@ func frame(src packet.NodeID, seq uint32) *packet.Frame {
 func TestImmediateAccessAfterLongIdle(t *testing.T) {
 	r := newRig(geom.Point{X: 0}, geom.Point{X: 100})
 	got := make([]*packet.Frame, 0, 1)
-	r.macs[1].Receiver = func(f *packet.Frame) { got = append(got, f) }
+	r.macs[1].Receiver = ReceiverFunc(func(f *packet.Frame) { got = append(got, f) })
 
 	// Medium idle since t=0; enqueue at t=1s: DIFS already satisfied, so
 	// the transmission must start immediately.
 	var startAt sim.Time
 	r.sched.Schedule(sim.Time(sim.Second), func() {
-		r.macs[0].Enqueue(frame(0, 1), func() { startAt = r.sched.Now() }, nil)
+		r.macs[0].Enqueue(frame(0, 1), TxFuncs{Start: func() { startAt = r.sched.Now() }})
 	})
 	r.sched.Run()
 
@@ -58,7 +58,7 @@ func TestDIFSDeferralAtTimeZero(t *testing.T) {
 	var startAt sim.Time
 	// Enqueued at t=0 when the medium has been idle for exactly 0: the
 	// MAC must wait out DIFS plus a random backoff of 0..CWMin slots.
-	r.macs[0].Enqueue(frame(0, 1), func() { startAt = r.sched.Now() }, nil)
+	r.macs[0].Enqueue(frame(0, 1), TxFuncs{Start: func() { startAt = r.sched.Now() }})
 	r.sched.Run()
 	tm := phy.DSSSTiming()
 	earliest := sim.Time(tm.DIFS)
@@ -73,14 +73,14 @@ func TestDeferWhileBusyThenBackoff(t *testing.T) {
 	r := newRig(geom.Point{X: 0}, geom.Point{X: 100})
 	tm := phy.DSSSTiming()
 	var aStart, bStart sim.Time
-	r.macs[0].Enqueue(frame(0, 1), func() {
+	r.macs[0].Enqueue(frame(0, 1), TxFuncs{Start: func() {
 		aStart = r.sched.Now()
 		// Enqueue host 1's frame mid-transmission: it must defer until
 		// the medium frees, then back off.
 		r.sched.After(500*sim.Microsecond, func() {
-			r.macs[1].Enqueue(frame(1, 1), func() { bStart = r.sched.Now() }, nil)
+			r.macs[1].Enqueue(frame(1, 1), TxFuncs{Start: func() { bStart = r.sched.Now() }})
 		})
-	}, nil)
+	}})
 	r.sched.Run()
 
 	txEnd := aStart.Add(tm.Airtime(280))
@@ -107,13 +107,13 @@ func TestBackoffFreezesUnderCarrier(t *testing.T) {
 	// Keep the channel busy with two long transmissions; enqueue host 2's
 	// frame while host 0's first frame is in flight.
 	var firstStart, start sim.Time
-	r.macs[0].Enqueue(frame(0, 1), func() {
+	r.macs[0].Enqueue(frame(0, 1), TxFuncs{Start: func() {
 		firstStart = r.sched.Now()
 		r.sched.After(100*sim.Microsecond, func() {
-			r.macs[2].Enqueue(frame(2, 1), func() { start = r.sched.Now() }, nil)
+			r.macs[2].Enqueue(frame(2, 1), TxFuncs{Start: func() { start = r.sched.Now() }})
 		})
-	}, nil)
-	r.macs[0].Enqueue(frame(0, 2), nil, nil)
+	}})
+	r.macs[0].Enqueue(frame(0, 2), nil)
 	r.sched.Run()
 
 	if start == 0 {
@@ -129,15 +129,15 @@ func TestCancelBeforeStart(t *testing.T) {
 	r := newRig(geom.Point{X: 0}, geom.Point{X: 100})
 	started := false
 	var received int
-	r.macs[1].Receiver = func(*packet.Frame) { received++ }
+	r.macs[1].Receiver = ReceiverFunc(func(*packet.Frame) { received++ })
 
 	// Occupy the medium so the enqueued frame must wait, then cancel it.
 	// Host 0 starts within DIFS+CW slots (by 670us) and holds the medium
 	// for 2432us, so at 1000us host 1 is guaranteed to be deferring.
-	r.macs[0].Enqueue(frame(0, 1), nil, nil)
+	r.macs[0].Enqueue(frame(0, 1), nil)
 	var p *Pending
 	r.sched.Schedule(sim.Time(1000*sim.Microsecond), func() {
-		p = r.macs[1].Enqueue(frame(1, 1), func() { started = true }, nil)
+		p = r.macs[1].Enqueue(frame(1, 1), TxFuncs{Start: func() { started = true }})
 	})
 	r.sched.Schedule(sim.Time(1200*sim.Microsecond), func() {
 		if !r.macs[1].Cancel(p) {
@@ -160,11 +160,11 @@ func TestCancelBeforeStart(t *testing.T) {
 func TestCancelAfterStartFails(t *testing.T) {
 	r := newRig(geom.Point{X: 0})
 	var p *Pending
-	p = r.macs[0].Enqueue(frame(0, 1), func() {
+	p = r.macs[0].Enqueue(frame(0, 1), TxFuncs{Start: func() {
 		if r.macs[0].Cancel(p) {
 			t.Error("cancel succeeded after transmission started")
 		}
-	}, nil)
+	}})
 	r.sched.Run()
 	if !p.Started() {
 		t.Error("frame never started")
@@ -173,8 +173,8 @@ func TestCancelAfterStartFails(t *testing.T) {
 
 func TestCancelIsIdempotent(t *testing.T) {
 	r := newRig(geom.Point{X: 0}, geom.Point{X: 100})
-	r.macs[0].Enqueue(frame(0, 1), nil, nil) // keep medium busy at decision time
-	p := r.macs[1].Enqueue(frame(1, 1), nil, nil)
+	r.macs[0].Enqueue(frame(0, 1), nil) // keep medium busy at decision time
+	p := r.macs[1].Enqueue(frame(1, 1), nil)
 	if !r.macs[1].Cancel(p) || !r.macs[1].Cancel(p) {
 		t.Error("repeated cancel did not report success")
 	}
@@ -187,9 +187,9 @@ func TestCancelIsIdempotent(t *testing.T) {
 func TestQueueDrainsInOrder(t *testing.T) {
 	r := newRig(geom.Point{X: 0}, geom.Point{X: 100})
 	var got []uint32
-	r.macs[1].Receiver = func(f *packet.Frame) { got = append(got, f.Broadcast.Seq) }
+	r.macs[1].Receiver = ReceiverFunc(func(f *packet.Frame) { got = append(got, f.Broadcast.Seq) })
 	for seq := uint32(1); seq <= 5; seq++ {
-		r.macs[0].Enqueue(frame(0, seq), nil, nil)
+		r.macs[0].Enqueue(frame(0, seq), nil)
 	}
 	r.sched.Run()
 	if len(got) != 5 {
@@ -205,15 +205,15 @@ func TestQueueDrainsInOrder(t *testing.T) {
 func TestCancelHeadPromotesNext(t *testing.T) {
 	r := newRig(geom.Point{X: 0}, geom.Point{X: 100})
 	var got []uint32
-	collect := func(f *packet.Frame) { got = append(got, f.Broadcast.Seq) }
+	collect := ReceiverFunc(func(f *packet.Frame) { got = append(got, f.Broadcast.Seq) })
 	r.macs[0].Receiver = collect
 	r.macs[1].Receiver = collect
 
 	// Busy the medium so host 1's frames queue up, then cancel the first.
-	r.macs[0].Enqueue(frame(0, 99), nil, nil) // on the air 50us..2482us
+	r.macs[0].Enqueue(frame(0, 99), nil) // on the air 50us..2482us
 	r.sched.Schedule(sim.Time(100*sim.Microsecond), func() {
-		p1 := r.macs[1].Enqueue(frame(1, 1), nil, nil)
-		r.macs[1].Enqueue(frame(1, 2), nil, nil)
+		p1 := r.macs[1].Enqueue(frame(1, 1), nil)
+		r.macs[1].Enqueue(frame(1, 2), nil)
 		r.macs[1].Cancel(p1)
 	})
 	r.sched.Run()
@@ -238,15 +238,15 @@ func TestCancelHeadPromotesNext(t *testing.T) {
 func TestTwoContendersEventuallyBothSend(t *testing.T) {
 	r := newRig(geom.Point{X: 0}, geom.Point{X: 100}, geom.Point{X: 200})
 	var got int
-	r.macs[1].Receiver = func(*packet.Frame) { got++ }
+	r.macs[1].Receiver = ReceiverFunc(func(*packet.Frame) { got++ })
 
 	// Hosts 0 and 2 both enqueue while the medium is busy with an
 	// initial transmission from host 1; their backoffs are drawn from
 	// independent streams so they usually separate.
-	r.macs[1].Enqueue(frame(1, 1), nil, nil)
+	r.macs[1].Enqueue(frame(1, 1), nil)
 	r.sched.Schedule(sim.Time(300*sim.Microsecond), func() {
-		r.macs[0].Enqueue(frame(0, 1), nil, nil)
-		r.macs[2].Enqueue(frame(2, 1), nil, nil)
+		r.macs[0].Enqueue(frame(0, 1), nil)
+		r.macs[2].Enqueue(frame(2, 1), nil)
 	})
 	r.sched.Run()
 
@@ -263,8 +263,8 @@ func TestPostTransmissionBackoffSeparatesFrames(t *testing.T) {
 	tm := phy.DSSSTiming()
 	var starts []sim.Time
 	mark := func() { starts = append(starts, r.sched.Now()) }
-	r.macs[0].Enqueue(frame(0, 1), mark, nil)
-	r.macs[0].Enqueue(frame(0, 2), mark, nil)
+	r.macs[0].Enqueue(frame(0, 1), TxFuncs{Start: mark})
+	r.macs[0].Enqueue(frame(0, 2), TxFuncs{Start: mark})
 	r.sched.Run()
 
 	if len(starts) != 2 {
@@ -281,11 +281,11 @@ func TestGarbledFramesReachGarbledReceiver(t *testing.T) {
 	// the middle gets both frames garbled.
 	r := newRig(geom.Point{X: 0}, geom.Point{X: 450}, geom.Point{X: 900})
 	var garbled, ok int
-	r.macs[1].Receiver = func(*packet.Frame) { ok++ }
-	r.macs[1].GarbledReceiver = func(*packet.Frame) { garbled++ }
+	r.macs[1].Receiver = ReceiverFunc(func(*packet.Frame) { ok++ })
+	r.macs[1].GarbledReceiver = GarbledFunc(func(*packet.Frame) { garbled++ })
 
-	r.macs[0].Enqueue(frame(0, 1), nil, nil)
-	r.macs[2].Enqueue(frame(2, 1), nil, nil)
+	r.macs[0].Enqueue(frame(0, 1), nil)
+	r.macs[2].Enqueue(frame(2, 1), nil)
 	r.sched.Run()
 
 	// Both started within each other's airtime (immediate access at
@@ -300,8 +300,8 @@ func TestGarbledFramesReachGarbledReceiver(t *testing.T) {
 
 func TestStatsCounts(t *testing.T) {
 	r := newRig(geom.Point{X: 0}, geom.Point{X: 100})
-	r.macs[0].Enqueue(frame(0, 1), nil, nil)
-	r.macs[0].Enqueue(frame(0, 2), nil, nil)
+	r.macs[0].Enqueue(frame(0, 1), nil)
+	r.macs[0].Enqueue(frame(0, 2), nil)
 	r.sched.Run()
 	st := r.macs[0].Stats()
 	if st.Enqueued != 2 || st.Sent != 2 || st.Cancelled != 0 {
@@ -313,9 +313,7 @@ func TestOnDoneCallback(t *testing.T) {
 	r := newRig(geom.Point{X: 0})
 	var doneAt sim.Time
 	var startAt sim.Time
-	r.macs[0].Enqueue(frame(0, 1),
-		func() { startAt = r.sched.Now() },
-		func() { doneAt = r.sched.Now() })
+	r.macs[0].Enqueue(frame(0, 1), TxFuncs{Start: func() { startAt = r.sched.Now() }, Done: func() { doneAt = r.sched.Now() }})
 	r.sched.Run()
 	if doneAt.Sub(startAt) != phy.DSSSTiming().Airtime(280) {
 		t.Errorf("onDone at %v, start %v: duration != airtime", doneAt, startAt)

@@ -20,13 +20,13 @@ func rtsRig(positions ...geom.Point) *rig {
 func TestRTSCTSExchangeDeliversData(t *testing.T) {
 	r := rtsRig(geom.Point{X: 0}, geom.Point{X: 100})
 	var got int
-	r.macs[1].Receiver = func(f *packet.Frame) {
+	r.macs[1].Receiver = ReceiverFunc(func(f *packet.Frame) {
 		if f.Kind == packet.KindData {
 			got++
 		}
-	}
+	})
 	var done bool
-	p := r.macs[0].Enqueue(dataFrame(0, 1), nil, func() { done = true })
+	p := r.macs[0].Enqueue(dataFrame(0, 1), TxFuncs{Done: func() { done = true }})
 	r.sched.Run()
 
 	if got != 1 {
@@ -44,9 +44,9 @@ func TestRTSCTSExchangeDeliversData(t *testing.T) {
 func TestControlFramesInvisibleToHost(t *testing.T) {
 	r := rtsRig(geom.Point{X: 0}, geom.Point{X: 100}, geom.Point{X: 200})
 	var kinds []packet.Kind
-	r.macs[2].Receiver = func(f *packet.Frame) { kinds = append(kinds, f.Kind) }
-	r.macs[1].Receiver = func(*packet.Frame) {}
-	r.macs[0].Enqueue(dataFrame(0, 1), nil, nil)
+	r.macs[2].Receiver = ReceiverFunc(func(f *packet.Frame) { kinds = append(kinds, f.Kind) })
+	r.macs[1].Receiver = ReceiverFunc(func(*packet.Frame) {})
+	r.macs[0].Enqueue(dataFrame(0, 1), nil)
 	r.sched.Run()
 	for _, k := range kinds {
 		if k == packet.KindRTS || k == packet.KindCTS || k == packet.KindAck {
@@ -63,16 +63,16 @@ func TestHiddenTerminalProtection(t *testing.T) {
 	// A at 0, B at 450, C at 900: A and C are hidden from each other.
 	r := rtsRig(geom.Point{X: 0}, geom.Point{X: 450}, geom.Point{X: 900})
 	var dataAtB int
-	r.macs[1].Receiver = func(f *packet.Frame) {
+	r.macs[1].Receiver = ReceiverFunc(func(f *packet.Frame) {
 		if f.Kind == packet.KindData {
 			dataAtB++
 		}
-	}
+	})
 	// A starts a long unicast to B; shortly after A's data is in the
 	// air, C wants to send to B too.
-	r.macs[0].Enqueue(dataFrame(0, 1), nil, nil)
+	r.macs[0].Enqueue(dataFrame(0, 1), nil)
 	r.sched.After(400*sim.Microsecond, func() {
-		r.macs[2].Enqueue(dataFrame(2, 1), nil, nil)
+		r.macs[2].Enqueue(dataFrame(2, 1), nil)
 	})
 	r.sched.Run()
 
@@ -92,14 +92,14 @@ func TestHiddenTerminalProtection(t *testing.T) {
 func TestHiddenTerminalWithoutRTSCollides(t *testing.T) {
 	r := newRig(geom.Point{X: 0}, geom.Point{X: 450}, geom.Point{X: 900})
 	var dataAtB int
-	r.macs[1].Receiver = func(f *packet.Frame) {
+	r.macs[1].Receiver = ReceiverFunc(func(f *packet.Frame) {
 		if f.Kind == packet.KindData {
 			dataAtB++
 		}
-	}
-	r.macs[0].Enqueue(dataFrame(0, 1), nil, nil)
+	})
+	r.macs[0].Enqueue(dataFrame(0, 1), nil)
 	r.sched.After(400*sim.Microsecond, func() {
-		r.macs[2].Enqueue(dataFrame(2, 1), nil, nil)
+		r.macs[2].Enqueue(dataFrame(2, 1), nil)
 	})
 	r.sched.Run()
 
@@ -118,24 +118,22 @@ func TestNAVDefersThirdParty(t *testing.T) {
 	// All three in mutual range. While 0 talks to 1 under RTS/CTS, host
 	// 2's broadcast must wait for the reservation to end.
 	r := rtsRig(geom.Point{X: 0}, geom.Point{X: 100}, geom.Point{X: 200})
-	r.macs[1].Receiver = func(*packet.Frame) {}
+	r.macs[1].Receiver = ReceiverFunc(func(*packet.Frame) {})
 	tm := r.ch.Timing()
 
 	var exchangeEnd, bStart sim.Time
-	r.macs[0].Enqueue(dataFrame(0, 1),
-		func() {
-			// OnStart fires when the RTS goes on the air. Enqueue host 2's
-			// broadcast just after the CTS completes, when its NAV is set
-			// but the data frame has not started yet.
-			ctsEnd := tm.Airtime(packet.RTSBytes) + tm.SIFS + tm.Airtime(packet.CTSBytes)
-			r.sched.After(ctsEnd+4*sim.Microsecond, func() {
-				r.macs[2].Enqueue(frame(2, 1), func() { bStart = r.sched.Now() }, nil)
-			})
-		},
-		func() {
-			// Data done; ACK still follows (SIFS + ACK airtime).
-			exchangeEnd = r.sched.Now().Add(tm.SIFS + tm.Airtime(packet.AckBytes))
+	r.macs[0].Enqueue(dataFrame(0, 1), TxFuncs{Start: func() {
+		// OnStart fires when the RTS goes on the air. Enqueue host 2's
+		// broadcast just after the CTS completes, when its NAV is set
+		// but the data frame has not started yet.
+		ctsEnd := tm.Airtime(packet.RTSBytes) + tm.SIFS + tm.Airtime(packet.CTSBytes)
+		r.sched.After(ctsEnd+4*sim.Microsecond, func() {
+			r.macs[2].Enqueue(frame(2, 1), TxFuncs{Start: func() { bStart = r.sched.Now() }})
 		})
+	}, Done: func() {
+		// Data done; ACK still follows (SIFS + ACK airtime).
+		exchangeEnd = r.sched.Now().Add(tm.SIFS + tm.Airtime(packet.AckBytes))
+	}})
 	r.sched.Run()
 
 	if bStart == 0 || exchangeEnd == 0 {
@@ -148,8 +146,8 @@ func TestNAVDefersThirdParty(t *testing.T) {
 
 func TestBroadcastIgnoresRTSThreshold(t *testing.T) {
 	r := rtsRig(geom.Point{X: 0}, geom.Point{X: 100})
-	r.macs[1].Receiver = func(*packet.Frame) {}
-	r.macs[0].Enqueue(frame(0, 1), nil, nil)
+	r.macs[1].Receiver = ReceiverFunc(func(*packet.Frame) {})
+	r.macs[0].Enqueue(frame(0, 1), nil)
 	r.sched.Run()
 	// Just the broadcast itself: no RTS, no CTS, no ACK.
 	if tx := r.ch.Stats().Transmissions; tx != 1 {
@@ -159,7 +157,7 @@ func TestBroadcastIgnoresRTSThreshold(t *testing.T) {
 
 func TestRTSToAbsentHostDrops(t *testing.T) {
 	r := rtsRig(geom.Point{X: 0}, geom.Point{X: 5000})
-	p := r.macs[0].Enqueue(dataFrame(0, 1), nil, nil)
+	p := r.macs[0].Enqueue(dataFrame(0, 1), nil)
 	r.sched.Run()
 	if !p.Failed() {
 		t.Error("unanswered RTS did not fail the frame")

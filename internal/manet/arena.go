@@ -1,0 +1,64 @@
+package manet
+
+import (
+	"repro/internal/mac"
+	"repro/internal/mobility"
+	"repro/internal/neighbor"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Arena retains the sharded engine's bulk slab allocations across
+// Networks. A parameter sweep constructs thousands of same-size worlds
+// back to back; without reuse every construction allocates (and the
+// collector then marks and sweeps) on the order of a kilobyte per host,
+// which at mega-map populations makes the allocator the dominant cost
+// of the whole experiment. Passing one Arena through Config.Arena lets
+// each construction reclaim the previous world's slabs: steady-state
+// construction then allocates almost nothing, and collections stop
+// re-marking tens of megabytes of dead host state.
+//
+// The contract is strict in exchange for that: an Arena may back at
+// most one live Network at a time. Once a Config carrying the arena is
+// passed to New, the previous Network built from it — and anything
+// reached through that Network (positions, neighbor counts, host
+// state) — must no longer be touched; its memory now belongs to the
+// new world. Results that must outlive the Network (the Summary,
+// retained records) are unaffected: they are plain values owned by the
+// caller.
+//
+// An Arena is not safe for concurrent use. The sequential oracle
+// ignores it: per-host construction is the oracle's specified shape,
+// and reusing its piecemeal allocations would buy nothing.
+//
+// Slab reinitialization is by full overwrite (every Init*/New*Into
+// constructor and RNG fork writes the complete record), so a reused
+// world is byte-identical to a freshly allocated one — the sharded
+// equivalence suite runs its whole matrix through one shared arena to
+// pin exactly that.
+type Arena struct {
+	hostsN     int
+	slabMovers bool
+	hosts      []*host
+	hostSlab   []host
+	macSlab    []mac.MAC
+	dedupSlab  []packet.DedupTable
+	rngSlab    []sim.RNG
+	moveSlab   []sim.RNG
+	tableSlab  []neighbor.Table
+	roamerSlab []mobility.Roamer
+	events     []sim.Event
+}
+
+// NewArena returns an empty arena. The first construction through it
+// allocates and parks its slabs; later same-shape constructions reuse
+// them.
+func NewArena() *Arena { return &Arena{} }
+
+// fits reports whether the arena's parked slabs match the requested
+// world shape. A mismatch (different population, different mover
+// layout) silently falls back to fresh allocation — the arena then
+// parks the new slabs instead.
+func (a *Arena) fits(hostsN int, slabMovers bool) bool {
+	return a.hostsN == hostsN && a.slabMovers == slabMovers && a.hostSlab != nil
+}

@@ -141,6 +141,24 @@ type Config struct {
 	// Timing overrides the PHY/MAC timing; zero value uses DSSSTiming.
 	Timing phy.Timing
 
+	// Engine selects the simulation engine. The zero value (EngineAuto)
+	// resolves from the rest of the configuration: sharded when
+	// Shards > 0, otherwise the sequential oracle. All engines produce
+	// byte-identical summaries; see Engine's documentation.
+	Engine Engine
+	// Shards is the sharded engine's worker/wheel count. It must be a
+	// power of two (at most 64); 0 lets the engine choose
+	// (DefaultShards). Setting Shards > 0 under EngineAuto selects the
+	// sharded engine.
+	Shards int
+	// Arena, when non-nil, lets the sharded engine reuse the bulk slab
+	// allocations of the previous Network built through the same arena
+	// (see Arena's documentation for the ownership contract). Sweeps
+	// that construct many same-size worlds back to back avoid paying
+	// the allocator and collector for each one. The sequential oracle
+	// ignores it.
+	Arena *Arena
+
 	// DisableCollisions is an ablation switch: overlapping transmissions
 	// no longer destroy each other, isolating the contribution of
 	// collisions to the broadcast storm.
@@ -155,6 +173,12 @@ type Config struct {
 	// is a pure optimization with no model effect, so results must be
 	// identical either way; the switch exists for the equivalence tests
 	// and benchmarks that verify exactly that.
+	//
+	// Deprecated: the Disable* switches are legacy ablations of the
+	// sequential engine, kept as shims for existing configs and the
+	// equivalence tests. Select engines with Engine/Shards instead;
+	// combining a Disable* switch with the sharded engine is a Validate
+	// error.
 	DisableSpatialIndex bool
 	// DisableInterferenceIndex resolves transmission overlap with the
 	// legacy engine: a global scan over every active transmission with
@@ -164,6 +188,9 @@ type Config struct {
 	// optimization with no model effect, so results must be identical
 	// either way; the switch exists for the equivalence tests and
 	// benchmarks that verify exactly that.
+	//
+	// Deprecated: see DisableSpatialIndex; select engines with
+	// Engine/Shards instead.
 	DisableInterferenceIndex bool
 	// DisableDenseState runs the per-host waiting state and per-broadcast
 	// bookkeeping on the legacy map-backed stores (per-host pending and
@@ -174,12 +201,18 @@ type Config struct {
 	// storage change with no model effect, so results must be
 	// byte-identical either way; the switch exists for the equivalence
 	// tests and benchmarks that verify exactly that.
+	//
+	// Deprecated: see DisableSpatialIndex; select engines with
+	// Engine/Shards instead.
 	DisableDenseState bool
 	// DisableLadderQueue runs the scheduler on the legacy binary heap
 	// (eager cancellation, per-event allocation) instead of the default
 	// ladder queue. Both fire events in the identical (time, seq) order,
 	// so results must be byte-identical either way; the switch exists for
 	// the equivalence tests and benchmarks that verify exactly that.
+	//
+	// Deprecated: see DisableSpatialIndex; select engines with
+	// Engine/Shards instead.
 	DisableLadderQueue bool
 	// LossRate injects independent per-reception Bernoulli loss
 	// (fading/shadowing) on top of the unit-disk collision model.
@@ -357,6 +390,9 @@ func (c Config) Validate() error {
 	}
 	if c.RepairWindow < 0 {
 		return fmt.Errorf("manet: negative repair window %v", c.RepairWindow)
+	}
+	if _, _, err := c.resolveEngine(); err != nil {
+		return err
 	}
 	return nil
 }

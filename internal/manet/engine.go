@@ -1,0 +1,167 @@
+package manet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Engine selects the simulation engine a Network runs on. All engines
+// execute the identical event stream — (time, seq) order is part of the
+// model contract — so summaries are byte-identical across engines; the
+// selector only changes which data structures and how many worker
+// goroutines do the work. The zero value (EngineAuto) picks an engine
+// from the rest of the configuration, which keeps existing configs
+// working unchanged.
+type Engine int
+
+const (
+	// EngineAuto resolves to EngineSharded when Config.Shards > 0 and to
+	// EngineSequentialOracle otherwise (honoring the deprecated Disable*
+	// ablation switches, which only the sequential engine supports).
+	EngineAuto Engine = iota
+
+	// EngineSequentialOracle is the single-threaded reference engine:
+	// one ladder queue, no worker pool. The Disable* switches select its
+	// legacy data-structure ablations. It is the oracle the sharded
+	// engine's equivalence tests compare against.
+	EngineSequentialOracle
+
+	// EngineSharded partitions the map into power-of-two shard regions
+	// (bands of spatial-grid macro-cell rows). Each shard owns a
+	// calendar-wheel scheduler for its hosts' mobility events, merged
+	// with the central ladder in strict (time, seq) order, and a worker
+	// in the shared pool that parallelizes construction, snapshot
+	// rebuilds, and reachability walks with bounded-channel border
+	// exchange. Requires all Disable* switches off.
+	EngineSharded
+)
+
+// String names the engine the way ParseEngine accepts it.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineSequentialOracle:
+		return "sequential-oracle"
+	case EngineSharded:
+		return "sharded"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
+// ParseEngine maps a command-line engine name onto an Engine.
+func ParseEngine(name string) (Engine, error) {
+	switch name {
+	case "", "auto":
+		return EngineAuto, nil
+	case "sequential", "sequential-oracle", "oracle":
+		return EngineSequentialOracle, nil
+	case "sharded":
+		return EngineSharded, nil
+	}
+	return EngineAuto, fmt.Errorf("manet: unknown engine %q (want auto, sequential-oracle, or sharded)", name)
+}
+
+// Features describes the concrete data-structure and parallelism
+// choices an engine runs with. Shards is 0 for the sequential engines
+// and the resolved worker/wheel count for the sharded engine.
+type Features struct {
+	LadderQueue       bool // ladder-queue scheduler (vs legacy binary heap)
+	SpatialIndex      bool // grid spatial index (vs linear scans)
+	InterferenceIndex bool // grid-bucketed interference (vs global scan)
+	DenseState        bool // dense host/record state (vs map-backed)
+	Sharded           bool // shard wheels + worker pool
+	Shards            int
+}
+
+// Features reports what the engine uses at its defaults. The deprecated
+// Disable* switches can turn individual features off on the sequential
+// engines; Config.EngineFeatures resolves that full picture.
+func (e Engine) Features() Features {
+	return Features{
+		LadderQueue:       true,
+		SpatialIndex:      true,
+		InterferenceIndex: true,
+		DenseState:        true,
+		Sharded:           e == EngineSharded,
+	}
+}
+
+// DefaultShards is the shard count EngineSharded uses when Config.Shards
+// is zero. It is a fixed constant rather than a GOMAXPROCS derivation so
+// a config resolves identically on every machine; results are
+// shard-count independent regardless.
+const DefaultShards = 4
+
+// maxShards bounds the shard count; beyond this the per-shard wheels and
+// border channels cost more than any plausible hardware gives back.
+const maxShards = 64
+
+// legacySwitches reports whether any deprecated Disable* ablation switch
+// is set. They select the sequential engine's legacy data structures and
+// are mutually exclusive with the sharded engine.
+func (c Config) legacySwitches() bool {
+	return c.DisableSpatialIndex || c.DisableInterferenceIndex ||
+		c.DisableDenseState || c.DisableLadderQueue
+}
+
+// resolveEngine maps (Engine, Shards, deprecated Disable* switches) onto
+// the concrete engine and shard count, rejecting contradictions. The
+// returned shard count is 0 for sequential engines.
+func (c Config) resolveEngine() (Engine, int, error) {
+	if c.Shards < 0 {
+		return 0, 0, fmt.Errorf("manet: negative shard count %d", c.Shards)
+	}
+	if c.Shards > maxShards {
+		return 0, 0, fmt.Errorf("manet: shard count %d exceeds the maximum %d", c.Shards, maxShards)
+	}
+	if c.Shards > 0 && c.Shards&(c.Shards-1) != 0 {
+		return 0, 0, fmt.Errorf("manet: shard count %d is not a power of two", c.Shards)
+	}
+	switch c.Engine {
+	case EngineAuto:
+		if c.Shards == 0 {
+			return EngineSequentialOracle, 0, nil
+		}
+		if c.legacySwitches() {
+			return 0, 0, errors.New("manet: Shards > 0 selects the sharded engine, which excludes the deprecated Disable* switches; use Engine: EngineSequentialOracle for ablations")
+		}
+		return EngineSharded, c.Shards, nil
+	case EngineSequentialOracle:
+		if c.Shards > 0 {
+			return 0, 0, fmt.Errorf("manet: EngineSequentialOracle cannot run %d shards; leave Shards at 0 or select EngineSharded", c.Shards)
+		}
+		return EngineSequentialOracle, 0, nil
+	case EngineSharded:
+		if c.legacySwitches() {
+			return 0, 0, errors.New("manet: EngineSharded excludes the deprecated Disable* switches (they select legacy sequential data structures)")
+		}
+		if c.Shards == 0 {
+			return EngineSharded, DefaultShards, nil
+		}
+		return EngineSharded, c.Shards, nil
+	default:
+		return 0, 0, fmt.Errorf("manet: unknown engine %v", c.Engine)
+	}
+}
+
+// EngineFeatures resolves the engine selection (including the deprecated
+// Disable* switches) and reports the concrete feature set a run of this
+// config will use. It returns the same errors Validate does for
+// contradictory selections.
+func (c Config) EngineFeatures() (Features, error) {
+	engine, shards, err := c.resolveEngine()
+	if err != nil {
+		return Features{}, err
+	}
+	f := engine.Features()
+	f.Shards = shards
+	if engine != EngineSharded {
+		f.LadderQueue = !c.DisableLadderQueue
+		f.SpatialIndex = !c.DisableSpatialIndex
+		f.InterferenceIndex = !c.DisableInterferenceIndex
+		f.DenseState = !c.DisableDenseState
+	}
+	return f, nil
+}

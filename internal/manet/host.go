@@ -35,14 +35,14 @@ type host struct {
 	livePending []*pendingRebroadcast
 	prFree      []*pendingRebroadcast
 
-	// Bound-once HELLO callbacks plus the FIFO of beacons currently on
-	// the air. HELLO frames are broadcast, so the MAC completes them in
-	// enqueue order — the front of helloFly is always the frame whose
-	// OnDone is firing.
-	sendHelloFn func()
-	helloSentFn func()
-	helloDoneFn func()
-	helloFly    []*packet.Frame
+	// helloTx observes the beacons' transmissions and doubles as the
+	// HELLO timer's sim.Runner (one embedded value per
+	// host, so beaconing allocates no observers); helloFly is the FIFO of
+	// beacons currently on the air. HELLO frames are broadcast, so the
+	// MAC completes them in enqueue order — the front of helloFly is
+	// always the frame whose TxDone is firing.
+	helloTx  helloTx
+	helloFly []*packet.Frame
 
 	// Reliable-broadcast repair state (Config.Repair): recently received
 	// broadcasts to advertise, and ids NACKed but not yet repaired. The
@@ -59,6 +59,7 @@ type host struct {
 // bound once per record and read its mutable fields, so records cycling
 // through the pool never allocate closures.
 type pendingRebroadcast struct {
+	h        *host
 	bid      packet.BroadcastID
 	judge    scheme.Judge
 	assess   *sim.Event    // scheduled MAC submission, nil once submitted
@@ -67,10 +68,22 @@ type pendingRebroadcast struct {
 	started  bool          // transmission began; decision locked
 	resolved bool          // inhibited or completed
 	live     int32         // index in host.livePending (dense layout)
-	assessFn func()        // assessment-delay timer target
-	startFn  func()        // MAC OnStart
-	doneFn   func()        // MAC OnDone
 }
+
+// TxStarted implements mac.TxObserver: the rebroadcast's transmission
+// actually starts (S3) and the decision is locked.
+// RunEvent fires the assessment-delay timer (sim.Runner): the pending
+// record itself is the timer target, so arming it never allocates.
+func (p *pendingRebroadcast) RunEvent() { p.h.submit(p) }
+
+func (p *pendingRebroadcast) TxStarted() {
+	p.started = true
+	p.h.net.noteTransmitted(p.bid)
+	p.h.net.trace(trace.Transmit, p.bid, p.h.id)
+}
+
+// TxDone implements mac.TxObserver: the transmission ended.
+func (p *pendingRebroadcast) TxDone() { p.h.complete(p) }
 
 // newPendingRebroadcast takes a waiting-state record off the free list
 // (or allocates one, binding its callbacks).
@@ -83,14 +96,7 @@ func (h *host) newPendingRebroadcast(bid packet.BroadcastID, judge scheme.Judge)
 		p.bid, p.judge = bid, judge
 		p.started, p.resolved = false, false
 	} else {
-		p = &pendingRebroadcast{bid: bid, judge: judge}
-		p.assessFn = func() { h.submit(p) }
-		p.startFn = func() { // transmission actually starts: S3, decision locked
-			p.started = true
-			h.net.noteTransmitted(p.bid)
-			h.net.trace(trace.Transmit, p.bid, h.id)
-		}
-		p.doneFn = func() { h.complete(p) }
+		p = &pendingRebroadcast{h: h, bid: bid, judge: judge}
 	}
 	if h.net.audit != nil {
 		h.net.audit.AuditAcquire(h.net.sched.Now(), "manet.pending", p)
@@ -192,8 +198,41 @@ func (h *host) AcquireNodeSet() *nodeset.Set { return h.net.acquireSet() }
 // ReleaseNodeSet implements scheme.NodeSetSource.
 func (h *host) ReleaseNodeSet(s *nodeset.Set) { h.net.releaseSet(s) }
 
-// onFrame handles an intact frame delivered by the MAC.
-func (h *host) onFrame(f *packet.Frame) {
+// ReceiveGarbled implements mac.GarbledReceiver: a collided broadcast
+// is worth a trace event (the metrics layer counts collisions at the
+// channel, so nothing else happens here).
+func (h *host) ReceiveGarbled(f *packet.Frame) {
+	if h.net.Tracer != nil && f.Kind == packet.KindBroadcast {
+		h.net.Tracer.Record(h.net.sched.Now(), trace.Garbled, f.Broadcast, h.id)
+	}
+}
+
+// helloTx observes one host's HELLO transmissions (mac.TxObserver) and
+// fires its HELLO timer (sim.Runner): both roles hang off the same
+// embedded value, so neither the recurring timer nor the per-beacon
+// observer allocates.
+type helloTx struct{ h *host }
+
+// RunEvent fires the HELLO timer.
+func (o *helloTx) RunEvent() { o.h.sendHello() }
+
+// TxStarted implements mac.TxObserver: the beacon is on the air.
+func (o *helloTx) TxStarted() { o.h.net.helloSent++ }
+
+// TxDone implements mac.TxObserver: the beacon's airtime ended; retire
+// the oldest in-flight HELLO frame.
+func (o *helloTx) TxDone() {
+	h := o.h
+	f := h.helloFly[0]
+	rest := copy(h.helloFly, h.helloFly[1:])
+	h.helloFly[rest] = nil
+	h.helloFly = h.helloFly[:rest]
+	h.net.recycleHelloFrame(f)
+}
+
+// ReceiveFrame implements mac.FrameReceiver: an intact frame delivered
+// by the MAC.
+func (h *host) ReceiveFrame(f *packet.Frame) {
 	switch f.Kind {
 	case packet.KindHello:
 		h.table.OnHello(f.Sender, f.Neighbors, f.HelloInterval)
@@ -238,7 +277,7 @@ func (h *host) onBroadcast(f *packet.Frame) {
 		// submitting the rebroadcast to the MAC.
 		slots := h.rng.IntN(h.net.cfg.AssessmentSlots + 1)
 		delay := sim.Duration(slots) * h.net.cfg.Timing.SlotTime
-		p.assess = h.net.sched.After(delay, p.assessFn)
+		p.assess = h.net.sched.AfterRunner(delay, p)
 		return
 	}
 
@@ -268,7 +307,7 @@ func (h *host) submit(p *pendingRebroadcast) {
 		return
 	}
 	p.frame = h.net.newBroadcastFrame(p.bid, h.id, h.Position())
-	p.mp = h.mac.Enqueue(p.frame, p.startFn, p.doneFn)
+	p.mp = h.mac.Enqueue(p.frame, p)
 }
 
 // complete resolves the rebroadcast when its transmission ends (the MAC
@@ -317,17 +356,29 @@ func (h *host) inhibit(p *pendingRebroadcast) {
 func (h *host) originate(bid packet.BroadcastID) {
 	h.dedup.Observe(bid)
 	frame := h.net.newBroadcastFrame(bid, h.id, h.Position())
-	h.mac.Enqueue(frame,
-		func() {
-			h.net.noteTransmitted(bid)
-			h.net.trace(trace.Transmit, bid, h.id)
-		},
-		func() {
-			h.net.recycleFrame(frame)
-			h.net.noteActivity(bid)
-			h.net.openDec(bid) // the source's transmission no longer holds it
-		},
-	)
+	h.mac.Enqueue(frame, &originTx{h: h, bid: bid, frame: frame})
+}
+
+// originTx observes a source transmission. Originations are rare (one
+// per broadcast request), so a record allocation per origination is
+// noise next to the storm it triggers.
+type originTx struct {
+	h     *host
+	bid   packet.BroadcastID
+	frame *packet.Frame
+}
+
+// TxStarted implements mac.TxObserver.
+func (o *originTx) TxStarted() {
+	o.h.net.noteTransmitted(o.bid)
+	o.h.net.trace(trace.Transmit, o.bid, o.h.id)
+}
+
+// TxDone implements mac.TxObserver.
+func (o *originTx) TxDone() {
+	o.h.net.recycleFrame(o.frame)
+	o.h.net.noteActivity(o.bid)
+	o.h.net.openDec(o.bid) // the source's transmission no longer holds it
 }
 
 // scheduleHello arms the host's first HELLO at a random phase within one
@@ -344,7 +395,7 @@ func (h *host) scheduleHello() {
 		first = h.net.cfg.DHI.HIMin
 	}
 	phase := h.rng.UniformDuration(0, first)
-	h.net.sched.After(phase, h.sendHelloFn)
+	h.net.sched.AfterRunner(phase, &h.helloTx)
 }
 
 // currentHelloInterval evaluates the fixed or dynamic hello interval.
@@ -374,7 +425,7 @@ func (h *host) sendHello() {
 			f.Bytes += packet.HelloPerRecentBytes * len(f.Recent)
 		}
 		h.helloFly = append(h.helloFly, f)
-		h.mac.Enqueue(f, h.helloSentFn, h.helloDoneFn)
+		h.mac.Enqueue(f, &h.helloTx)
 	}
-	h.net.sched.After(interval, h.sendHelloFn)
+	h.net.sched.AfterRunner(interval, &h.helloTx)
 }

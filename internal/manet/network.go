@@ -1,6 +1,7 @@
 package manet
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -14,20 +15,26 @@ import (
 	"repro/internal/nodeset"
 	"repro/internal/obs"
 	"repro/internal/packet"
+	"repro/internal/pdes"
 	"repro/internal/phy"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
 // Network is one fully assembled simulation instance. Build it with New,
-// run it once with Run. A Network is single-use and single-threaded;
-// parallelism belongs at the replica level (see the experiment package).
+// run it once with Run or RunContext. A Network is single-use and its
+// API is single-threaded; the sharded engine's internal worker pool is
+// invisible at this level, and replica parallelism belongs above it (see
+// the experiment package).
 type Network struct {
-	cfg   Config
-	sched *sim.Scheduler
-	ch    *phy.Channel
-	area  mobility.Map
-	hosts []*host
+	cfg    Config
+	sched  *sim.Scheduler
+	ch     *phy.Channel
+	area   mobility.Map
+	hosts  []*host
+	engine Engine // resolved engine (never EngineAuto)
+	shards int    // resolved shard count, 0 when sequential
+	pool   *pdes.Pool
 
 	// DeliveryHook, if set before Run, is invoked once per (broadcast,
 	// host) when the host first obtains the packet — including the source
@@ -112,15 +119,26 @@ func New(cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	engine, shards, err := cfg.resolveEngine()
+	if err != nil {
+		return nil, err // unreachable after Validate; kept for clarity
+	}
 	sched := sim.NewScheduler()
 	if cfg.DisableLadderQueue {
 		sched = sim.NewHeapScheduler()
 	}
 	n := &Network{
-		cfg:   cfg,
-		sched: sched,
-		ch:    phy.NewChannel(sched, cfg.Timing, cfg.Radius),
-		area:  mobility.NewSquareMap(cfg.MapUnits, cfg.UnitMeters),
+		cfg:    cfg,
+		sched:  sched,
+		ch:     phy.NewChannel(sched, cfg.Timing, cfg.Radius),
+		area:   mobility.NewSquareMap(cfg.MapUnits, cfg.UnitMeters),
+		engine: engine,
+		shards: shards,
+	}
+	if engine == EngineSharded {
+		n.pool = pdes.NewPool(shards)
+		n.ch.SetPool(n.pool)
+		sched.ConfigureShards(shards, sim.Second)
 	}
 	if cfg.DisableDenseState {
 		n.records = make(map[packet.BroadcastID]*metrics.BroadcastRecord, cfg.Requests)
@@ -168,6 +186,13 @@ func New(cfg Config) (*Network, error) {
 		n.ch.SetAudit(cfg.Audit)
 	}
 
+	if engine == EngineSharded {
+		n.buildHostsSharded(groups, moveRNG, macRNG, hostRNG)
+		if cfg.Telemetry != nil {
+			n.observe(cfg.Telemetry)
+		}
+		return n, nil
+	}
 	n.hosts = make([]*host, cfg.Hosts)
 	for i := range n.hosts {
 		h := &host{
@@ -197,31 +222,17 @@ func New(cfg Config) (*Network, error) {
 				mobility.DefaultConfig(cfg.MaxSpeedKMH), moveRNG.Fork(uint64(i)))
 		}
 		h.table = neighbor.NewDenseTable(h.id, sched, cfg.ExpiryIntervals, cfg.Hosts)
-		h.mac = mac.New(sched, n.ch, h.mover.PositionAt, macRNG.Fork(uint64(i)))
+		h.mac = mac.New(sched, n.ch, h.mover, macRNG.Fork(uint64(i)))
 		h.mac.SetAddr(h.id)
-		h.mac.Receiver = h.onFrame
+		h.mac.Receiver = h
+		h.mac.GarbledReceiver = h
 		// The hosts never read a mac.Pending handle after its frame
 		// completed or was cancelled, so the MAC may recycle the records.
 		h.mac.SetPendingPool(true)
 		if cfg.Audit != nil {
 			h.mac.SetAudit(cfg.Audit)
 		}
-		hh := h
-		h.sendHelloFn = hh.sendHello
-		h.helloSentFn = func() { n.helloSent++ }
-		h.helloDoneFn = func() {
-			f := hh.helloFly[0]
-			rest := copy(hh.helloFly, hh.helloFly[1:])
-			hh.helloFly[rest] = nil
-			hh.helloFly = hh.helloFly[:rest]
-			n.recycleHelloFrame(f)
-		}
-		hid := h.id
-		h.mac.GarbledReceiver = func(f *packet.Frame) {
-			if n.Tracer != nil && f.Kind == packet.KindBroadcast {
-				n.Tracer.Record(sched.Now(), trace.Garbled, f.Broadcast, hid)
-			}
-		}
+		h.helloTx.h = h
 		// The unit-disk query paths (reachableFrom, idealHelloDeliver)
 		// identify hosts by radio index, which holds because radios are
 		// attached in host order.
@@ -234,6 +245,168 @@ func New(cfg Config) (*Network, error) {
 		n.observe(cfg.Telemetry)
 	}
 	return n, nil
+}
+
+// buildHostsSharded assembles the host population for the sharded
+// engine. Observable behavior must match New's sequential loop
+// byte-for-byte; three phases keep construction both parallel and
+// order-faithful:
+//
+//   - A: movers that schedule events while being built (groups,
+//     waypoint, static) are created sequentially in host order, so
+//     their events carry the exact sequence numbers the oracle assigns.
+//     The default random-turn mover defers its scheduling to phase C
+//     and is slab-initialized in phase B instead.
+//   - B: everything per-host that schedules nothing — RNG stream forks
+//     (pure reads of the parent state, so fork order is irrelevant),
+//     slab MACs attached to pre-claimed radio slots, neighbor tables,
+//     callback binding — runs on the worker pool over disjoint index
+//     ranges.
+//   - C: random-turn first turns are scheduled sequentially in host
+//     order, reproducing the oracle's sequence numbers; the events land
+//     on the wheel of the shard band owning the host's initial
+//     position.
+func (n *Network) buildHostsSharded(groups []*mobility.Group, moveRNG, macRNG, hostRNG *sim.RNG) {
+	cfg := n.cfg
+	sched := n.sched
+	hostsN := cfg.Hosts
+	slabMovers := cfg.Groups == 0 && !cfg.Static && cfg.Mobility != MobilityWaypoint
+	var (
+		rngSlab    []sim.RNG // [2i] host stream, [2i+1] mac stream
+		moveSlab   []sim.RNG
+		dedupSlab  []packet.DedupTable
+		tableSlab  []neighbor.Table
+		hostSlab   []host
+		macSlab    []mac.MAC
+		roamerSlab []mobility.Roamer
+	)
+	if a := cfg.Arena; a != nil && a.fits(hostsN, slabMovers) {
+		rngSlab, moveSlab = a.rngSlab, a.moveSlab
+		dedupSlab, tableSlab = a.dedupSlab, a.tableSlab
+		hostSlab, macSlab, roamerSlab = a.hostSlab, a.macSlab, a.roamerSlab
+		n.hosts = a.hosts
+		// Every other slab is fully overwritten by its initializer
+		// below; dedup tables alone rely on the zero value meaning
+		// "empty", and the scheduler refills its free list from the
+		// retained event slab.
+		clear(dedupSlab)
+		sched.ReserveFrom(a.events)
+	} else {
+		// Pointer-free slabs first: collections triggered while the heap
+		// grows through them mark nothing, whereas every slab below is
+		// pointer-dense and re-marked by each later cycle. Ordering the
+		// allocation burst scan-light-to-scan-heavy keeps construction-time
+		// GC marking roughly halved on a mega map.
+		rngSlab = make([]sim.RNG, 2*hostsN)
+		if slabMovers {
+			moveSlab = make([]sim.RNG, hostsN)
+		}
+		dedupSlab = make([]packet.DedupTable, hostsN)
+		tableSlab = make([]neighbor.Table, hostsN)
+		events := sched.Reserve(hostsN)
+		n.hosts = make([]*host, hostsN)
+		hostSlab = make([]host, hostsN)
+		macSlab = make([]mac.MAC, hostsN)
+		if slabMovers {
+			roamerSlab = make([]mobility.Roamer, hostsN)
+		}
+		if a != nil {
+			*a = Arena{
+				hostsN: hostsN, slabMovers: slabMovers,
+				hosts: n.hosts, hostSlab: hostSlab, macSlab: macSlab,
+				dedupSlab: dedupSlab, rngSlab: rngSlab, moveSlab: moveSlab,
+				tableSlab: tableSlab, roamerSlab: roamerSlab, events: events,
+			}
+		}
+	}
+	base := n.ch.AttachBatch(hostsN)
+	if base != 0 {
+		panic(fmt.Sprintf("manet: sharded host batch attached at radio base %d", base))
+	}
+
+	if !slabMovers {
+		for i := range hostSlab {
+			h := &hostSlab[i]
+			switch {
+			case cfg.Groups > 0:
+				h.mover = groups[i%cfg.Groups].NewMember(moveRNG.Fork(uint64(i)))
+			case len(cfg.Placement) > 0 && cfg.Static:
+				h.mover = mobility.NewStaticRoamer(sched, n.area, cfg.Placement[i])
+			case cfg.Static:
+				h.mover = mobility.NewStaticRoamer(sched, n.area, randomPoint(moveRNG.Fork(uint64(i)), n.area))
+			default: // MobilityWaypoint
+				wcfg := mobility.DefaultWaypointConfig(cfg.MaxSpeedKMH)
+				if cfg.WaypointPause > 0 {
+					wcfg.PauseTime = cfg.WaypointPause
+				}
+				h.mover = mobility.NewWaypoint(sched, n.area, wcfg, moveRNG.Fork(uint64(i)))
+			}
+		}
+	}
+
+	mcfg := mobility.DefaultConfig(cfg.MaxSpeedKMH)
+	n.pool.Do(hostsN, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			h := &hostSlab[i]
+			hostRNG.ForkInto(&rngSlab[2*i], uint64(i))
+			// Full overwrite: under arena reuse the slot still holds the
+			// previous world's host, and every unlisted field must drop
+			// back to its zero value. The mover survives from phase A
+			// (and is replaced just below when slab movers are in play).
+			*h = host{
+				id:    packet.NodeID(i),
+				net:   n,
+				mover: h.mover,
+				dedup: &dedupSlab[i],
+				rng:   &rngSlab[2*i],
+			}
+			if slabMovers {
+				moveRNG.ForkInto(&moveSlab[i], uint64(i))
+				r := &roamerSlab[i]
+				mobility.InitRoamer(r, sched, n.area, mcfg, &moveSlab[i])
+				r.SetShard(n.shardOfY(r.PositionAt(0).Y))
+				h.mover = r
+			}
+			macRNG.ForkInto(&rngSlab[2*i+1], uint64(i))
+			mac.NewInto(&macSlab[i], sched, n.ch, h.mover, &rngSlab[2*i+1], base+i)
+			h.mac = &macSlab[i]
+			neighbor.InitDenseTable(&tableSlab[i], h.id, sched, cfg.ExpiryIntervals, hostsN)
+			h.table = &tableSlab[i]
+			h.mac.SetAddr(h.id)
+			h.mac.Receiver = h
+			h.mac.GarbledReceiver = h
+			h.mac.SetPendingPool(true)
+			if cfg.Audit != nil {
+				h.mac.SetAudit(cfg.Audit)
+			}
+			h.helloTx.h = h
+			n.hosts[i] = h
+		}
+	})
+
+	if slabMovers {
+		for i := range roamerSlab {
+			roamerSlab[i].Start()
+		}
+	}
+}
+
+// shardOfY maps a map Y coordinate onto a shard. Shards are horizontal
+// bands of spatial-grid macro-cell rows; macro rows are uniform in Y,
+// so banding Y directly yields the same power-of-two partition. A
+// roamer keeps its initial band's wheel for life: the assignment only
+// decides which wheel stores its turn events, never their (time, seq)
+// firing order, so migrating wheels on border crossings would buy
+// nothing.
+func (n *Network) shardOfY(y float64) int {
+	s := int(y / n.area.Height * float64(n.shards))
+	if s < 0 {
+		s = 0
+	}
+	if s >= n.shards {
+		s = n.shards - 1
+	}
+	return s
 }
 
 // observe registers the network-level telemetry series. Counters are
@@ -371,13 +544,49 @@ func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
 // Config returns the effective (defaulted) configuration.
 func (n *Network) Config() Config { return n.cfg }
 
+// Engine returns the resolved engine the network was built with (never
+// EngineAuto).
+func (n *Network) Engine() Engine { return n.engine }
+
+// ShardCount returns the resolved shard count; 0 for the sequential
+// engines.
+func (n *Network) ShardCount() int { return n.shards }
+
+// Close releases the sharded engine's worker pool (no-op for sequential
+// engines; idempotent). RunContext closes on return, so an explicit
+// Close is only needed for a Network that was built but never run.
+// After Close, pool-backed queries degrade to inline execution, so a
+// closed Network's inspection methods keep working.
+func (n *Network) Close() {
+	if n.pool != nil {
+		n.pool.Close()
+	}
+}
+
 // Run executes the configured workload and returns the run summary. It
 // panics if called twice.
 func (n *Network) Run() metrics.Summary {
+	s, err := n.RunContext(context.Background())
+	if err != nil {
+		// Unreachable: Background is never cancelled and RunContext has no
+		// other error path.
+		panic("manet: " + err.Error())
+	}
+	return s
+}
+
+// RunContext executes the configured workload, checking ctx between
+// conservative barrier windows (see barrierWindow), and returns the run
+// summary. On cancellation it stops at the next barrier — never inside
+// an event — releases the worker pool, and returns ctx's error with a
+// zero summary. The Network is spent either way; it panics if run
+// twice.
+func (n *Network) RunContext(ctx context.Context) (metrics.Summary, error) {
 	if n.ran {
 		panic("manet: Network.Run called twice")
 	}
 	n.ran = true
+	defer n.Close()
 
 	workload := sim.NewRNG(n.cfg.Seed).Fork(4)
 	at := sim.Time(0).Add(n.cfg.Warmup)
@@ -426,9 +635,65 @@ func (n *Network) Run() metrics.Summary {
 		})
 	}
 
-	n.sched.RunUntil(n.endTime)
+	// Advance the clock one conservative window at a time. Each RunUntil
+	// is a barrier: the merged event order inside is identical to one
+	// uninterrupted run (the deadline only clamps the clock, never
+	// reorders events), and between barriers the engine checks
+	// cancellation and feeds the cross-shard time invariants to the
+	// auditor.
+	window := n.barrierWindow()
+	for {
+		if err := ctx.Err(); err != nil {
+			return metrics.Summary{}, err
+		}
+		barrier := n.sched.Now().Add(window)
+		if barrier > n.endTime {
+			barrier = n.endTime
+		}
+		n.sched.RunUntil(barrier)
+		n.auditShardBarrier(barrier)
+		if barrier >= n.endTime {
+			break
+		}
+	}
 	n.obs.Sample(n.sched.Now()) // close the series at end of run (nil-safe)
-	return n.summarize()
+	return n.summarize(), nil
+}
+
+// barrierWindow derives the conservative lookahead between cancellation
+// and audit barriers: the minimum frame airtime (no radio interaction
+// resolves faster, so windows are never finer than the simulation can
+// observe) plus the time the fastest host needs to cross a quarter
+// radius — the same drift budget the spatial index amortizes snapshots
+// over — capped at one second so static worlds still reach barriers
+// regularly.
+func (n *Network) barrierWindow() sim.Duration {
+	w := n.cfg.Timing.Airtime(packet.AckBytes)
+	slack := sim.Second
+	if v := n.cfg.MaxSpeedMPS(); v > 0 {
+		if d := sim.Duration(0.25 * n.cfg.Radius / v * float64(sim.Second)); d < slack {
+			slack = d
+		}
+	}
+	return w + slack
+}
+
+// auditShardBarrier feeds the cross-shard time invariants to the
+// auditor at a barrier: barrier times advance monotonically, the merged
+// clock never passes the barrier it just ran to, and no shard wheel
+// still holds an event that was already due (a lagging head would mean
+// the merged pop skipped it).
+func (n *Network) auditShardBarrier(barrier sim.Time) {
+	if n.audit == nil || n.shards == 0 {
+		return
+	}
+	now := n.sched.Now()
+	n.audit.AuditShardBarrier(now, barrier)
+	for s := 0; s < n.shards; s++ {
+		if head, ok := n.sched.ShardHead(s); ok {
+			n.audit.AuditShardHead(now, s, head)
+		}
+	}
 }
 
 // auditNeighborSweep verifies every host's neighbor table against ground
@@ -494,6 +759,13 @@ func (n *Network) originate(src *host) {
 // degree rather than a scan of the whole population, and the visited /
 // stack / neighbor buffers are reused across originations.
 func (n *Network) reachableFrom(src *host) int {
+	if n.engine == EngineSharded {
+		// The channel walk forces an exact position snapshot at the
+		// current instant and runs band-parallel over the worker pool with
+		// bounded-channel border exchange; membership is identical to the
+		// live-position BFS below, so summaries stay byte-identical.
+		return n.ch.CountReachable(src.mac.Radio())
+	}
 	if len(n.bfsVisited) < n.ch.NumRadios() {
 		n.bfsVisited = make([]bool, n.ch.NumRadios())
 	}

@@ -86,7 +86,7 @@ func (h *host) onHelloRecent(from packet.NodeID, recent []packet.BroadcastID) {
 		h.nacked[bid] = true
 		h.net.repairsRequested++
 		f := packet.NewData(h.id, from, repairRequestBytes, repairRequest{ID: bid}, h.Position())
-		h.mac.Enqueue(f, nil, nil)
+		h.mac.Enqueue(f, nil)
 	}
 }
 
@@ -99,7 +99,7 @@ func (h *host) onRepairFrame(f *packet.Frame) {
 		}
 		resp := packet.NewData(h.id, f.Sender, repairResponseBytes,
 			repairResponse{ID: msg.ID}, h.Position())
-		h.mac.Enqueue(resp, nil, nil)
+		h.mac.Enqueue(resp, nil)
 	case repairResponse:
 		if f.Dest != h.id {
 			return

@@ -80,6 +80,15 @@ type Roamer struct {
 
 	turnEvent *sim.Event
 	stopped   bool
+
+	// shard routes turn events to a shard calendar wheel when >= 0; the
+	// sequential engine leaves it at -1 and schedules on the central
+	// ladder. Either way events fire in identical (time, seq) order.
+	shard int
+
+	// firstTurn holds the first turn interval between InitRoamer (which
+	// performs every random draw) and Start (which schedules it).
+	firstTurn sim.Duration
 }
 
 // NewRoamer places a host uniformly at random on the map and starts its
@@ -90,6 +99,7 @@ func NewRoamer(sched *sim.Scheduler, area Map, cfg Config, rng *sim.RNG) *Roamer
 		cfg:   cfg,
 		rng:   rng,
 		sched: sched,
+		shard: -1,
 		origin: geom.Point{
 			X: rng.UniformFloat(0, area.Width),
 			Y: rng.UniformFloat(0, area.Height),
@@ -100,12 +110,62 @@ func NewRoamer(sched *sim.Scheduler, area Map, cfg Config, rng *sim.RNG) *Roamer
 	return r
 }
 
+// InitRoamer initializes a slab-allocated Roamer in place, performing
+// exactly the random draws NewRoamer performs (placement, then first
+// segment speed/direction/interval — same stream, same order) but
+// deferring the first turn's scheduling to Start. The split lets the
+// sharded engine run the draw phase in parallel across hosts (each host
+// owns its forked rng) and then schedule first turns sequentially in
+// host order, preserving the oracle's event sequence numbers. Turn
+// events go to the central ladder unless SetShard routes them to a
+// shard calendar wheel before Start.
+func InitRoamer(r *Roamer, sched *sim.Scheduler, area Map, cfg Config, rng *sim.RNG) {
+	*r = Roamer{
+		area:  area,
+		cfg:   cfg,
+		rng:   rng,
+		sched: sched,
+		shard: -1,
+		origin: geom.Point{
+			X: rng.UniformFloat(0, area.Width),
+			Y: rng.UniformFloat(0, area.Height),
+		},
+		segStart: sched.Now(),
+	}
+	speed := rng.UniformFloat(0, cfg.MaxSpeedMPS)
+	dir := rng.Angle()
+	r.vx = speed * cos(dir)
+	r.vy = speed * sin(dir)
+	r.firstTurn = rng.UniformDuration(cfg.MinTurn, cfg.MaxTurn)
+}
+
+// SetShard routes future turn events to the given shard's calendar
+// wheel (< 0 = central ladder). Call between InitRoamer and Start: the
+// sharded engine derives the shard from the host's initial map band,
+// which is only known after InitRoamer has drawn the placement.
+func (r *Roamer) SetShard(shard int) { r.shard = shard }
+
+// Start schedules the first turn of an InitRoamer-initialized roamer.
+// It must be called exactly once, before the clock advances past the
+// initialization time.
+func (r *Roamer) Start() {
+	r.scheduleTurn(r.firstTurn)
+}
+
 // NewStaticRoamer places a host at a fixed point with no movement. It is
 // used by tests and by density-only experiments.
 func NewStaticRoamer(sched *sim.Scheduler, area Map, at geom.Point) *Roamer {
-	return &Roamer{
+	r := &Roamer{}
+	InitStaticRoamer(r, sched, area, at)
+	return r
+}
+
+// InitStaticRoamer initializes a slab-allocated static roamer in place.
+func InitStaticRoamer(r *Roamer, sched *sim.Scheduler, area Map, at geom.Point) {
+	*r = Roamer{
 		area:     area,
 		sched:    sched,
+		shard:    -1,
 		origin:   at,
 		segStart: sched.Now(),
 		stopped:  true,
@@ -113,6 +173,11 @@ func NewStaticRoamer(sched *sim.Scheduler, area Map, at geom.Point) *Roamer {
 }
 
 // turn starts a new movement segment and schedules the following turn.
+// RunEvent fires a scheduled turn. Scheduling the roamer itself as a
+// sim.Runner keeps the recurring timer allocation-free: binding r.turn
+// as a func() would heap-allocate a method value per arm.
+func (r *Roamer) RunEvent() { r.turn() }
+
 func (r *Roamer) turn() {
 	now := r.sched.Now()
 	r.origin = r.rawPositionAt(now)
@@ -124,7 +189,17 @@ func (r *Roamer) turn() {
 	r.vy = speed * sin(dir)
 
 	interval := r.rng.UniformDuration(r.cfg.MinTurn, r.cfg.MaxTurn)
-	r.turnEvent = r.sched.After(interval, r.turn)
+	r.scheduleTurn(interval)
+}
+
+// scheduleTurn arms the next turn event on the roamer's shard wheel, or
+// on the central ladder when the roamer is unsharded.
+func (r *Roamer) scheduleTurn(interval sim.Duration) {
+	if r.shard >= 0 {
+		r.turnEvent = r.sched.AfterShardRunner(r.shard, interval, r)
+	} else {
+		r.turnEvent = r.sched.AfterRunner(interval, r)
+	}
 }
 
 // Stop cancels future turns; the host freezes at its current position.

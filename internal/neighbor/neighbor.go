@@ -126,13 +126,23 @@ func NewTable(owner packet.NodeID, sched *sim.Scheduler, expiryIntervals int) *T
 // tables for a large, mostly idle population is O(1) per table.
 // expiryIntervals <= 0 uses the paper's default of 2.
 func NewDenseTable(owner packet.NodeID, sched *sim.Scheduler, expiryIntervals, hosts int) *Table {
+	t := &Table{}
+	InitDenseTable(t, owner, sched, expiryIntervals, hosts)
+	return t
+}
+
+// InitDenseTable initializes a caller-allocated Table in place as a
+// dense table, for slab construction: building a mega-scale population
+// one NewDenseTable at a time costs one heap object per host, while a
+// []Table slab costs one for the whole world.
+func InitDenseTable(t *Table, owner packet.NodeID, sched *sim.Scheduler, expiryIntervals, hosts int) {
 	if hosts < 1 {
 		panic("neighbor: dense table needs a positive population size")
 	}
 	if expiryIntervals <= 0 {
 		expiryIntervals = DefaultExpiryIntervals
 	}
-	return &Table{
+	*t = Table{
 		owner:           owner,
 		sched:           sched,
 		expiryIntervals: expiryIntervals,

@@ -199,7 +199,9 @@ func NewData(sender, dest NodeID, bytes int, payload any, pos geom.Point) *Frame
 // host can tell first receptions from duplicates. The table only grows;
 // at the simulation scales used here (tens of thousands of broadcasts)
 // that is cheap, and it exactly matches the paper's requirement that a
-// host "can detect duplicate broadcast packets".
+// host "can detect duplicate broadcast packets". The zero value is ready
+// to use — the map is allocated on first Observe — so tables can live in
+// slab allocations.
 type DedupTable struct {
 	seen map[BroadcastID]bool
 }
@@ -214,6 +216,9 @@ func NewDedupTable() *DedupTable {
 func (t *DedupTable) Observe(id BroadcastID) bool {
 	if t.seen[id] {
 		return false
+	}
+	if t.seen == nil {
+		t.seen = make(map[BroadcastID]bool)
 	}
 	t.seen[id] = true
 	return true

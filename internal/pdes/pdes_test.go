@@ -1,0 +1,137 @@
+package pdes
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+func TestPoolDoCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 7, 64, 1000} {
+			var hits atomic.Int64
+			seen := make([]atomic.Bool, n)
+			p.Do(n, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if seen[i].Swap(true) {
+						t.Errorf("workers=%d n=%d: index %d visited twice", workers, n, i)
+					}
+					hits.Add(1)
+				}
+			})
+			if got := hits.Load(); got != int64(n) {
+				t.Fatalf("workers=%d: covered %d of %d indices", workers, got, n)
+			}
+		}
+		p.Close()
+		p.Close() // idempotent
+		// Closed pool degrades to inline execution.
+		var inline int
+		p.Do(5, func(_, lo, hi int) { inline += hi - lo })
+		if inline != 5 {
+			t.Fatalf("closed pool covered %d of 5", inline)
+		}
+	}
+}
+
+// TestWalkerMatchesSequential grows random unit-disk graphs at several
+// densities and checks the band-parallel component count against the
+// sequential walk from every source, across pool sizes.
+func TestWalkerMatchesSequential(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		pool := NewPool(workers)
+		par := NewWalker(pool)
+		seq := NewWalker(nil)
+		for seed := uint64(1); seed <= 4; seed++ {
+			rng := sim.NewRNG(seed)
+			n := 60 + rng.IntN(300)
+			side := 2000.0
+			radius := 120 + rng.UniformFloat(0, 160)
+			snap := make([]geom.Point, n)
+			for i := range snap {
+				snap[i] = geom.Point{
+					X: rng.UniformFloat(0, side),
+					Y: rng.UniformFloat(0, side),
+				}
+			}
+			var grid geom.Grid
+			grid.Rebuild(snap, radius)
+			neigh := func(u int, buf []int) []int { return grid.Neighbors(u, radius, buf) }
+			for src := 0; src < n; src += 7 {
+				want := seq.Count(&grid, seed, snap, src, neigh)
+				got := par.Count(&grid, seed, snap, src, neigh)
+				if got != want {
+					t.Fatalf("workers=%d seed=%d src=%d: parallel count %d, sequential %d",
+						workers, seed, src, got, want)
+				}
+			}
+		}
+		pool.Close()
+	}
+}
+
+// TestWalkerSpillOverflow forces a dense single-row graph so crossings
+// overflow the bounded channels and exercise the spill path.
+func TestWalkerSpillOverflow(t *testing.T) {
+	// Two tall columns of tightly packed nodes with a narrow bridge: most
+	// discoveries cross band borders.
+	const n = 2000
+	snap := make([]geom.Point, n)
+	rng := sim.NewRNG(99)
+	for i := range snap {
+		snap[i] = geom.Point{X: rng.UniformFloat(0, 50), Y: rng.UniformFloat(0, 2000)}
+	}
+	radius := 120.0
+	var grid geom.Grid
+	grid.Rebuild(snap, radius)
+	pool := NewPool(4)
+	defer pool.Close()
+	par := NewWalker(pool)
+	seq := NewWalker(nil)
+	neigh := func(u int, buf []int) []int { return grid.Neighbors(u, radius, buf) }
+	for src := 0; src < n; src += 97 {
+		want := seq.Count(&grid, 1, snap, src, neigh)
+		if got := par.Count(&grid, 1, snap, src, neigh); got != want {
+			t.Fatalf("src=%d: parallel count %d, sequential %d", src, got, want)
+		}
+	}
+}
+
+// TestWalkerStaleBanding drives the walker the way phy does under a
+// stale snapshot: band ownership comes from an outdated position set
+// while adjacency is answered from the live one. Nodes may sit up to
+// two bands away from their edges' endpoints, so crossings are no
+// longer confined to adjacent bands; membership must not change.
+func TestWalkerStaleBanding(t *testing.T) {
+	const n = 1500
+	rng := sim.NewRNG(7)
+	radius := 150.0
+	stale := make([]geom.Point, n)
+	live := make([]geom.Point, n)
+	for i := range stale {
+		stale[i] = geom.Point{X: rng.UniformFloat(0, 1500), Y: rng.UniformFloat(0, 1500)}
+		// Drift each node by up to two cell edges between the snapshot
+		// and the query instant.
+		live[i] = geom.Point{
+			X: stale[i].X + rng.UniformFloat(-2*radius, 2*radius),
+			Y: stale[i].Y + rng.UniformFloat(-2*radius, 2*radius),
+		}
+	}
+	var staleGrid, liveGrid geom.Grid
+	staleGrid.Rebuild(stale, radius)
+	liveGrid.Rebuild(live, radius)
+	neigh := func(u int, buf []int) []int { return liveGrid.Neighbors(u, radius, buf) }
+	pool := NewPool(4)
+	defer pool.Close()
+	par := NewWalker(pool)
+	seq := NewWalker(nil)
+	for src := 0; src < n; src += 53 {
+		want := seq.Count(&staleGrid, 1, stale, src, neigh)
+		if got := par.Count(&staleGrid, 1, stale, src, neigh); got != want {
+			t.Fatalf("src=%d: parallel count %d, sequential %d", src, got, want)
+		}
+	}
+}

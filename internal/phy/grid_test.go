@@ -21,10 +21,10 @@ func newMovingChannel(n int, radius, speed float64) (*sim.Scheduler, *Channel) {
 		cy := float64(i/side) * radius * 0.7
 		phase := float64(i)
 		orbit := radius * 0.4
-		ch.Attach(func(t sim.Time) geom.Point {
+		ch.Attach(PositionFunc(func(t sim.Time) geom.Point {
 			a := phase + speed*t.Seconds()/orbit
 			return geom.Point{X: cx + orbit*math.Cos(a), Y: cy + orbit*math.Sin(a)}
-		}, &fakeListener{})
+		}), &fakeListener{})
 	}
 	return sched, ch
 }
@@ -32,10 +32,10 @@ func newMovingChannel(n int, radius, speed float64) (*sim.Scheduler, *Channel) {
 // linearNeighbors is the reference the index must match exactly.
 func linearNeighbors(ch *Channel, i int, now sim.Time) []int {
 	var out []int
-	pi := ch.positions[i](now)
+	pi := ch.positions[i].PositionAt(now)
 	r2 := ch.radius * ch.radius
 	for j := range ch.positions {
-		if j != i && ch.positions[j](now).Dist2(pi) <= r2 {
+		if j != i && ch.positions[j].PositionAt(now).Dist2(pi) <= r2 {
 			out = append(out, j)
 		}
 	}

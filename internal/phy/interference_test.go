@@ -139,9 +139,9 @@ func TestReceiverAlreadyTransmitting(t *testing.T) {
 			// t=1500us it is at X=450, inside. c sits near r's start so r's
 			// own flight has a receiver; d hears only s.
 			rl, sl, cl, dl := &fakeListener{}, &fakeListener{}, &fakeListener{}, &fakeListener{}
-			r := ch.Attach(func(t sim.Time) geom.Point {
+			r := ch.Attach(PositionFunc(func(t sim.Time) geom.Point {
 				return geom.Point{X: 1200 - speed*t.Sub(0).Seconds()}
-			}, rl)
+			}), rl)
 			s := ch.Attach(static(geom.Point{X: 0}), sl)
 			ch.Attach(static(geom.Point{X: 1600}), cl)
 			ch.Attach(static(geom.Point{X: -400}), dl)

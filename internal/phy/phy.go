@@ -13,6 +13,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/nodeset"
 	"repro/internal/packet"
+	"repro/internal/pdes"
 	"repro/internal/sim"
 )
 
@@ -33,8 +34,33 @@ type Listener interface {
 	DeliverGarbled(f *packet.Frame)
 }
 
-// PositionFunc reports a radio's position at a simulated time.
+// Positioner reports a radio's position at a simulated time. Movers
+// (mobility.Mover implementations) satisfy it directly, so attaching a
+// radio stores the mover itself — no per-radio method-value closure.
+// It must be pure in t: concurrent readers (snapshot fill, the
+// band-parallel walker) evaluate positions with no synchronization.
+type Positioner interface {
+	PositionAt(t sim.Time) geom.Point
+}
+
+// PositionFunc adapts a bare position function to Positioner.
 type PositionFunc func(t sim.Time) geom.Point
+
+// PositionAt implements Positioner.
+func (f PositionFunc) PositionAt(t sim.Time) geom.Point { return f(t) }
+
+// TxEnder is notified when a transmission's airtime ends. The MAC hands
+// the channel a pointer to a handler embedded in its own struct, so
+// starting a transmission allocates no completion closure.
+type TxEnder interface {
+	TxEnded()
+}
+
+// TxEndFunc adapts a bare function to TxEnder.
+type TxEndFunc func()
+
+// TxEnded implements TxEnder.
+func (f TxEndFunc) TxEnded() { f() }
 
 // Auditor is the channel's view of the runtime invariant auditor
 // (implemented by internal/check.Auditor): pure observation callbacks
@@ -127,11 +153,11 @@ type transmission struct {
 	// cell is the interference-index bucket currently holding this
 	// record (-1 while unindexed).
 	cell int32
-	// onDone is the caller's completion callback for this flight, and
+	// onDone is the caller's completion handler for this flight, and
 	// fire is the end-of-airtime event body, bound once per record so a
 	// recycled transmission schedules its finish without allocating a
 	// fresh closure per Transmit.
-	onDone func()
+	onDone TxEnder
 	fire   func()
 }
 
@@ -199,7 +225,7 @@ type Channel struct {
 	radius float64
 	stats  Stats
 
-	positions []PositionFunc
+	positions []Positioner
 	listeners []Listener
 	// busyCount[i] is the number of active transmissions whose range
 	// covers radio i (including radio i's own transmission).
@@ -258,6 +284,13 @@ type Channel struct {
 	// observations (SetAudit).
 	audit Auditor
 
+	// Worker pool (sharded engine only): parallelizes snapshot position
+	// evaluation across index ranges and backs the band-parallel
+	// reachability walker. Both uses are pure functions of mover state,
+	// so results are identical with or without the pool.
+	pool   *pdes.Pool
+	walker *pdes.Walker
+
 	// Channel-load accounting for the telemetry subsystem, gated on
 	// obsBusy so uninstrumented runs pay a single branch per carrier
 	// transition. busyRadios counts radios currently sensing carrier;
@@ -293,7 +326,7 @@ func (c *Channel) Stats() Stats { return c.stats }
 
 // Attach registers a radio and returns its index. All radios must be
 // attached before the simulation starts transmitting.
-func (c *Channel) Attach(pos PositionFunc, l Listener) int {
+func (c *Channel) Attach(pos Positioner, l Listener) int {
 	if pos == nil || l == nil {
 		panic("phy: Attach with nil position or listener")
 	}
@@ -304,12 +337,52 @@ func (c *Channel) Attach(pos PositionFunc, l Listener) int {
 	return len(c.positions) - 1
 }
 
+// AttachBatch claims n radio slots in one append per backing slice and
+// returns the index of the first. The slots must each be bound with
+// SetRadio before the simulation starts; binding is a per-slot write, so
+// the sharded engine fills the batch from parallel workers (Attach's
+// shared appends could not).
+func (c *Channel) AttachBatch(n int) int {
+	if n <= 0 {
+		panic("phy: AttachBatch with non-positive count")
+	}
+	base := len(c.positions)
+	c.positions = append(c.positions, make([]Positioner, n)...)
+	c.listeners = append(c.listeners, make([]Listener, n)...)
+	c.busyCount = append(c.busyCount, make([]int, n)...)
+	c.transmitting = append(c.transmitting, make([]bool, n)...)
+	return base
+}
+
+// SetRadio binds a slot claimed by AttachBatch. Each slot must be bound
+// exactly once.
+func (c *Channel) SetRadio(i int, pos Positioner, l Listener) {
+	if pos == nil || l == nil {
+		panic("phy: SetRadio with nil position or listener")
+	}
+	if c.positions[i] != nil || c.listeners[i] != nil {
+		panic("phy: SetRadio slot already bound")
+	}
+	c.positions[i] = pos
+	c.listeners[i] = l
+}
+
+// SetPool attaches a worker pool the channel uses to parallelize
+// snapshot position evaluation and reachability walks. Both are pure
+// functions of mover state, so the results — and therefore simulation
+// summaries — are identical with or without a pool. Call before the
+// simulation starts.
+func (c *Channel) SetPool(p *pdes.Pool) {
+	c.pool = p
+	c.walker = nil
+}
+
 // NumRadios returns the number of attached radios.
 func (c *Channel) NumRadios() int { return len(c.positions) }
 
 // PositionOf returns radio i's current position.
 func (c *Channel) PositionOf(i int) geom.Point {
-	return c.positions[i](c.sched.Now())
+	return c.positions[i].PositionAt(c.sched.Now())
 }
 
 // InRange reports whether radios i and j are currently within radio
@@ -319,7 +392,7 @@ func (c *Channel) PositionOf(i int) geom.Point {
 // between the indexed and linear modes).
 func (c *Channel) InRange(i, j int) bool {
 	now := c.sched.Now()
-	return c.positions[i](now).Dist2(c.positions[j](now)) <= c.radius*c.radius
+	return c.positions[i].PositionAt(now).Dist2(c.positions[j].PositionAt(now)) <= c.radius*c.radius
 }
 
 // SetMaxSpeed declares an upper bound, in meters per second, on how fast
@@ -358,10 +431,10 @@ const driftEpsilon = 1e-6
 func (c *Channel) Neighbors(i int, buf []int) []int {
 	if c.DisableIndex {
 		now := c.sched.Now()
-		pi := c.positions[i](now)
+		pi := c.positions[i].PositionAt(now)
 		r2 := c.radius * c.radius
 		for j := range c.positions {
-			if j != i && c.positions[j](now).Dist2(pi) <= r2 {
+			if j != i && c.positions[j].PositionAt(now).Dist2(pi) <= r2 {
 				buf = append(buf, j)
 			}
 		}
@@ -372,7 +445,7 @@ func (c *Channel) Neighbors(i int, buf []int) []int {
 	if now == c.snapTime {
 		return c.grid.Neighbors(i, c.radius, buf)
 	}
-	return c.staleNeighbors(i, c.positions[i](now), now, buf)
+	return c.staleNeighbors(i, c.positions[i].PositionAt(now), now, buf)
 }
 
 // refresh ensures the spatial index is usable at the current clock
@@ -390,14 +463,69 @@ func (c *Channel) refresh() {
 			return
 		}
 	}
-	c.snap = c.snap[:0]
-	for _, pos := range c.positions {
-		c.snap = append(c.snap, pos(now))
+	c.rebuildSnapshot(now)
+}
+
+// parallelSnapshotMin is the population below which parallel snapshot
+// evaluation is not worth the dispatch overhead.
+const parallelSnapshotMin = 4096
+
+// rebuildSnapshot re-evaluates every radio position at now and rebuilds
+// the grid over the fresh snapshot. With a pool attached and enough
+// radios, position evaluation fans out over the workers; each writes a
+// disjoint index range and movers are pure in t, so the snapshot is
+// bit-identical to the sequential fill.
+func (c *Channel) rebuildSnapshot(now sim.Time) {
+	n := len(c.positions)
+	if cap(c.snap) < n {
+		c.snap = make([]geom.Point, n)
+	}
+	c.snap = c.snap[:n]
+	if c.pool != nil && n >= parallelSnapshotMin {
+		c.pool.Do(n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				c.snap[i] = c.positions[i].PositionAt(now)
+			}
+		})
+	} else {
+		for i, pos := range c.positions {
+			c.snap[i] = pos.PositionAt(now)
+		}
 	}
 	c.grid.Rebuild(c.snap, c.radius)
 	c.snapTime = now
 	c.gridOK = true
 	c.gridGen++
+}
+
+// CountReachable returns the number of radios connected to src
+// (including src) in the current unit-disk graph, via a breadth-first
+// walk — band-parallel across the pool when one is attached. Adjacency
+// is answered exactly the way Neighbors answers it: from the grid when
+// the snapshot is current, otherwise by filtering inflated-radius grid
+// candidates against exact live positions. Either way the edge set is
+// the live unit-disk graph at the current instant, so the count is
+// identical to a sequential BFS over Neighbors queries — band
+// decomposition changes visit order, never membership — and no forced
+// snapshot rebuild is needed.
+func (c *Channel) CountReachable(src int) int {
+	c.refresh()
+	now := c.sched.Now()
+	if c.walker == nil {
+		c.walker = pdes.NewWalker(c.pool)
+	}
+	if now == c.snapTime {
+		return c.walker.Count(&c.grid, c.gridGen, c.snap, src, func(u int, buf []int) []int {
+			return c.grid.Neighbors(u, c.radius, buf)
+		})
+	}
+	// Stale snapshot: candidates from the drift-inflated grid query,
+	// membership from exact live distance. Concurrent band workers only
+	// read shared channel state (positions are pure in t), so the query
+	// is safe to run in parallel.
+	return c.walker.Count(&c.grid, c.gridGen, c.snap, src, func(u int, buf []int) []int {
+		return c.staleNeighbors(u, c.positions[u].PositionAt(now), now, buf)
+	})
 }
 
 // driftMargin returns how far any radio can have moved since the
@@ -423,7 +551,7 @@ func (c *Channel) staleNeighbors(i int, pi geom.Point, now sim.Time, buf []int) 
 	out := buf[:from]
 	r2 := c.radius * c.radius
 	for _, j := range buf[from:] {
-		if j != i && c.positions[j](now).Dist2(pi) <= r2 {
+		if j != i && c.positions[j].PositionAt(now).Dist2(pi) <= r2 {
 			out = append(out, j)
 		}
 	}
@@ -434,7 +562,7 @@ func (c *Channel) staleNeighbors(i int, pi geom.Point, now sim.Time, buf []int) 
 // airtime. The MAC must have done its carrier-sense/backoff work; the
 // channel does not police access timing. onDone, if non-nil, runs when
 // the transmission ends (after delivery callbacks).
-func (c *Channel) Transmit(radio int, f *packet.Frame, onDone func()) sim.Duration {
+func (c *Channel) Transmit(radio int, f *packet.Frame, onDone TxEnder) sim.Duration {
 	if c.transmitting[radio] {
 		panic(fmt.Sprintf("phy: radio %d transmitting twice", radio))
 	}
@@ -448,14 +576,14 @@ func (c *Channel) Transmit(radio int, f *packet.Frame, onDone func()) sim.Durati
 	c.transmitting[radio] = true
 
 	if c.DisableIndex {
-		senderPos := c.positions[radio](now)
+		senderPos := c.positions[radio].PositionAt(now)
 		tx.senderPos = senderPos
 		r2 := c.radius * c.radius
 		for i := range c.positions {
 			if i == radio {
 				continue
 			}
-			if c.positions[i](now).Dist2(senderPos) <= r2 {
+			if c.positions[i].PositionAt(now).Dist2(senderPos) <= r2 {
 				tx.receivers = append(tx.receivers, i)
 			}
 		}
@@ -465,7 +593,7 @@ func (c *Channel) Transmit(radio int, f *packet.Frame, onDone func()) sim.Durati
 			tx.senderPos = c.snap[radio]
 			tx.receivers = c.grid.Neighbors(radio, c.radius, tx.receivers)
 		} else {
-			tx.senderPos = c.positions[radio](now)
+			tx.senderPos = c.positions[radio].PositionAt(now)
 			tx.receivers = c.staleNeighbors(radio, tx.senderPos, now, tx.receivers)
 		}
 	}
@@ -654,7 +782,7 @@ func (c *Channel) rxPosAt(i int, now sim.Time) geom.Point {
 	if !c.DisableIndex && c.gridOK && now == c.snapTime && i < len(c.snap) {
 		return c.snap[i]
 	}
-	return c.positions[i](now)
+	return c.positions[i].PositionAt(now)
 }
 
 // resolveOverlap applies the collision/capture rule for one receiver
@@ -792,7 +920,7 @@ func (c *Channel) finish(tx *transmission) {
 		}
 	}
 	if tx.onDone != nil {
-		tx.onDone()
+		tx.onDone.TxEnded()
 	}
 	// Recycle last: the delivery and onDone callbacks above may have
 	// started new transmissions, which must not have been handed this

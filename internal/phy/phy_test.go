@@ -68,7 +68,7 @@ func TestDeliveryInRange(t *testing.T) {
 	ch.Attach(static(geom.Point{X: 901}), far)
 
 	done := false
-	air := ch.Transmit(ra, bcastFrame(0), func() { done = true })
+	air := ch.Transmit(ra, bcastFrame(0), TxEndFunc(func() { done = true }))
 	if air != 2432*sim.Microsecond {
 		t.Fatalf("airtime = %v", air)
 	}

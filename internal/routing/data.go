@@ -64,11 +64,11 @@ func (h *rhost) forwardData(msg dataPacket) {
 	}
 	f := packet.NewData(h.id, e.nextHop, dataBytes, msg, h.Position())
 	var p *mac.Pending
-	p = h.mac.Enqueue(f, nil, func() {
+	p = h.mac.Enqueue(f, mac.TxFuncs{Done: func() {
 		if p.Failed() {
 			h.routeBroken(msg.Flow, msg.Target)
 		}
-	})
+	}})
 }
 
 // routeBroken invalidates the local route and reports the break.
@@ -85,7 +85,7 @@ func (h *rhost) routeBroken(flow RequestID, target packet.NodeID) {
 		return
 	}
 	f := packet.NewData(h.id, e.nextHop, rerrBytes, routeError{Flow: flow, Unreachable: target}, h.Position())
-	h.mac.Enqueue(f, nil, nil)
+	h.mac.Enqueue(f, nil)
 }
 
 // onDataFrame handles the data/maintenance plane.
@@ -111,7 +111,7 @@ func (h *rhost) onDataFrame(f *packet.Frame) {
 		}
 		if e, ok := h.route(msg.Flow.Origin); ok {
 			fwd := packet.NewData(h.id, e.nextHop, rerrBytes, msg, h.Position())
-			h.mac.Enqueue(fwd, nil, nil)
+			h.mac.Enqueue(fwd, nil)
 		} else {
 			h.net.notePathBreak()
 		}

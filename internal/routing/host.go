@@ -66,8 +66,8 @@ func (h *rhost) NeighborNodeSet() *nodeset.Set { return h.table.NeighborSet() }
 func (h *rhost) AcquireNodeSet() *nodeset.Set  { return h.net.acquireSet() }
 func (h *rhost) ReleaseNodeSet(s *nodeset.Set) { h.net.releaseSet(s) }
 
-// onFrame dispatches intact receptions.
-func (h *rhost) onFrame(f *packet.Frame) {
+// ReceiveFrame implements mac.FrameReceiver: dispatch intact receptions.
+func (h *rhost) ReceiveFrame(f *packet.Frame) {
 	switch f.Kind {
 	case packet.KindHello:
 		h.table.OnHello(f.Sender, f.Neighbors, f.HelloInterval)
@@ -168,17 +168,17 @@ func (h *rhost) forwardRequest(req RouteRequest, p *pendingForward) {
 	fwd := req
 	fwd.HopCount++
 	frame := packet.NewData(h.id, packet.DestBroadcast, RequestBytes, fwd, h.Position())
-	p.mp = h.mac.Enqueue(frame,
-		func() {
+	p.mp = h.mac.Enqueue(frame, mac.TxFuncs{
+		Start: func() {
 			p.started = true
 			h.net.noteRequestForwarded()
 		},
-		func() {
+		Done: func() {
 			p.resolved = true
 			delete(h.pending, req.ID)
 			scheme.ReleaseJudge(p.judge)
 		},
-	)
+	})
 }
 
 // cancelForward is the scheme's inhibit action for RREQs.
@@ -209,7 +209,7 @@ func (h *rhost) forwardReply(rep RouteReply) {
 		return
 	}
 	frame := packet.NewData(h.id, e.nextHop, ReplyBytes, rep, h.Position())
-	h.mac.Enqueue(frame, nil, nil)
+	h.mac.Enqueue(frame, nil)
 }
 
 // onReply handles an RREP addressed to this host: install the forward
@@ -239,7 +239,7 @@ func (h *rhost) sendHello() {
 		return
 	}
 	f := packet.NewHello(h.id, h.Position(), h.table.Neighbors(), h.net.cfg.HelloInterval)
-	h.mac.Enqueue(f, func() { h.net.helloSent++ }, nil)
+	h.mac.Enqueue(f, mac.TxFuncs{Start: func() { h.net.helloSent++ }})
 	h.net.sched.After(h.net.cfg.HelloInterval, h.sendHello)
 }
 
@@ -249,5 +249,5 @@ func (h *rhost) originateDiscovery(id RequestID, target packet.NodeID, ttl int) 
 	h.seen[id] = true
 	req := RouteRequest{ID: id, Target: target, HopCount: 0, TTL: ttl}
 	frame := packet.NewData(h.id, packet.DestBroadcast, RequestBytes, req, h.Position())
-	h.mac.Enqueue(frame, func() { h.net.noteRequestForwarded() }, nil)
+	h.mac.Enqueue(frame, mac.TxFuncs{Start: func() { h.net.noteRequestForwarded() }})
 }

@@ -256,10 +256,10 @@ func New(cfg Config) (*Network, error) {
 				mobility.DefaultConfig(cfg.MaxSpeedKMH), moveRNG.Fork(uint64(i)))
 		}
 		h.table = neighbor.NewDenseTable(h.id, sched, 0, cfg.Hosts)
-		h.mac = mac.New(sched, n.ch, h.mover.PositionAt, macRNG.Fork(uint64(i)))
+		h.mac = mac.New(sched, n.ch, h.mover, macRNG.Fork(uint64(i)))
 		h.mac.SetAddr(h.id)
 		h.mac.SetRTSThreshold(cfg.RTSThreshold)
-		h.mac.Receiver = h.onFrame
+		h.mac.Receiver = h
 		// Handles are never read after their frame completes (the ARQ
 		// verdict is consulted inside OnDone, before the MAC recycles the
 		// record), so Pending pooling is safe here.

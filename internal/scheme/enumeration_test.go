@@ -1,0 +1,53 @@
+package scheme
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestEnumerationGolden pins the exact enumeration the CLI help and
+// SchemeNames facade expose: sorted canonical names, one usage line per
+// family in the same order. Adding a scheme means updating this list —
+// that is the point; the enumeration is a public, deterministic
+// contract.
+func TestEnumerationGolden(t *testing.T) {
+	wantNames := []string{
+		"ac",
+		"al",
+		"cluster",
+		"counter",
+		"distance",
+		"flooding",
+		"location",
+		"nc",
+		"prob",
+	}
+	if got := Names(); !reflect.DeepEqual(got, wantNames) {
+		t.Fatalf("Names() = %q\nwant      %q", got, wantNames)
+	}
+
+	const wantUsage = "" +
+		"  ac[:n1=4,n2=12]             adaptive counter C(n); default = paper's tuned table\n" +
+		"  al[:n1=6,n2=12,max=0.187]   adaptive location A(n)\n" +
+		"  cluster[:inner=<spec>]      cluster heads/gateways apply the inner spec\n" +
+		"  counter:C=3                 fixed counter threshold C\n" +
+		"  distance:D=40               fixed distance threshold D meters\n" +
+		"  flooding                     every host rebroadcasts once (baseline)\n" +
+		"  location:A=0.0469           fixed additional-coverage threshold A\n" +
+		"  nc                          neighbor coverage (two-hop HELLO knowledge)\n" +
+		"  prob:P=0.7                  rebroadcast with probability P\n"
+	if got := Usage(); got != wantUsage {
+		t.Fatalf("Usage() =\n%s\nwant\n%s", got, wantUsage)
+	}
+
+	// Repeated calls must return fresh, identical slices (no aliasing of
+	// internal state, no order drift).
+	a, b := Names(), Names()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Names() is not stable across calls")
+	}
+	a[0] = "mutated"
+	if Names()[0] == "mutated" {
+		t.Fatal("Names() aliases internal state")
+	}
+}

@@ -225,20 +225,29 @@ func Parse(spec string) (Scheme, error) {
 	return s, nil
 }
 
-// Names returns the canonical scheme names in registry order.
+// Names returns the canonical scheme names, sorted alphabetically so
+// enumeration is deterministic and independent of registration order
+// (pinned by TestEnumerationGolden).
 func Names() []string {
 	out := make([]string, len(registry))
 	for i, e := range registry {
 		out[i] = e.name
 	}
+	sort.Strings(out)
 	return out
 }
 
-// Usage returns a multi-line description of every spec for CLI help.
+// Usage returns a multi-line description of every spec for CLI help,
+// one line per scheme family, sorted by canonical name like Names.
 func Usage() string {
+	lines := make([]string, len(registry))
+	for i, e := range registry {
+		lines[i] = e.usage
+	}
+	sort.Strings(lines)
 	var b strings.Builder
-	for _, e := range registry {
-		fmt.Fprintf(&b, "  %s\n", e.usage)
+	for _, u := range lines {
+		fmt.Fprintf(&b, "  %s\n", u)
 	}
 	return b.String()
 }

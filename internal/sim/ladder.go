@@ -157,6 +157,17 @@ func (q *ladder) pop(s *Scheduler) *Event {
 // peek returns the timestamp of the earliest live event without removing
 // it. Tombstones encountered at the head are recycled along the way.
 func (q *ladder) peek(s *Scheduler) (Time, bool) {
+	e, ok := q.peekEvent(s)
+	if !ok {
+		return 0, false
+	}
+	return e.at, true
+}
+
+// peekEvent returns the earliest live event without removing it; the
+// scheduler's merged pop reads its (at, seq) key to compare against the
+// shard wheel heads. Tombstones at the head are recycled along the way.
+func (q *ladder) peekEvent(s *Scheduler) (*Event, bool) {
 	for {
 		for q.head < len(q.bottom) {
 			e := q.bottom[q.head]
@@ -166,10 +177,10 @@ func (q *ladder) peek(s *Scheduler) (Time, bool) {
 				s.recycle(e)
 				continue
 			}
-			return e.at, true
+			return e, true
 		}
 		if !q.refill(s) {
-			return 0, false
+			return nil, false
 		}
 	}
 }

@@ -44,15 +44,24 @@ func NewRNG(seed uint64) *RNG {
 // label twice produces identical streams (which is occasionally useful
 // for common-random-number variance reduction).
 func (r *RNG) Fork(label uint64) *RNG {
-	x := r.s[0] ^ rotl(r.s[2], 17) ^ (label * 0xd1342543de82ef95)
 	child := &RNG{}
+	r.ForkInto(child, label)
+	return child
+}
+
+// ForkInto is Fork writing the derived stream into caller-owned storage
+// (typically a slab element) instead of allocating. The derivation reads
+// the parent's state without advancing it, so forks are order-independent
+// and safe to perform concurrently from multiple goroutines as long as
+// the parent is not being advanced at the same time.
+func (r *RNG) ForkInto(child *RNG, label uint64) {
+	x := r.s[0] ^ rotl(r.s[2], 17) ^ (label * 0xd1342543de82ef95)
 	for i := range child.s {
 		child.s[i] = splitmix64(&x)
 	}
 	if child.s[0]|child.s[1]|child.s[2]|child.s[3] == 0 {
 		child.s[0] = 1
 	}
-	return child
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -22,10 +22,20 @@ type Event struct {
 	at     Time
 	seq    uint64
 	fn     func()
-	index  int // position in the legacy heap, -1 when not queued
+	runner Runner // fires when fn is nil
+	index  int    // position in the legacy heap, -1 when not queued
 	fired  bool
 	cancel bool
 }
+
+// Runner is the allocation-free alternative to a func() callback: an
+// object scheduled via ScheduleRunner/AfterRunner (or the shard
+// variants) has its RunEvent method invoked at fire time. Binding a
+// method value or closure per schedule call costs one heap allocation;
+// an interface value of an existing object costs none, which is what
+// lets per-host recurring timers (mobility turns, HELLO beacons, MAC
+// attempts) schedule without allocating.
+type Runner interface{ RunEvent() }
 
 // At returns the simulated time the event is (or was) scheduled for.
 func (e *Event) At() Time { return e.at }
@@ -57,6 +67,14 @@ type Scheduler struct {
 	queue  eventHeap // legacy mode only
 	lq     ladder    // default mode only
 	live   int       // pending non-cancelled events (default mode)
+
+	// Shard calendar wheels (default mode, optional): per-shard queues for
+	// shard-local timers, merged with the ladder at pop time by the global
+	// (time, seq) key. Because seq is assigned from the single shared
+	// counter at Schedule time and every queue pops in strict (time, seq)
+	// order, the merged execution sequence is identical to routing all
+	// events through the ladder alone.
+	wheels []shardWheel
 
 	// Event free-list (default mode): recycled records are reused by the
 	// next Schedule, so steady-state operation allocates nothing. A plain
@@ -134,6 +152,12 @@ func (s *Scheduler) PoolHitRate() float64 {
 // stale handle keeps reporting its final Cancelled/Fired state until the
 // record is actually reused.
 func (s *Scheduler) alloc(at Time, fn func()) *Event {
+	e := s.allocAny(at)
+	e.fn = fn
+	return e
+}
+
+func (s *Scheduler) allocAny(at Time) *Event {
 	var e *Event
 	if n := len(s.free); n > 0 {
 		e = s.free[n-1]
@@ -146,7 +170,6 @@ func (s *Scheduler) alloc(at Time, fn func()) *Event {
 	}
 	e.at = at
 	e.seq = s.seq
-	e.fn = fn
 	e.index = -1
 	e.fired = false
 	e.cancel = false
@@ -158,6 +181,7 @@ func (s *Scheduler) alloc(at Time, fn func()) *Event {
 // they capture) until reuse.
 func (s *Scheduler) recycle(e *Event) {
 	e.fn = nil
+	e.runner = nil
 	s.free = append(s.free, e)
 }
 
@@ -186,6 +210,163 @@ func (s *Scheduler) Schedule(at Time, fn func()) *Event {
 // After queues fn to run d after the current time. Negative d panics.
 func (s *Scheduler) After(d Duration, fn func()) *Event {
 	return s.Schedule(s.now.Add(d), fn)
+}
+
+// ScheduleRunner queues r's RunEvent to fire at the absolute time at.
+// Unlike Schedule it performs no callback allocation: the interface
+// value of an already-live object is stored directly in the event
+// record.
+func (s *Scheduler) ScheduleRunner(at Time, r Runner) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
+	}
+	if r == nil {
+		panic("sim: schedule with nil runner")
+	}
+	s.seq++
+	if s.legacy {
+		e := &Event{at: at, seq: s.seq, runner: r, index: -1}
+		heap.Push(&s.queue, e)
+		return e
+	}
+	e := s.allocAny(at)
+	e.runner = r
+	s.lq.insert(e)
+	s.live++
+	return e
+}
+
+// AfterRunner queues r's RunEvent to fire d after the current time.
+func (s *Scheduler) AfterRunner(d Duration, r Runner) *Event {
+	return s.ScheduleRunner(s.now.Add(d), r)
+}
+
+// ScheduleShardRunner is ScheduleRunner onto the given shard's wheel.
+func (s *Scheduler) ScheduleShardRunner(shard int, at Time, r Runner) *Event {
+	if shard < 0 || shard >= len(s.wheels) {
+		panic(fmt.Sprintf("sim: ScheduleShard shard %d with %d wheels", shard, len(s.wheels)))
+	}
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
+	}
+	if r == nil {
+		panic("sim: schedule with nil runner")
+	}
+	s.seq++
+	e := s.allocAny(at)
+	e.runner = r
+	s.wheels[shard].insert(e)
+	s.live++
+	return e
+}
+
+// AfterShardRunner is AfterRunner onto the given shard's wheel.
+func (s *Scheduler) AfterShardRunner(shard int, d Duration, r Runner) *Event {
+	return s.ScheduleShardRunner(shard, s.now.Add(d), r)
+}
+
+// ConfigureShards equips the scheduler with n per-shard calendar wheels
+// of the given bucket width, enabling ScheduleShard. It must be called
+// once, before any events are routed to shards; the legacy heap
+// scheduler does not support shard queues (it exists as the sequential
+// oracle, and the oracle never shards).
+func (s *Scheduler) ConfigureShards(n int, width Duration) {
+	if s.legacy {
+		panic("sim: shard queues require the ladder scheduler")
+	}
+	if n <= 0 {
+		panic("sim: ConfigureShards with non-positive shard count")
+	}
+	if width <= 0 {
+		panic("sim: ConfigureShards with non-positive bucket width")
+	}
+	if len(s.wheels) != 0 {
+		panic("sim: shard queues already configured")
+	}
+	s.wheels = make([]shardWheel, n)
+	for i := range s.wheels {
+		s.wheels[i].width = width
+	}
+}
+
+// Shards returns the number of configured shard wheels (zero when the
+// scheduler runs purely off the central ladder).
+func (s *Scheduler) Shards() int { return len(s.wheels) }
+
+// ScheduleShard queues fn at the absolute time at on the given shard's
+// calendar wheel. Ordering is indistinguishable from Schedule — the event
+// draws its sequence number from the same counter and the merged pop
+// fires strictly by (time, seq) — only the queue data structure differs.
+func (s *Scheduler) ScheduleShard(shard int, at Time, fn func()) *Event {
+	if shard < 0 || shard >= len(s.wheels) {
+		panic(fmt.Sprintf("sim: ScheduleShard shard %d with %d wheels", shard, len(s.wheels)))
+	}
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("sim: schedule with nil callback")
+	}
+	s.seq++
+	e := s.alloc(at, fn)
+	s.wheels[shard].insert(e)
+	s.live++
+	return e
+}
+
+// AfterShard queues fn to run d after the current time on the given
+// shard's wheel.
+func (s *Scheduler) AfterShard(shard int, d Duration, fn func()) *Event {
+	return s.ScheduleShard(shard, s.now.Add(d), fn)
+}
+
+// ShardHead returns the timestamp of the given shard wheel's earliest
+// pending event, or false if the wheel is empty. The invariant auditor
+// reads the heads at shard-barrier boundaries: a head behind the clock
+// would mean the merged pop skipped an event.
+func (s *Scheduler) ShardHead(shard int) (Time, bool) {
+	if shard < 0 || shard >= len(s.wheels) {
+		panic(fmt.Sprintf("sim: ShardHead shard %d with %d wheels", shard, len(s.wheels)))
+	}
+	e, ok := s.wheels[shard].peek(s)
+	if !ok {
+		return 0, false
+	}
+	return e.at, true
+}
+
+// Reserve pre-populates the event free-list with n records allocated as
+// a single slab, so a construction burst of n Schedule calls performs
+// one allocation instead of n. It returns the slab so an arena can
+// retain it for a later scheduler's ReserveFrom. The legacy heap
+// scheduler does not pool and ignores the call (returning nil).
+func (s *Scheduler) Reserve(n int) []Event {
+	if s.legacy || n <= 0 {
+		return nil
+	}
+	slab := make([]Event, n)
+	s.ReserveFrom(slab)
+	return slab
+}
+
+// ReserveFrom pre-populates the free-list from a caller-owned slab —
+// typically one a previous scheduler's Reserve returned, retained
+// across simulations by an arena. The slab is cleared first, so stale
+// callbacks from its previous life are dropped before any record can
+// fire.
+func (s *Scheduler) ReserveFrom(slab []Event) {
+	if s.legacy || len(slab) == 0 {
+		return
+	}
+	clear(slab)
+	if free := len(s.free) + len(slab); cap(s.free) < free {
+		grown := make([]*Event, len(s.free), free)
+		copy(grown, s.free)
+		s.free = grown
+	}
+	for i := range slab {
+		s.free = append(s.free, &slab[i])
+	}
 }
 
 // Cancel marks a pending event so it will never fire. It is safe to call
@@ -222,6 +403,9 @@ func (s *Scheduler) Drain() int {
 	}
 	n := s.live
 	s.lq.drain(s)
+	for i := range s.wheels {
+		s.wheels[i].drain(s)
+	}
 	s.live = 0
 	return n
 }
@@ -257,10 +441,13 @@ func (s *Scheduler) SetAuditHook(fn func(at Time, seq uint64)) { s.audit = fn }
 // its timestamp. It returns false when the queue is empty.
 func (s *Scheduler) Step() bool {
 	var e *Event
-	if s.legacy {
+	switch {
+	case s.legacy:
 		e = s.popLegacy()
-	} else {
+	case len(s.wheels) == 0:
 		e = s.lq.pop(s)
+	default:
+		e = s.popMerged()
 	}
 	if e == nil {
 		return false
@@ -276,17 +463,83 @@ func (s *Scheduler) Step() bool {
 	e.fired = true
 	s.executed++
 	if s.legacy {
-		e.fn()
+		if e.fn != nil {
+			e.fn()
+		} else {
+			e.runner.RunEvent()
+		}
 		return true
 	}
 	s.live--
-	fn := e.fn
-	fn()
+	if fn := e.fn; fn != nil {
+		fn()
+	} else {
+		e.runner.RunEvent()
+	}
 	// Recycled only after the callback returns: the callback may read its
 	// own handle (e.g. to clear a stored timer field) and must still see
 	// this firing, not a reused record.
 	s.recycle(e)
 	return true
+}
+
+// popMerged removes and returns the globally earliest live event across
+// the ladder and every shard wheel. Each source pops in strict (time,
+// seq) order, so taking the minimum head by the same key reproduces the
+// single-queue execution sequence exactly.
+func (s *Scheduler) popMerged() *Event {
+	best, src := (*Event)(nil), -1
+	if e, ok := s.lq.peekEvent(s); ok {
+		best = e
+	}
+	for i := range s.wheels {
+		e, ok := s.wheels[i].peek(s)
+		if !ok {
+			continue
+		}
+		if best == nil || e.at < best.at || (e.at == best.at && e.seq < best.seq) {
+			best, src = e, i
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	if src < 0 {
+		return s.lq.pop(s) // pops the event peekEvent just returned
+	}
+	s.wheels[src].take()
+	return best
+}
+
+// peekNext returns the timestamp of the next event Step would fire.
+func (s *Scheduler) peekNext() (Time, bool) {
+	switch {
+	case s.legacy:
+		if len(s.queue) > 0 {
+			return s.queue[0].at, true
+		}
+		return 0, false
+	case len(s.wheels) == 0:
+		return s.lq.peek(s)
+	}
+	var (
+		bestAt  Time
+		bestSeq uint64
+		ok      bool
+	)
+	if e, lok := s.lq.peekEvent(s); lok {
+		bestAt, bestSeq, ok = e.at, e.seq, true
+	}
+	for i := range s.wheels {
+		e, wok := s.wheels[i].peek(s)
+		if !wok {
+			continue
+		}
+		if !ok || e.at < bestAt || (e.at == bestAt && e.seq < bestSeq) {
+			bestAt, bestSeq, ok = e.at, e.seq, true
+		}
+	}
+	return bestAt, ok
 }
 
 func (s *Scheduler) popLegacy() *Event {
@@ -310,7 +563,7 @@ func (s *Scheduler) RunUntil(deadline Time) {
 		}
 	} else {
 		for {
-			at, ok := s.lq.peek(s)
+			at, ok := s.peekNext()
 			if !ok || at > deadline {
 				break
 			}

@@ -1,0 +1,127 @@
+package sim
+
+import "slices"
+
+// shardWheel is a fixed-width calendar queue owned by one shard of a
+// sharded simulation. Shard-local timers (mobility turns, mostly) are
+// routed here instead of the central ladder so the ladder stays small
+// enough to keep its rungs dense: 100k standing turn timers spread over a
+// [1,100]s horizon degrade a single ladder rung to ~1 event per bucket,
+// while a wheel with second-wide buckets keeps hundreds of events per
+// bucket and reuses every bucket slice across the run.
+//
+// Buckets are indexed by absolute time (at/width) from time zero — the
+// wheel never wraps, it grows. That is the right trade for a finite
+// simulation: the bucket array tops out at horizon/width slice headers
+// (a few hundred for the configurations we run) and indexing needs no
+// ring arithmetic.
+//
+// Ordering contract: events pop in strict (at, seq) order. A bucket is
+// sorted lazily when consumption reaches it; inserts into the bucket
+// currently being consumed do a binary-search insert at or after the
+// consumption head (an insert's at is >= now, so its position can never
+// precede the head). The scheduler merges wheel heads with the ladder
+// head by the same (at, seq) key, which makes the merged pop sequence
+// byte-identical to routing every event through the single ladder.
+type shardWheel struct {
+	width   Duration
+	buckets [][]*Event
+	cur     int  // bucket being consumed (or next to consume)
+	head    int  // consumption index within buckets[cur]
+	sorted  bool // buckets[cur] has been sorted and is being consumed
+}
+
+// insert routes e into the bucket covering its timestamp. Buckets the
+// consumption pointer has already passed were empty or fully consumed;
+// an event whose natural index lies behind cur (possible when the clock
+// ran ahead through a locally idle stretch) joins the current bucket,
+// where the (at, seq) sort still emits it in correct global order.
+func (w *shardWheel) insert(e *Event) {
+	idx := int(int64(e.at) / int64(w.width))
+	if idx < w.cur {
+		idx = w.cur
+	}
+	for idx >= len(w.buckets) {
+		w.buckets = append(w.buckets, nil)
+	}
+	if idx == w.cur && w.sorted {
+		b := w.buckets[idx]
+		lo, hi := w.head, len(b)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if eventCmp(b[mid], e) < 0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		b = append(b, nil)
+		copy(b[lo+1:], b[lo:])
+		b[lo] = e
+		w.buckets[idx] = b
+		return
+	}
+	w.buckets[idx] = append(w.buckets[idx], e)
+}
+
+// peek returns the earliest live event without removing it, recycling
+// tombstones and advancing past exhausted buckets along the way. The
+// consumption pointers only move forward, so repeated peeks are O(1)
+// amortized over the life of the wheel.
+func (w *shardWheel) peek(s *Scheduler) (*Event, bool) {
+	for w.cur < len(w.buckets) {
+		b := w.buckets[w.cur]
+		if !w.sorted {
+			if len(b) > 1 {
+				slices.SortFunc(b, eventCmp)
+			}
+			w.sorted = true
+			w.head = 0
+		}
+		for w.head < len(b) {
+			e := b[w.head]
+			if e.cancel {
+				b[w.head] = nil
+				w.head++
+				s.recycle(e)
+				continue
+			}
+			return e, true
+		}
+		w.buckets[w.cur] = b[:0]
+		w.head = 0
+		w.sorted = false
+		w.cur++
+	}
+	return nil, false
+}
+
+// take removes the event a preceding peek returned. It must only be
+// called immediately after a successful peek.
+func (w *shardWheel) take() {
+	w.buckets[w.cur][w.head] = nil
+	w.head++
+}
+
+// drain tombstones and recycles every queued event and resets the wheel
+// to empty, retaining bucket storage.
+func (w *shardWheel) drain(s *Scheduler) {
+	for i := w.cur; i < len(w.buckets); i++ {
+		start := 0
+		if i == w.cur && w.sorted {
+			start = w.head
+		}
+		for j := start; j < len(w.buckets[i]); j++ {
+			e := w.buckets[i][j]
+			if e == nil {
+				continue
+			}
+			e.cancel = true
+			s.recycle(e)
+		}
+		w.buckets[i] = w.buckets[i][:0]
+	}
+	w.cur = len(w.buckets)
+	w.head = 0
+	w.sorted = false
+}

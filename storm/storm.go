@@ -20,6 +20,9 @@
 package storm
 
 import (
+	"context"
+	"time"
+
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -37,12 +40,20 @@ type (
 	// Config configures one broadcast-storm simulation (see manet.Config
 	// for every knob; the zero value of most fields means "paper default").
 	Config = manet.Config
-	// Network is a configured simulation; call Run to execute it.
+	// Network is a configured simulation; call Run or RunContext to
+	// execute it.
 	Network = manet.Network
 	// Summary holds the paper's metrics (RE, SRB, latency, ...) for a run.
 	Summary = metrics.Summary
 	// HelloMode selects how hosts run neighbor discovery.
 	HelloMode = manet.HelloMode
+	// Engine selects the simulation engine (sequential oracle or the
+	// spatially sharded engine); all engines produce byte-identical
+	// summaries. Select via Config.Engine and Config.Shards.
+	Engine = manet.Engine
+	// Features describes the data-structure and parallelism choices an
+	// engine resolves to (Config.EngineFeatures, Engine.Features).
+	Features = manet.Features
 )
 
 // Rebroadcast schemes. Scheme is the interface; the concrete types are
@@ -108,6 +119,62 @@ const (
 	HelloFixed   = manet.HelloFixed
 	HelloDynamic = manet.HelloDynamic
 )
+
+// Engines (see Config.Engine). EngineAuto — the zero value — resolves
+// to the sharded engine when Config.Shards > 0 and to the sequential
+// oracle otherwise, so existing configurations keep their behavior.
+const (
+	EngineAuto             = manet.EngineAuto
+	EngineSequentialOracle = manet.EngineSequentialOracle
+	EngineSharded          = manet.EngineSharded
+	// DefaultShards is the shard count EngineSharded uses when
+	// Config.Shards is zero.
+	DefaultShards = manet.DefaultShards
+)
+
+// ParseEngine maps an engine name ("auto", "sequential-oracle",
+// "sharded") onto an Engine, the way the cmd tools accept it.
+func ParseEngine(name string) (Engine, error) { return manet.ParseEngine(name) }
+
+// Arena retains the sharded engine's bulk allocations across runs; pass
+// one through Config.Arena when sweeping many same-size worlds. See
+// manet.Arena for the ownership contract.
+type Arena = manet.Arena
+
+// NewArena returns an empty arena for Config.Arena.
+func NewArena() *Arena { return manet.NewArena() }
+
+// Result wraps a run's Summary with how it was executed: the wall-clock
+// time the run took and the engine and shard count the configuration
+// resolved to.
+type Result struct {
+	Summary Summary
+	Elapsed time.Duration // wall-clock run time (excludes network construction)
+	Engine  Engine        // resolved engine (never EngineAuto)
+	Shards  int           // resolved shard count, 0 for sequential engines
+}
+
+// RunContext builds a network from cfg and executes it under ctx. The
+// run checks ctx cooperatively at the engine's conservative barrier
+// windows — never inside an event — and on cancellation returns ctx's
+// error with a zero Result; worker pools are released either way.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
+	n, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	sum, err := n.RunContext(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Summary: sum,
+		Elapsed: time.Since(start),
+		Engine:  n.Engine(),
+		Shards:  n.ShardCount(),
+	}, nil
+}
 
 // New builds a simulation network from a validated configuration.
 func New(cfg Config) (*Network, error) { return manet.New(cfg) }
