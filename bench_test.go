@@ -520,14 +520,35 @@ func BenchmarkMegaScale(b *testing.B) {
 	}
 }
 
-// BenchmarkShardedScaling measures the sharded engine end to end —
-// network construction plus run, because shard-batched slab
-// construction and the per-shard calendar wheels are where a mega-map
-// build spends its time — against the sequential oracle on the
-// 100k-host mega map. Every arm produces the byte-identical summary
+// shardedScalingConfig is the 100k-host mega-map workload every
+// BenchmarkShardedScaling arm runs.
+func shardedScalingConfig(engine manet.Engine, shards int, arena *manet.Arena, seed uint64) manet.Config {
+	return manet.Config{
+		Hosts:    100_000,
+		MapUnits: 300,
+		Scheme:   scheme.Flooding{},
+		Requests: 20,
+		// The paper's 10 km/h-per-unit rule extrapolates to thousands of
+		// km/h on mega maps; pin vehicular speed.
+		MaxSpeedKMH: 50,
+		Engine:      engine,
+		Shards:      shards,
+		Arena:       arena,
+		Seed:        seed,
+	}
+}
+
+// BenchmarkShardedScaling measures the sharded engine against the
+// sequential oracle on the 100k-host mega map, with construction and
+// run reported as separate sub-benchmarks: phase=construct isolates the
+// shard-batched slab build (where the arena's allocation win lives),
+// phase=run isolates the event loop (where the parallel barrier drains
+// spend cores). Every arm produces the byte-identical summary
 // (TestShardedMatchesSequential pins that); the arms differ only in
-// wall-clock cost. cmd/benchjson -suite shard gates the 4-shard arm at
-// >= 2.5x the sequential arm's ns/op.
+// wall-clock cost. cmd/benchjson -suite shard gates the construct
+// phase's allocation budget and ratio, and — on runners with >= 4 procs
+// (run the benchmark with -cpu 1,4) — the parallel-efficiency ratio of
+// the shards=1 vs shards=4 run phases.
 //
 // The sharded arms thread one Arena per arm — the engine's documented
 // sweep shape, where consecutive same-size constructions reuse the
@@ -549,35 +570,46 @@ func BenchmarkShardedScaling(b *testing.B) {
 	for _, arm := range arms {
 		arm := arm
 		b.Run(arm.name, func(b *testing.B) {
-			var events uint64
-			var arena *manet.Arena
-			if arm.engine == manet.EngineSharded {
-				arena = manet.NewArena()
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				n, err := manet.New(manet.Config{
-					Hosts:    100_000,
-					MapUnits: 300,
-					Scheme:   scheme.Flooding{},
-					Requests: 20,
-					// The paper's 10 km/h-per-unit rule extrapolates to
-					// thousands of km/h on mega maps; pin vehicular speed.
-					MaxSpeedKMH: 50,
-					Engine:      arm.engine,
-					Shards:      arm.shards,
-					Arena:       arena,
-					Seed:        uint64(i + 1),
-				})
-				if err != nil {
-					b.Fatal(err)
+			b.Run("phase=construct", func(b *testing.B) {
+				var arena *manet.Arena
+				if arm.engine == manet.EngineSharded {
+					arena = manet.NewArena()
 				}
-				s := n.Run()
-				events += s.Events
-			}
-			b.StopTimer()
-			b.ReportMetric(float64(events)/float64(b.N), "events/op")
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					n, err := manet.New(shardedScalingConfig(arm.engine, arm.shards, arena, uint64(i+1)))
+					if err != nil {
+						b.Fatal(err)
+					}
+					// Release the worker pool outside the timed region; an
+					// unrun network holds its goroutines until Close.
+					b.StopTimer()
+					n.Close()
+					b.StartTimer()
+				}
+			})
+			b.Run("phase=run", func(b *testing.B) {
+				var events uint64
+				var arena *manet.Arena
+				if arm.engine == manet.EngineSharded {
+					arena = manet.NewArena()
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					n, err := manet.New(shardedScalingConfig(arm.engine, arm.shards, arena, uint64(i+1)))
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					s := n.Run()
+					events += s.Events
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(events)/float64(b.N), "events/op")
+			})
 		})
 	}
 }

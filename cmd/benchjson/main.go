@@ -21,13 +21,17 @@
 // allocation (run-bytes/op) under a fixed ceiling, pinning the
 // O(active-state) memory behavior of the dense host/record layout.
 //
-// A third suite (-suite shard) gates the sharded engine's scaling run:
-// the sequential oracle's ns/op divided by the 4-shard arm's ns/op must
-// be at least 2.5 on the 100k-host mega map, and the 4-shard arm's
-// allocs/op must stay within the arena-reuse budget. Ratio gates are
-// self-normalizing — both arms run on the same machine in the same
-// process, so the gate holds on slow CI runners and fast workstations
-// alike.
+// A third suite (-suite shard) gates the sharded engine's scaling run,
+// phase by phase: the 4-shard construct phase must beat the sequential
+// oracle's construct phase by >= 2.5x and stay within the arena-reuse
+// allocation budget (the allocation win), and — separately, so the two
+// claims cannot be conflated — the shards=4 run phase must beat the
+// shards=1 run phase by >= 2x when the benchmark ran with at least 4
+// procs (the parallel-execution win; run the benchmark with -cpu 1,4).
+// On fewer procs the parallel gate reports itself skipped instead of
+// passing vacuously. Ratio gates are self-normalizing — both arms run
+// on the same machine in the same process, so the gate holds on slow CI
+// runners and fast workstations alike.
 //
 // With -baseline, the new results are additionally gated against a
 // previously committed bench JSON: any benchmark present in both files
@@ -82,11 +86,11 @@ var suites = map[string][]budget{
 	},
 	"shard": {
 		// Steady-state arena reuse keeps sharded construction off the
-		// allocator entirely; the residue is run-phase (wheel buckets,
-		// snapshot churn) plus one amortized fresh build. A slide back
-		// to per-host construction allocation would add ~10 allocs/host
-		// (1M/op) and overshoot this by an order of magnitude.
-		{"BenchmarkShardedScaling/shards=4", "allocs/op", 100_000},
+		// allocator entirely; the residue is one amortized fresh build.
+		// A slide back to per-host construction allocation would add
+		// ~10 allocs/host (1M/op) and overshoot this by an order of
+		// magnitude.
+		{"BenchmarkShardedScaling/shards=4/phase=construct", "allocs/op", 100_000},
 	},
 }
 
@@ -94,20 +98,30 @@ var suites = map[string][]budget{
 // benchmarks from the same run, Num's value over Den's. Ratios compare
 // arms measured back to back in one process, so they gate relative
 // performance without pinning absolute timings to a machine class.
+// MinProcs > 1 restricts the gate to results produced at that
+// GOMAXPROCS or higher (the -cpu axis), pairing numerator and
+// denominator at the same proc count; when no qualifying proc count ran
+// both arms, the gate is reported as skipped, never silently passed.
 type ratioBudget struct {
-	Num    string
-	Den    string
-	Metric string
-	Min    float64
+	Num      string
+	Den      string
+	Metric   string
+	Min      float64
+	MinProcs int
 }
 
 // ratioSuites attaches ratio gates to the suite that runs both arms.
-// The shard suite enforces the sharded engine's headline contract: the
-// 4-shard arm beats the sequential oracle by >= 2.5x end to end on the
-// 100k-host mega map.
+// The shard suite enforces two separate contracts: construction's
+// arena/slab win over the sequential oracle, and the run phase's
+// parallel-execution win of four shard workers over one — the latter
+// only meaningful (and only enforced) when the process actually has 4
+// cores to spend.
 var ratioSuites = map[string][]ratioBudget{
 	"shard": {
-		{"BenchmarkShardedScaling/engine=sequential", "BenchmarkShardedScaling/shards=4", "ns/op", 2.5},
+		{Num: "BenchmarkShardedScaling/engine=sequential/phase=construct",
+			Den: "BenchmarkShardedScaling/shards=4/phase=construct", Metric: "ns/op", Min: 2.5},
+		{Num: "BenchmarkShardedScaling/shards=1/phase=run",
+			Den: "BenchmarkShardedScaling/shards=4/phase=run", Metric: "ns/op", Min: 2.0, MinProcs: 4},
 	},
 }
 
@@ -187,7 +201,11 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "benchjson: wrote %d results to %s\n", len(results), *out)
 
 	violations := enforce(results, budgets)
-	violations = append(violations, enforceRatios(results, ratioSuites[*suite])...)
+	ratioViolations, notes := enforceRatios(results, ratioSuites[*suite])
+	violations = append(violations, ratioViolations...)
+	for _, n := range notes {
+		fmt.Fprintln(stdout, "benchjson:", n)
+	}
 	for _, v := range violations {
 		fmt.Fprintln(stderr, "benchjson: BUDGET EXCEEDED:", v)
 	}
@@ -302,38 +320,63 @@ func enforce(results []Result, budgets []budget) []string {
 // enforceRatios checks every ratio gate against the parsed results and
 // returns the violations, including gates whose arms never ran or never
 // reported the gated metric — a renamed arm must fail loudly, not
-// silently stop being gated.
-func enforceRatios(results []Result, ratios []ratioBudget) []string {
-	metric := func(bench, unit string) (float64, bool) {
+// silently stop being gated. Gates with MinProcs pair their arms at
+// each GOMAXPROCS value (the -cpu axis) and enforce only the qualifying
+// proc counts; when none qualify — the host has fewer cores than the
+// gate needs — the gate is reported in notes as skipped rather than
+// passed or failed.
+func enforceRatios(results []Result, ratios []ratioBudget) (violations, notes []string) {
+	// metric returns the gated metric for each proc count the benchmark
+	// ran at.
+	metric := func(bench, unit string) map[int]float64 {
+		byProcs := map[int]float64{}
 		for _, r := range results {
-			if stripProcs(r.Name) == bench {
-				v, ok := r.Metrics[unit]
-				return v, ok
+			if stripProcs(r.Name) != bench {
+				continue
+			}
+			if v, ok := r.Metrics[unit]; ok {
+				byProcs[procsOf(r.Name)] = v
 			}
 		}
-		return 0, false
+		return byProcs
 	}
-	var violations []string
 	for _, rb := range ratios {
-		num, okN := metric(rb.Num, rb.Metric)
-		den, okD := metric(rb.Den, rb.Metric)
+		num := metric(rb.Num, rb.Metric)
+		den := metric(rb.Den, rb.Metric)
 		switch {
-		case !okN:
+		case len(num) == 0:
 			violations = append(violations,
 				fmt.Sprintf("%s (%s ratio numerator) missing from benchmark output", rb.Num, rb.Metric))
-		case !okD:
+			continue
+		case len(den) == 0:
 			violations = append(violations,
 				fmt.Sprintf("%s (%s ratio denominator) missing from benchmark output", rb.Den, rb.Metric))
-		case den <= 0:
-			violations = append(violations,
-				fmt.Sprintf("%s: %s = %g, cannot form ratio", rb.Den, rb.Metric, den))
-		case num/den < rb.Min:
-			violations = append(violations,
-				fmt.Sprintf("%s / %s: %s ratio %.2f below required %g",
-					rb.Num, rb.Den, rb.Metric, num/den, rb.Min))
+			continue
+		}
+		enforced := false
+		for procs, n := range num {
+			d, ok := den[procs]
+			if !ok || procs < rb.MinProcs {
+				continue
+			}
+			enforced = true
+			switch {
+			case d <= 0:
+				violations = append(violations,
+					fmt.Sprintf("%s: %s = %g, cannot form ratio", rb.Den, rb.Metric, d))
+			case n/d < rb.Min:
+				violations = append(violations,
+					fmt.Sprintf("%s / %s (procs=%d): %s ratio %.2f below required %g",
+						rb.Num, rb.Den, procs, rb.Metric, n/d, rb.Min))
+			}
+		}
+		if !enforced {
+			notes = append(notes,
+				fmt.Sprintf("SKIPPED: %s / %s ratio gate needs both arms at >= %d procs (run with -cpu %d)",
+					rb.Num, rb.Den, rb.MinProcs, rb.MinProcs))
 		}
 	}
-	return violations
+	return violations, notes
 }
 
 // stripProcs removes the -GOMAXPROCS suffix go test appends to names.
@@ -346,4 +389,18 @@ func stripProcs(name string) string {
 		return name
 	}
 	return name[:i]
+}
+
+// procsOf extracts the GOMAXPROCS a result ran at; go test omits the
+// suffix when it is 1.
+func procsOf(name string) int {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return 1
+	}
+	p, err := strconv.Atoi(name[i+1:])
+	if err != nil || p < 1 {
+		return 1
+	}
+	return p
 }

@@ -82,9 +82,22 @@ func TestEnforceMegaSuite(t *testing.T) {
 	}
 }
 
-const shardSample = `BenchmarkShardedScaling/engine=sequential-8 5 231706353 ns/op 27054 events/op 149454284 B/op 1129573 allocs/op
-BenchmarkShardedScaling/shards=1-8 5 121000000 ns/op 27054 events/op 36616798 B/op 17827 allocs/op
-BenchmarkShardedScaling/shards=4-8 5 85479971 ns/op 27054 events/op 36616798 B/op 17827 allocs/op
+// shardSample mimics a -cpu 1,4 run: every arm appears once without a
+// procs suffix (GOMAXPROCS=1) and once with -4. The parallel-efficiency
+// gate (MinProcs: 4) must only judge the -4 pair — at one proc the
+// shards=4 run phase is legitimately no faster than shards=1.
+const shardSample = `BenchmarkShardedScaling/engine=sequential/phase=construct 5 312000000 ns/op 1129573 allocs/op
+BenchmarkShardedScaling/engine=sequential/phase=run 5 231706353 ns/op 27054 events/op
+BenchmarkShardedScaling/shards=1/phase=construct 5 121000000 ns/op 17827 allocs/op
+BenchmarkShardedScaling/shards=1/phase=run 5 240000000 ns/op 27054 events/op
+BenchmarkShardedScaling/shards=4/phase=construct 5 98000000 ns/op 17827 allocs/op
+BenchmarkShardedScaling/shards=4/phase=run 5 245000000 ns/op 27054 events/op
+BenchmarkShardedScaling/engine=sequential/phase=construct-4 5 310000000 ns/op 1129573 allocs/op
+BenchmarkShardedScaling/engine=sequential/phase=run-4 5 230000000 ns/op 27054 events/op
+BenchmarkShardedScaling/shards=1/phase=construct-4 5 120000000 ns/op 17827 allocs/op
+BenchmarkShardedScaling/shards=1/phase=run-4 5 238000000 ns/op 27054 events/op
+BenchmarkShardedScaling/shards=4/phase=construct-4 5 97000000 ns/op 17827 allocs/op
+BenchmarkShardedScaling/shards=4/phase=run-4 5 103000000 ns/op 27054 events/op
 `
 
 func TestEnforceShardSuite(t *testing.T) {
@@ -92,36 +105,83 @@ func TestEnforceShardSuite(t *testing.T) {
 	if v := enforce(results, suites["shard"]); len(v) != 0 {
 		t.Fatalf("shard budgets violated on passing input: %v", v)
 	}
-	if v := enforceRatios(results, ratioSuites["shard"]); len(v) != 0 {
+	v, notes := enforceRatios(results, ratioSuites["shard"])
+	if len(v) != 0 {
 		t.Fatalf("shard ratios violated on passing input: %v", v)
 	}
+	if len(notes) != 0 {
+		t.Fatalf("notes = %v, want none (both gates have qualifying arms)", notes)
+	}
 
-	// A sharded arm that slid back toward sequential cost must trip the
-	// speedup ratio even though both arms still "pass" in isolation.
-	slow := strings.Replace(shardSample, "85479971 ns/op", "110000000 ns/op", 1)
+	// A shards=4 run phase that slid back toward the shards=1 cost at
+	// four procs must trip the parallel-efficiency ratio even though
+	// both arms still "pass" in isolation. The identical slide at one
+	// proc (line without the -4 suffix) must NOT trip it.
+	slow := strings.Replace(shardSample, "103000000 ns/op", "130000000 ns/op", 1)
 	results, _ = parse(strings.NewReader(slow))
-	v := enforceRatios(results, ratioSuites["shard"])
-	if len(v) != 1 || !strings.Contains(v[0], "ratio") {
-		t.Fatalf("violations = %v, want one ratio breach", v)
+	v, _ = enforceRatios(results, ratioSuites["shard"])
+	if len(v) != 1 || !strings.Contains(v[0], "ratio") || !strings.Contains(v[0], "procs=4") {
+		t.Fatalf("violations = %v, want one procs=4 ratio breach", v)
+	}
+
+	// Construction cost creeping back toward the sequential builder
+	// trips the construct ratio at every proc count it ran at.
+	slowBuild := strings.Replace(strings.Replace(shardSample,
+		"98000000 ns/op", "140000000 ns/op", 1),
+		"97000000 ns/op", "140000000 ns/op", 1)
+	results, _ = parse(strings.NewReader(slowBuild))
+	v, _ = enforceRatios(results, ratioSuites["shard"])
+	if len(v) != 2 || !strings.Contains(v[0], "construct") {
+		t.Fatalf("violations = %v, want construct ratio breaches at both proc counts", v)
 	}
 
 	// Losing an arm (renamed, filtered out) must fail loudly.
 	oneArm := strings.SplitAfter(shardSample, "\n")[0]
 	results, _ = parse(strings.NewReader(oneArm))
-	v = enforceRatios(results, ratioSuites["shard"])
-	if len(v) != 1 || !strings.Contains(v[0], "denominator") {
-		t.Fatalf("violations = %v, want a missing-denominator breach", v)
+	v, _ = enforceRatios(results, ratioSuites["shard"])
+	if len(v) != 2 || !strings.Contains(v[0], "denominator") || !strings.Contains(v[1], "numerator") {
+		t.Fatalf("violations = %v, want a missing-denominator and a missing-numerator breach", v)
 	}
 
 	// A slide back to per-host construction allocation (~10 allocs/host
-	// on the 100k map) must trip the allocation budget.
+	// on the 100k map) must trip the allocation budget on both proc
+	// counts' lines.
 	blown := strings.Replace(shardSample,
-		"85479971 ns/op 27054 events/op 36616798 B/op 17827 allocs/op",
-		"85479971 ns/op 27054 events/op 149454284 B/op 1129573 allocs/op", 1)
+		"98000000 ns/op 17827 allocs/op",
+		"98000000 ns/op 1129573 allocs/op", 1)
 	results, _ = parse(strings.NewReader(blown))
 	v = enforce(results, suites["shard"])
 	if len(v) != 1 || !strings.Contains(v[0], "allocs/op") {
 		t.Fatalf("violations = %v, want one allocs/op breach", v)
+	}
+}
+
+// TestEnforceShardSuiteSingleProc pins the degraded single-core path: a
+// run without the -cpu 4 axis must still gate the construct ratio, and
+// must report the parallel-efficiency gate as skipped — never silently
+// passed.
+func TestEnforceShardSuiteSingleProc(t *testing.T) {
+	var oneProc strings.Builder
+	for _, line := range strings.SplitAfter(shardSample, "\n") {
+		if !strings.Contains(line, "-4 ") {
+			oneProc.WriteString(line)
+		}
+	}
+	results, _ := parse(strings.NewReader(oneProc.String()))
+	v, notes := enforceRatios(results, ratioSuites["shard"])
+	if len(v) != 0 {
+		t.Fatalf("violations = %v, want none at one proc", v)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "SKIPPED") || !strings.Contains(notes[0], "-cpu 4") {
+		t.Fatalf("notes = %v, want one SKIPPED note naming the -cpu axis", notes)
+	}
+
+	// The construct gate carries no MinProcs and must still bite.
+	slowBuild := strings.Replace(oneProc.String(), "98000000 ns/op", "140000000 ns/op", 1)
+	results, _ = parse(strings.NewReader(slowBuild))
+	v, _ = enforceRatios(results, ratioSuites["shard"])
+	if len(v) != 1 || !strings.Contains(v[0], "construct") {
+		t.Fatalf("violations = %v, want one construct ratio breach", v)
 	}
 }
 
@@ -131,10 +191,26 @@ func TestRunShardSuite(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr)
 	}
-	slow := strings.Replace(shardSample, "85479971 ns/op", "231000000 ns/op", 1)
+	slow := strings.Replace(shardSample, "103000000 ns/op", "231000000 ns/op", 1)
 	code, _, stderr = runWith(t, []string{"-out", filepath.Join(dir, "s2.json"), "-suite", "shard"}, slow)
 	if code != 1 || !strings.Contains(stderr, "ratio") {
 		t.Fatalf("exit %d, stderr: %q", code, stderr)
+	}
+
+	// A single-proc run exits zero but surfaces the skipped gate on
+	// stdout so CI logs show the parallel gate did not run.
+	var oneProc strings.Builder
+	for _, line := range strings.SplitAfter(shardSample, "\n") {
+		if !strings.Contains(line, "-4 ") {
+			oneProc.WriteString(line)
+		}
+	}
+	code, stdout, stderr := runWith(t, []string{"-out", filepath.Join(dir, "s3.json"), "-suite", "shard"}, oneProc.String())
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "SKIPPED") {
+		t.Fatalf("stdout: %q, want the skipped parallel gate surfaced", stdout)
 	}
 }
 
@@ -281,6 +357,19 @@ func TestStripProcs(t *testing.T) {
 	} {
 		if got := stripProcs(in); got != want {
 			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestProcsOf(t *testing.T) {
+	for in, want := range map[string]int{
+		"BenchmarkShardedScaling/shards=4/phase=run-4": 4,
+		"BenchmarkShardedScaling/shards=4/phase=run":   1,
+		"BenchmarkScheduler/queue=ladder-8":            8,
+		"BenchmarkX-foo":                               1,
+	} {
+		if got := procsOf(in); got != want {
+			t.Errorf("procsOf(%q) = %d, want %d", in, got, want)
 		}
 	}
 }

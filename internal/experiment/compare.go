@@ -65,6 +65,10 @@ func LoadReport(d *obs.Dump) (*Table, error) {
 	// shown at the sample instant rather than as interval rates.
 	pend, hasPend := idx["sim.pending_events"]
 	pool, hasPool := idx["sim.event_pool_hit_rate"]
+	// Likewise the sharded engine's border-lane share (fraction of
+	// executed events that ran on the sequential border lane rather
+	// than a parallel shard drain) only exists on sharded runs.
+	border, hasBorder := idx["engine.border_share"]
 
 	columns := []string{"t(s)", "busy radios", "tx/s", "deliv/s", "coll/s"}
 	if hasPend {
@@ -72,6 +76,9 @@ func LoadReport(d *obs.Dump) (*Table, error) {
 	}
 	if hasPool {
 		columns = append(columns, "ev pool hit")
+	}
+	if hasBorder {
+		columns = append(columns, "border share")
 	}
 	t := NewTable("telemetry",
 		fmt.Sprintf("channel load: %s, %d hosts, %dx%d map, seed %d",
@@ -96,6 +103,9 @@ func LoadReport(d *obs.Dump) (*Table, error) {
 		}
 		if hasPool {
 			row = append(row, fmt.Sprintf("%.3f", cur.Values[pool]))
+		}
+		if hasBorder {
+			row = append(row, fmt.Sprintf("%.3f", cur.Values[border]))
 		}
 		t.AddRow(row...)
 	}

@@ -142,6 +142,36 @@ func TestLoadReportEventCoreColumns(t *testing.T) {
 	}
 }
 
+// TestLoadReportBorderShareColumn: dumps recorded on the sharded engine
+// carry the border-lane share gauge and grow its column; sequential
+// dumps (no engine.* series) keep the old shape.
+func TestLoadReportBorderShareColumn(t *testing.T) {
+	d := &obs.Dump{
+		Meta: obs.Meta{
+			Scheme: "test", Hosts: 2, MapUnits: 1,
+			Series: []string{
+				"phy.busy_radio_seconds", "phy.transmissions", "phy.deliveries",
+				"phy.collisions", "engine.border_share",
+			},
+		},
+		Samples: []obs.Sample{
+			{At: 0, Values: []float64{0, 0, 0, 0, 0}},
+			{At: sim.Time(2 * sim.Second), Values: []float64{1, 10, 20, 4, 0.912}},
+		},
+	}
+	tb, err := LoadReport(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tb.Columns[len(tb.Columns)-1], "border share"; got != want {
+		t.Fatalf("last column = %q, want %q (columns %v)", got, want, tb.Columns)
+	}
+	row := tb.Rows[0]
+	if row[len(row)-1] != "0.912" {
+		t.Errorf("border-share cell = %q, want 0.912 (row %v)", row[len(row)-1], row)
+	}
+}
+
 // TestLoadReportRejectsMissingSeries: a dump without the phy series
 // errors instead of reporting zeros.
 func TestLoadReportRejectsMissingSeries(t *testing.T) {

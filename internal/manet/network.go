@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/check"
@@ -103,6 +104,15 @@ type Network struct {
 	recBase uint32
 	stream  metrics.Stream
 	fold    bool
+
+	// Parallel barrier execution (see parallel.go): parallelOK records
+	// that the shard wheels hold exclusively host-local turn timers
+	// (slab movers), which is what licenses draining them concurrently;
+	// pstats accumulates the per-window accounting exported through obs.
+	parallelOK  bool
+	pstats      ParallelStats
+	drainDurs   []time.Duration
+	shardLabels []pprof.LabelSet
 
 	helloSent        int
 	repairsRequested int
@@ -271,6 +281,7 @@ func (n *Network) buildHostsSharded(groups []*mobility.Group, moveRNG, macRNG, h
 	sched := n.sched
 	hostsN := cfg.Hosts
 	slabMovers := cfg.Groups == 0 && !cfg.Static && cfg.Mobility != MobilityWaypoint
+	n.parallelOK = slabMovers
 	var (
 		rngSlab    []sim.RNG // [2i] host stream, [2i+1] mac stream
 		moveSlab   []sim.RNG
@@ -430,6 +441,36 @@ func (n *Network) observe(o *obs.Collector) {
 	})
 	o.Gauge("manet.hello_sent", func() float64 { return float64(n.helloSent) })
 	o.Gauge("manet.broadcasts", func() float64 { return float64(n.seq) })
+	if n.shards > 0 {
+		// Barrier-execution series (see parallel.go): per-shard drained
+		// event counts expose load imbalance, border_share is the fraction
+		// of events the sequential border lane executed (1.0 when the
+		// parallel path is ineligible), and barrier_wait_ns integrates
+		// worker idle time at drain barriers.
+		o.Gauge("engine.barriers", func() float64 { return float64(n.pstats.Barriers) })
+		o.Gauge("engine.widened_barriers", func() float64 { return float64(n.pstats.Widened) })
+		o.Gauge("engine.barrier_wait_ns", func() float64 { return float64(n.pstats.WaitNS) })
+		o.Gauge("engine.border_share", func() float64 {
+			exec := n.sched.Executed()
+			if exec == 0 {
+				return 0
+			}
+			var shard uint64
+			for _, c := range n.pstats.ShardExecuted {
+				shard += c
+			}
+			return float64(exec-shard) / float64(exec)
+		})
+		for s := 0; s < n.shards; s++ {
+			s := s
+			o.Gauge(fmt.Sprintf("engine.shard%d_executed", s), func() float64 {
+				if s < len(n.pstats.ShardExecuted) {
+					return float64(n.pstats.ShardExecuted[s])
+				}
+				return 0
+			})
+		}
+	}
 	n.ch.Observe(o)
 }
 
@@ -635,23 +676,40 @@ func (n *Network) RunContext(ctx context.Context) (metrics.Summary, error) {
 		})
 	}
 
-	// Advance the clock one conservative window at a time. Each RunUntil
-	// is a barrier: the merged event order inside is identical to one
+	// Advance the clock one conservative window at a time. Each window is
+	// a barrier: the merged event order inside is identical to one
 	// uninterrupted run (the deadline only clamps the clock, never
 	// reorders events), and between barriers the engine checks
 	// cancellation and feeds the cross-shard time invariants to the
-	// auditor.
-	window := n.barrierWindow()
+	// auditor. When the sharded engine is eligible (see parallel.go),
+	// each window first drains the shard wheels concurrently (phase A)
+	// and then runs the remaining merged stream — the deterministic
+	// border lane — sequentially up to the barrier (phase B).
+	par := n.parallelEligible()
+	plan := n.planWindows(par)
 	for {
 		if err := ctx.Err(); err != nil {
 			return metrics.Summary{}, err
+		}
+		window := plan.base
+		if n.shards > 0 {
+			window = n.nextWindow(plan)
 		}
 		barrier := n.sched.Now().Add(window)
 		if barrier > n.endTime {
 			barrier = n.endTime
 		}
+		if par {
+			n.drainWindow(barrier)
+		}
 		n.sched.RunUntil(barrier)
 		n.auditShardBarrier(barrier)
+		if n.shards > 0 {
+			n.pstats.Barriers++
+			if window > plan.base {
+				n.pstats.Widened++
+			}
+		}
 		if barrier >= n.endTime {
 			break
 		}

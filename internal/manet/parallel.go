@@ -1,0 +1,198 @@
+package manet
+
+// Parallel barrier-window execution for the sharded engine.
+//
+// Each conservative barrier window splits into two phases. Phase A: one
+// worker per shard (the engine's pdes.Pool) drains its own calendar
+// wheel up to — strictly before — the barrier on lane-local scheduler
+// state. The wheels hold exclusively random-turn mobility timers (the
+// engine only routes turns there, and only for the slab-mover
+// population), and a turn is pure host-local work: it reads and writes
+// its own mover, draws from its own forked RNG stream, and schedules
+// only its own next turn, at least one minimum turn duration ahead.
+// Phase B: the remaining merged event stream — every MAC, PHY, HELLO,
+// assessment, delivery, and record event, i.e. everything whose
+// interaction disk could cross a band border within the window — runs
+// sequentially on the owning goroutine. That sequential merged drain is
+// the deterministic border lane: cross-shard state (interference
+// buckets, neighbor tables, broadcast records) is only ever touched
+// there, in exact (time, seq) order, so completed broadcast records
+// fold into the streaming summary at barriers precisely as the
+// sequential oracle folds them.
+//
+// Why phase A cannot perturb the oracle's byte-identical summary:
+//   - The window is clamped to the minimum turn duration, so each mover
+//     fires at most one turn per window (the next one lands at or past
+//     the barrier and the drain's deadline is strict).
+//   - A turn fired early — at its own timestamp on the lane clock,
+//     ahead of the shared clock — records the segment it replaced, and
+//     position/speed queries select the pre-turn segment while the
+//     shared clock is still behind the turn, reproducing the oracle's
+//     reads exactly (mobility.Roamer.PositionAt).
+//   - Lane sequence numbers live in disjoint high-bit namespaces. They
+//     order only turn-vs-turn ties across hosts, which are independent
+//     events (a turn touches one host), and turn instants are drawn
+//     from a continuous distribution so a turn tying a border-lane
+//     event at the exact nanosecond has measure zero — and even then
+//     positions are continuous across the turn instant.
+//
+// The audited configuration keeps the fully sequential path: the audit
+// hook's contract is to observe every event in merged (time, seq)
+// order, which a lane drain bypasses by construction.
+
+import (
+	"context"
+	"math"
+	"runtime/pprof"
+	"strconv"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/sim"
+)
+
+// ParallelStats reports how the sharded engine's barrier windows were
+// executed. All counters are zero for the sequential engine.
+type ParallelStats struct {
+	Barriers       int      // barrier windows executed
+	Widened        int      // windows that used the adaptive wide lookahead
+	ShardExecuted  []uint64 // events fired by each shard's parallel wheel drain
+	BorderExecuted uint64   // events executed on the sequential border lane
+	WaitNS         int64    // cumulative worker idle time at drain barriers
+}
+
+// ParallelStats returns a snapshot of the engine's barrier accounting.
+// BorderExecuted is derived: every event not fired by a shard drain ran
+// on the sequential border lane.
+func (n *Network) ParallelStats() ParallelStats {
+	st := n.pstats
+	st.ShardExecuted = append([]uint64(nil), st.ShardExecuted...)
+	var shard uint64
+	for _, c := range st.ShardExecuted {
+		shard += c
+	}
+	st.BorderExecuted = n.sched.Executed() - shard
+	return st
+}
+
+// parallelEligible reports whether barrier windows may run phase A on
+// the worker pool. The shard wheels carry events only when the slab
+// mover population is in play (random-turn mobility, no groups, not
+// static, not waypoint), and the audit hook requires the merged
+// sequential drain.
+func (n *Network) parallelEligible() bool {
+	return n.shards > 0 && n.parallelOK && n.audit == nil
+}
+
+// windowPlan fixes a run's barrier lookaheads: the conservative base
+// window and the adaptive wide window used when no in-flight
+// transmission is border-proximate. margin is the PR 5 locality bound
+// 2r + speedBound·Δt evaluated at the wide window — a transmission
+// whose sender started farther than margin from every interior band
+// border cannot interact across one within the window.
+type windowPlan struct {
+	base   sim.Duration
+	wide   sim.Duration
+	margin float64 // meters
+}
+
+// planWindows derives the run's window plan. The wide window is capped
+// at one second; a parallel run additionally clamps both windows to the
+// minimum turn duration so a drain fires at most one turn per mover per
+// window (the invariant the one-segment mobility history relies on).
+func (n *Network) planWindows(parallel bool) windowPlan {
+	base := n.barrierWindow()
+	wide := sim.Second
+	if parallel {
+		if mt := mobility.DefaultConfig(n.cfg.MaxSpeedKMH).MinTurn; mt < wide {
+			wide = mt
+		}
+		if base > wide {
+			base = wide
+		}
+	}
+	if wide < base {
+		wide = base
+	}
+	return windowPlan{
+		base:   base,
+		wide:   wide,
+		margin: 2*n.cfg.Radius + n.cfg.MaxSpeedMPS()*wide.Seconds(),
+	}
+}
+
+// nextWindow picks the lookahead for the next barrier window: the wide
+// window when no transmission currently on the air started within
+// margin of an interior shard band border, the conservative base window
+// otherwise. With a single shard there is no interior border to
+// protect.
+func (n *Network) nextWindow(p windowPlan) sim.Duration {
+	if p.wide <= p.base {
+		return p.base
+	}
+	if n.shards <= 1 {
+		return p.wide
+	}
+	bandH := n.area.Height / float64(n.shards)
+	if 2*p.margin >= bandH {
+		return p.base // bands so narrow every position is border-proximate
+	}
+	near := false
+	n.ch.EachActiveSender(func(pt geom.Point) {
+		if near {
+			return
+		}
+		k := math.Round(pt.Y / bandH)
+		if k < 1 {
+			k = 1
+		}
+		if kmax := float64(n.shards - 1); k > kmax {
+			k = kmax
+		}
+		if math.Abs(pt.Y-k*bandH) <= p.margin {
+			near = true
+		}
+	})
+	if near {
+		return p.base
+	}
+	return p.wide
+}
+
+// drainWindow executes phase A of one barrier window: every shard's
+// wheel is drained up to the barrier by its own pool worker, under a
+// per-shard pprof label so CPU profiles attribute samples to shards.
+// Worker idle time (each worker's gap to the slowest drain of the
+// window) accumulates into WaitNS for load-imbalance visibility.
+func (n *Network) drainWindow(barrier sim.Time) {
+	st := &n.pstats
+	if st.ShardExecuted == nil {
+		st.ShardExecuted = make([]uint64, n.shards)
+		n.drainDurs = make([]time.Duration, n.shards)
+		n.shardLabels = make([]pprof.LabelSet, n.shards)
+		for s := range n.shardLabels {
+			n.shardLabels[s] = pprof.Labels("shard", strconv.Itoa(s))
+		}
+	}
+	n.sched.BeginParallelDrain()
+	n.pool.Do(n.shards, func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			start := time.Now()
+			pprof.Do(context.Background(), n.shardLabels[s], func(context.Context) {
+				st.ShardExecuted[s] += n.sched.DrainShardUntil(s, barrier)
+			})
+			n.drainDurs[s] = time.Since(start)
+		}
+	})
+	n.sched.EndParallelDrain()
+	var slowest time.Duration
+	for _, d := range n.drainDurs {
+		if d > slowest {
+			slowest = d
+		}
+	}
+	for _, d := range n.drainDurs {
+		st.WaitNS += int64(slowest - d)
+	}
+}

@@ -53,8 +53,14 @@ var shardedCases = []struct {
 // engine is a pure reorganization of the same event-driven model, so
 // for any shard count its Summary must equal the sequential oracle's
 // field for field. Any divergence means a shard wheel reordered events,
-// a parallel construction phase perturbed an RNG stream, or the
+// a parallel construction phase perturbed an RNG stream, a concurrent
+// barrier-window drain perturbed a mobility stream, or the
 // band-parallel reachability walk miscounted a component.
+//
+// The matrix runs at GOMAXPROCS 1 and 4: the parallel barrier drain
+// must produce the same bytes whether its workers time-slice one core
+// or race each other on four (under -race in CI, this is also the
+// data-race check on the lane-state partitioning).
 //
 // Every sharded run threads one shared Arena, so the matrix also pins
 // slab reuse: each construction rebuilds on the previous world's
@@ -62,6 +68,7 @@ var shardedCases = []struct {
 // freshly allocated oracle.
 func TestShardedMatchesSequential(t *testing.T) {
 	arena := NewArena()
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
 	for _, tc := range shardedCases {
 		t.Run(tc.name, func(t *testing.T) {
 			for seed := uint64(1); seed <= 3; seed++ {
@@ -73,23 +80,26 @@ func TestShardedMatchesSequential(t *testing.T) {
 					t.Fatal(err)
 				}
 				want := oracle.Run()
-				for _, shards := range []int{1, 2, 4, 8} {
-					sh := tc.cfg
-					sh.Seed = seed
-					sh.Engine = EngineSharded
-					sh.Shards = shards
-					sh.Arena = arena
-					net, err := New(sh)
-					if err != nil {
-						t.Fatal(err)
-					}
-					if net.Engine() != EngineSharded || net.ShardCount() != shards {
-						t.Fatalf("resolved engine %v/%d, want sharded/%d",
-							net.Engine(), net.ShardCount(), shards)
-					}
-					if got := net.Run(); got != want {
-						t.Fatalf("seed %d shards %d: summaries diverge:\nsharded:    %+v\nsequential: %+v",
-							seed, shards, got, want)
+				for _, procs := range []int{1, 4} {
+					runtime.GOMAXPROCS(procs)
+					for _, shards := range []int{1, 2, 4, 8} {
+						sh := tc.cfg
+						sh.Seed = seed
+						sh.Engine = EngineSharded
+						sh.Shards = shards
+						sh.Arena = arena
+						net, err := New(sh)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if net.Engine() != EngineSharded || net.ShardCount() != shards {
+							t.Fatalf("resolved engine %v/%d, want sharded/%d",
+								net.Engine(), net.ShardCount(), shards)
+						}
+						if got := net.Run(); got != want {
+							t.Fatalf("seed %d procs %d shards %d: summaries diverge:\nsharded:    %+v\nsequential: %+v",
+								seed, procs, shards, got, want)
+						}
 					}
 				}
 			}

@@ -78,6 +78,18 @@ type Roamer struct {
 	origin   geom.Point
 	vx, vy   float64
 
+	// Previous segment, kept so a position query that logically precedes
+	// the latest turn (shared clock still behind turnAt) resolves on the
+	// segment the sequential oracle would use. The parallel engine fires
+	// a turn early — inside a barrier window, ahead of the shared clock —
+	// and clamps the window to MinTurn, so at most one turn fires per
+	// window and one segment of history is always enough.
+	prevStart      sim.Time
+	prevOrigin     geom.Point
+	prevVx, prevVy float64
+	turnAt         sim.Time
+	hasPrev        bool
+
 	turnEvent *sim.Event
 	stopped   bool
 
@@ -179,7 +191,14 @@ func InitStaticRoamer(r *Roamer, sched *sim.Scheduler, area Map, at geom.Point) 
 func (r *Roamer) RunEvent() { r.turn() }
 
 func (r *Roamer) turn() {
-	now := r.sched.Now()
+	// NowFor reads the lane clock when this turn fires inside a parallel
+	// drain (the shared clock is still parked at the window start there),
+	// and the shared clock otherwise — in both cases the event's own
+	// timestamp, exactly what the oracle's Now() returns.
+	now := r.sched.NowFor(r.shard)
+	r.prevStart, r.prevOrigin = r.segStart, r.origin
+	r.prevVx, r.prevVy = r.vx, r.vy
+	r.turnAt, r.hasPrev = now, true
 	r.origin = r.rawPositionAt(now)
 	r.segStart = now
 
@@ -228,18 +247,32 @@ func (r *Roamer) rawPositionAt(t sim.Time) geom.Point {
 
 // Position returns the host position at the current simulated time.
 func (r *Roamer) Position() geom.Point {
-	return r.rawPositionAt(r.sched.Now())
+	return r.PositionAt(r.sched.Now())
 }
 
-// PositionAt returns the position at an arbitrary time within the current
-// segment. Querying a past time before the segment start extrapolates
-// backwards along the segment, which is adequate for the sub-millisecond
-// lookbacks the PHY performs.
+// PositionAt returns the position at an arbitrary time within the
+// current segment. Querying a past time before the segment start
+// extrapolates backwards along the segment, which is adequate for the
+// sub-millisecond lookbacks the PHY performs. When the latest turn fired
+// ahead of the shared clock (parallel drain) the query resolves on the
+// pre-turn segment, reproducing the oracle's answer — including its
+// backward extrapolation — until the clock catches up to the turn.
 func (r *Roamer) PositionAt(t sim.Time) geom.Point {
+	if r.hasPrev && r.sched.Now() < r.turnAt {
+		dt := t.Sub(r.prevStart).Seconds()
+		return geom.Point{
+			X: geom.FoldIntoRange(r.prevOrigin.X+r.prevVx*dt, r.area.Width),
+			Y: geom.FoldIntoRange(r.prevOrigin.Y+r.prevVy*dt, r.area.Height),
+		}
+	}
 	return r.rawPositionAt(t)
 }
 
-// Speed returns the current speed in m/s.
+// Speed returns the current speed in m/s, on the same segment selection
+// as PositionAt.
 func (r *Roamer) Speed() float64 {
+	if r.hasPrev && r.sched.Now() < r.turnAt {
+		return hypot(r.prevVx, r.prevVy)
+	}
 	return hypot(r.vx, r.vy)
 }

@@ -180,3 +180,57 @@ func TestKMHToMPS(t *testing.T) {
 		t.Errorf("36 km/h = %v m/s, want 10", got)
 	}
 }
+
+// TestRoamerParallelDrainMatchesSequential pins the one-segment history
+// that licenses firing turns ahead of the shared clock: a roamer whose
+// turns drain inside parallel barrier windows must answer every
+// position, lookback, and speed query with exactly the values of an
+// identical roamer stepped sequentially — while the shared clock is
+// behind a drained turn, queries resolve on the pre-turn segment.
+func TestRoamerParallelDrainMatchesSequential(t *testing.T) {
+	area := NewSquareMap(4, 500)
+	cfg := DefaultConfig(300)
+
+	mk := func(sharded bool) (*sim.Scheduler, *Roamer) {
+		s := sim.NewScheduler()
+		s.ConfigureShards(1, sim.Second)
+		r := &Roamer{}
+		InitRoamer(r, s, area, cfg, sim.NewRNG(42))
+		if sharded {
+			r.SetShard(0)
+		}
+		r.Start()
+		return s, r
+	}
+	os, or := mk(false) // oracle: turns on the central ladder
+	ps, pr := mk(true)  // turns drained in parallel windows
+
+	window := sim.Second / 4 // well under MinTurn
+	for step := 1; step <= 1200; step++ {
+		deadline := sim.Time(0).Add(sim.Duration(step) * window)
+		os.RunUntil(deadline)
+		ps.BeginParallelDrain()
+		ps.DrainShardUntil(0, deadline)
+		ps.EndParallelDrain()
+		ps.RunUntil(deadline)
+		if op, pp := or.Position(), pr.Position(); op != pp {
+			t.Fatalf("step %d: position %v parallel vs %v sequential", step, pp, op)
+		}
+		// The PHY's sub-millisecond lookback must reproduce the oracle
+		// too, including its backward extrapolation along the segment
+		// the oracle considers current.
+		back := deadline.Add(-300 * sim.Microsecond)
+		if op, pp := or.PositionAt(back), pr.PositionAt(back); op != pp {
+			t.Fatalf("step %d: lookback %v parallel vs %v sequential", step, pp, op)
+		}
+		if ov, pv := or.Speed(), pr.Speed(); ov != pv {
+			t.Fatalf("step %d: speed %v parallel vs %v sequential", step, pv, ov)
+		}
+	}
+	if os.Executed() != ps.Executed() {
+		t.Fatalf("executed %d parallel vs %d sequential", ps.Executed(), os.Executed())
+	}
+	if os.Executed() == 0 {
+		t.Fatal("no turns fired over 300 simulated seconds")
+	}
+}

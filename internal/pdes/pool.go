@@ -3,19 +3,25 @@
 // semantics, and a band-parallel connected-component walker used for
 // reachability queries over the spatial grid.
 //
-// Design note — why the event spine itself is not parallelized: the MAC
-// grants immediate channel access at the current instant (zero
+// Design note — what is and is not parallelized on the event spine: the
+// MAC grants immediate channel access at the current instant (zero
 // lookahead), and carrier-sense transitions cascade across hops within a
 // single timestamp, so the global (time, seq) tie order that the
-// byte-identical oracle contract pins cannot be reproduced without
-// serializing exactly the events a parallel executor would need to
-// reorder. The sharded engine therefore keeps one sequential causality
-// spine and parallelizes the world substrate around it: shard-local
-// timer queues (sim.ScheduleShard), batched construction, snapshot
-// evaluation, and reachability walks. Shard synchronization happens at
-// conservative barrier windows derived from the minimum frame airtime
-// plus the speed bound (see manet's barrier window derivation), where
-// cancellation and the cross-shard monotonicity audit run.
+// byte-identical oracle contract pins cannot be reproduced for radio
+// events without serializing exactly the events a parallel executor
+// would need to reorder. The sharded engine therefore splits each
+// conservative barrier window by event class: shard-local mobility
+// turns — pure host-local work with lookahead of at least one minimum
+// turn duration — drain concurrently, one pool worker per shard wheel
+// (sim.DrainShardUntil), while every radio, HELLO, and record event
+// runs on the sequential merged drain, the deterministic border lane
+// (see manet's parallel.go for the exactness argument). The pool also
+// drives batched construction, snapshot evaluation, and reachability
+// walks. Shard synchronization happens at conservative barrier windows
+// derived from the minimum frame airtime plus the speed bound, widened
+// adaptively when no in-flight transmission is border-proximate; at
+// each barrier, cancellation and the cross-shard monotonicity audit
+// run.
 package pdes
 
 import "sync"

@@ -990,6 +990,16 @@ func (c *Channel) BusyRadioSeconds() float64 {
 // ActiveTransmissions returns the number of frames currently on the air.
 func (c *Channel) ActiveTransmissions() int { return len(c.active) }
 
+// EachActiveSender calls fn with the start-of-transmission position of
+// every frame currently on the air. The sharded engine's adaptive
+// lookahead reads these between barrier windows to decide whether any
+// in-flight transmission could interact across a shard band border.
+func (c *Channel) EachActiveSender(fn func(geom.Point)) {
+	for _, tx := range c.active {
+		fn(tx.senderPos)
+	}
+}
+
 // TxPoolStats returns how many transmission records were served from the
 // free list versus freshly allocated.
 func (c *Channel) TxPoolStats() (hits, misses uint64) {

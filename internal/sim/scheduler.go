@@ -76,6 +76,18 @@ type Scheduler struct {
 	// events through the ladder alone.
 	wheels []shardWheel
 
+	// Parallel-drain lanes (one per wheel): between BeginParallelDrain and
+	// EndParallelDrain each wheel may be drained by its own goroutine
+	// (DrainShardUntil), so every mutable resource a drain touches — clock,
+	// sequence counter, executed/live accounting, event free-list — has a
+	// lane-local copy here, folded back into the shared fields at the
+	// barrier. Lane sequence counters live in disjoint high-bit namespaces
+	// (laneSeqBase), which keeps (at, seq) keys unique and deterministic
+	// without a shared atomic counter; see BeginParallelDrain for the
+	// ordering argument.
+	lanes    []laneState
+	parallel bool
+
 	// Event free-list (default mode): recycled records are reused by the
 	// next Schedule, so steady-state operation allocates nothing. A plain
 	// slice, not sync.Pool — the scheduler is single-threaded, and
@@ -168,6 +180,9 @@ func (s *Scheduler) allocAny(at Time) *Event {
 		e = &Event{}
 		s.poolMisses++
 	}
+	if s.seq >= laneSeqBase(0) {
+		panic("sim: shared sequence counter exhausted its namespace")
+	}
 	e.at = at
 	e.seq = s.seq
 	e.index = -1
@@ -176,19 +191,31 @@ func (s *Scheduler) allocAny(at Time) *Event {
 	return e
 }
 
-// recycle returns a dead event record to the free-list. The callback is
-// dropped immediately so the pool does not pin closures (and whatever
-// they capture) until reuse.
-func (s *Scheduler) recycle(e *Event) {
+// recycleInto returns a dead event record to the given free-list. The
+// callback is dropped immediately so the pool does not pin closures (and
+// whatever they capture) until reuse.
+func recycleInto(free *[]*Event, e *Event) {
 	e.fn = nil
 	e.runner = nil
-	s.free = append(s.free, e)
+	*free = append(*free, e)
+}
+
+// recycle returns a dead event record to the shared free-list.
+func (s *Scheduler) recycle(e *Event) { recycleInto(&s.free, e) }
+
+// assertSequential panics when an API reserved to the scheduler's owning
+// goroutine is used while a parallel drain is active.
+func (s *Scheduler) assertSequential(api string) {
+	if s.parallel {
+		panic("sim: " + api + " during a parallel drain")
+	}
 }
 
 // Schedule queues fn to run at the absolute time at. Scheduling in the
 // past (before Now) panics: it always indicates a logic error in a model,
 // and silently clamping would hide it.
 func (s *Scheduler) Schedule(at Time, fn func()) *Event {
+	s.assertSequential("Schedule")
 	if at < s.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
 	}
@@ -217,6 +244,7 @@ func (s *Scheduler) After(d Duration, fn func()) *Event {
 // value of an already-live object is stored directly in the event
 // record.
 func (s *Scheduler) ScheduleRunner(at Time, r Runner) *Event {
+	s.assertSequential("ScheduleRunner")
 	if at < s.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
 	}
@@ -241,16 +269,30 @@ func (s *Scheduler) AfterRunner(d Duration, r Runner) *Event {
 	return s.ScheduleRunner(s.now.Add(d), r)
 }
 
-// ScheduleShardRunner is ScheduleRunner onto the given shard's wheel.
+// ScheduleShardRunner is ScheduleRunner onto the given shard's wheel. It
+// is the one scheduling entry point that stays usable during a parallel
+// drain: the drain goroutine that owns the shard may reschedule onto its
+// own wheel, drawing the event record and sequence number from its lane.
 func (s *Scheduler) ScheduleShardRunner(shard int, at Time, r Runner) *Event {
 	if shard < 0 || shard >= len(s.wheels) {
 		panic(fmt.Sprintf("sim: ScheduleShard shard %d with %d wheels", shard, len(s.wheels)))
 	}
-	if at < s.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
-	}
 	if r == nil {
 		panic("sim: schedule with nil runner")
+	}
+	if s.parallel {
+		ln := &s.lanes[shard]
+		if at < ln.now {
+			panic(fmt.Sprintf("sim: schedule at %v before lane now %v", at, ln.now))
+		}
+		e := ln.alloc(at)
+		e.runner = r
+		s.wheels[shard].insert(e)
+		ln.liveDelta++
+		return e
+	}
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
 	}
 	s.seq++
 	e := s.allocAny(at)
@@ -260,9 +302,11 @@ func (s *Scheduler) ScheduleShardRunner(shard int, at Time, r Runner) *Event {
 	return e
 }
 
-// AfterShardRunner is AfterRunner onto the given shard's wheel.
+// AfterShardRunner is AfterRunner onto the given shard's wheel, relative
+// to the clock the shard observes (the lane clock during a parallel
+// drain).
 func (s *Scheduler) AfterShardRunner(shard int, d Duration, r Runner) *Event {
-	return s.ScheduleShardRunner(shard, s.now.Add(d), r)
+	return s.ScheduleShardRunner(shard, s.NowFor(shard).Add(d), r)
 }
 
 // ConfigureShards equips the scheduler with n per-shard calendar wheels
@@ -298,6 +342,7 @@ func (s *Scheduler) Shards() int { return len(s.wheels) }
 // draws its sequence number from the same counter and the merged pop
 // fires strictly by (time, seq) — only the queue data structure differs.
 func (s *Scheduler) ScheduleShard(shard int, at Time, fn func()) *Event {
+	s.assertSequential("ScheduleShard")
 	if shard < 0 || shard >= len(s.wheels) {
 		panic(fmt.Sprintf("sim: ScheduleShard shard %d with %d wheels", shard, len(s.wheels)))
 	}
@@ -333,6 +378,163 @@ func (s *Scheduler) ShardHead(shard int) (Time, bool) {
 		return 0, false
 	}
 	return e.at, true
+}
+
+// laneState is the per-wheel resource set a concurrent shard drain runs
+// on. Everything here is touched only by the lane's own drain goroutine
+// while a parallel drain is active, and only by the scheduler's single
+// owning goroutine otherwise.
+type laneState struct {
+	now        Time
+	seq        uint64 // next sequence number, pre-namespaced by laneSeqBase
+	executed   uint64 // events fired on this lane, folded at EndParallelDrain
+	liveDelta  int    // scheduled minus fired since the last fold
+	free       []*Event
+	poolHits   uint64
+	poolMisses uint64
+}
+
+// laneSeqShift partitions the 64-bit sequence space: the shared counter
+// owns [0, 2^48) and lane i owns [(i+1)<<48, (i+2)<<48). 2^48 events on
+// one counter is orders of magnitude beyond any run this simulator can
+// hold in memory, and allocAny panics if the shared counter ever reaches
+// the first lane namespace.
+const laneSeqShift = 48
+
+func laneSeqBase(lane int) uint64 { return (uint64(lane) + 1) << laneSeqShift }
+
+// alloc produces a cleared event record from the lane's own free-list
+// with the lane's next namespaced sequence number.
+func (ln *laneState) alloc(at Time) *Event {
+	var e *Event
+	if n := len(ln.free); n > 0 {
+		e = ln.free[n-1]
+		ln.free[n-1] = nil
+		ln.free = ln.free[:n-1]
+		ln.poolHits++
+	} else {
+		e = &Event{}
+		ln.poolMisses++
+	}
+	ln.seq++
+	e.at = at
+	e.seq = ln.seq
+	e.index = -1
+	e.fired = false
+	e.cancel = false
+	return e
+}
+
+// NowFor returns the clock a callback on the given shard observes: the
+// lane clock while a parallel drain is active (each lane's clock tracks
+// the event it is firing), the shared clock otherwise. Shard -1 (the
+// central ladder) always reads the shared clock.
+func (s *Scheduler) NowFor(shard int) Time {
+	if s.parallel && shard >= 0 && shard < len(s.lanes) {
+		return s.lanes[shard].now
+	}
+	return s.now
+}
+
+// BeginParallelDrain opens a parallel drain phase: until
+// EndParallelDrain, each shard wheel may be drained concurrently by its
+// own goroutine via DrainShardUntil, and ScheduleShardRunner switches to
+// lane-local allocation. The central ladder and every non-shard API are
+// frozen — using them mid-drain panics.
+//
+// Why this preserves the oracle's observable behavior even though lane
+// sequence numbers differ from the shared counter's: the only events a
+// parallel drain may execute or schedule are shard-local timers whose
+// callbacks touch nothing outside their own host (the mobility-turn
+// contract the manet engine enforces). Two such events never share
+// state, so their mutual order — the only thing a sequence number
+// decides between same-instant events — cannot influence any result;
+// and events on the same wheel still fire in strict (at, seq) order, so
+// each host's own timer chain keeps its exact oracle order. Events with
+// distinct timestamps order by time alone, unchanged.
+func (s *Scheduler) BeginParallelDrain() {
+	switch {
+	case s.legacy:
+		panic("sim: parallel drain requires the ladder scheduler")
+	case len(s.wheels) == 0:
+		panic("sim: parallel drain without configured shard wheels")
+	case s.parallel:
+		panic("sim: parallel drain already active")
+	case s.audit != nil:
+		panic("sim: parallel drain under the audit hook (it must observe every event in merged order)")
+	}
+	if s.lanes == nil {
+		s.lanes = make([]laneState, len(s.wheels))
+		for i := range s.lanes {
+			s.lanes[i].seq = laneSeqBase(i)
+		}
+	}
+	for i := range s.lanes {
+		s.lanes[i].now = s.now
+	}
+	s.parallel = true
+}
+
+// DrainShardUntil fires the given wheel's events in (at, seq) order
+// strictly before deadline, entirely on lane-local state. Events exactly
+// at the deadline are left queued for the sequential merged drain that
+// follows the barrier — the strict bound is what guarantees a recurring
+// timer with period >= the window length fires at most once per drain.
+// It must only be called between BeginParallelDrain and
+// EndParallelDrain, at most once per shard per phase, from at most one
+// goroutine per shard. A callback may reschedule onto its own shard's
+// wheel (and nothing else). It returns the number of events fired.
+func (s *Scheduler) DrainShardUntil(shard int, deadline Time) uint64 {
+	if !s.parallel {
+		panic("sim: DrainShardUntil outside a parallel drain")
+	}
+	ln := &s.lanes[shard]
+	w := &s.wheels[shard]
+	var fired uint64
+	for {
+		e, ok := w.peekInto(&ln.free)
+		if !ok || e.at >= deadline {
+			break
+		}
+		w.take()
+		ln.now = e.at
+		e.fired = true
+		fired++
+		ln.liveDelta--
+		if fn := e.fn; fn != nil {
+			fn()
+		} else {
+			e.runner.RunEvent()
+		}
+		recycleInto(&ln.free, e)
+	}
+	if ln.now < deadline {
+		ln.now = deadline
+	}
+	ln.executed += fired
+	return fired
+}
+
+// EndParallelDrain closes a parallel drain phase and folds every lane's
+// accounting back into the shared counters, so Pending, Executed, and
+// PoolStats stay coherent for the sequential phase that follows. Lane
+// free-lists stay lane-local: each wheel's recycled events feed its own
+// future inserts, which is exactly where they will be needed.
+func (s *Scheduler) EndParallelDrain() {
+	if !s.parallel {
+		panic("sim: EndParallelDrain without a begin")
+	}
+	s.parallel = false
+	for i := range s.lanes {
+		ln := &s.lanes[i]
+		s.executed += ln.executed
+		ln.executed = 0
+		s.live += ln.liveDelta
+		ln.liveDelta = 0
+		s.poolHits += ln.poolHits
+		s.poolMisses += ln.poolMisses
+		ln.poolHits, ln.poolMisses = 0, 0
+	}
 }
 
 // Reserve pre-populates the event free-list with n records allocated as
@@ -374,6 +576,7 @@ func (s *Scheduler) ReserveFrom(slab []Event) {
 // event eagerly; the ladder queue tombstones it in place and recycles it
 // when the surrounding bucket is next consumed.
 func (s *Scheduler) Cancel(e *Event) {
+	s.assertSequential("Cancel")
 	if e == nil || e.fired || e.cancel {
 		return
 	}
@@ -440,6 +643,7 @@ func (s *Scheduler) SetAuditHook(fn func(at Time, seq uint64)) { s.audit = fn }
 // Step fires the single earliest pending event, advancing the clock to
 // its timestamp. It returns false when the queue is empty.
 func (s *Scheduler) Step() bool {
+	s.assertSequential("Step")
 	var e *Event
 	switch {
 	case s.legacy:

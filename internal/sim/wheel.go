@@ -65,10 +65,14 @@ func (w *shardWheel) insert(e *Event) {
 }
 
 // peek returns the earliest live event without removing it, recycling
-// tombstones and advancing past exhausted buckets along the way. The
-// consumption pointers only move forward, so repeated peeks are O(1)
-// amortized over the life of the wheel.
-func (w *shardWheel) peek(s *Scheduler) (*Event, bool) {
+// tombstones into the shared free-list.
+func (w *shardWheel) peek(s *Scheduler) (*Event, bool) { return w.peekInto(&s.free) }
+
+// peekInto is peek with the tombstone destination made explicit, so a
+// parallel shard drain can recycle into its own lane's free-list instead
+// of the shared one. The consumption pointers only move forward, so
+// repeated peeks are O(1) amortized over the life of the wheel.
+func (w *shardWheel) peekInto(free *[]*Event) (*Event, bool) {
 	for w.cur < len(w.buckets) {
 		b := w.buckets[w.cur]
 		if !w.sorted {
@@ -83,7 +87,7 @@ func (w *shardWheel) peek(s *Scheduler) (*Event, bool) {
 			if e.cancel {
 				b[w.head] = nil
 				w.head++
-				s.recycle(e)
+				recycleInto(free, e)
 				continue
 			}
 			return e, true
