@@ -8,6 +8,19 @@
 //	stormsim -scheme nc -hello dynamic -map 9
 //	stormsim -scheme al -progress -telemetry run.jsonl
 //
+// Long runs can be checkpointed and resumed. -checkpoint names a state
+// file and -checkpoint-every the simulated cadence; the file always
+// holds the latest checkpoint (written atomically via rename). -resume
+// restarts a run from such a file — the flags must describe the same
+// configuration the checkpoint was taken under, and the resumed run's
+// metrics are byte-identical to an uninterrupted one. -fork-seed
+// re-seeds the restored hosts instead, turning the checkpoint into the
+// shared past of a what-if run:
+//
+//	stormsim -scheme ac -map 7 -checkpoint run.ck -checkpoint-every 10000
+//	stormsim -scheme ac -map 7 -resume run.ck
+//	stormsim -scheme ac -map 7 -resume run.ck -fork-seed 42
+//
 // Schemes are given as registry specs (run with -schemes for the full
 // syntax): flooding, prob:P=0.7, counter:C=3, distance:D=40,
 // location:A=0.0469, ac[:n1=..,n2=..], al[:n1=..,n2=..,max=..], nc,
@@ -18,6 +31,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -31,52 +45,79 @@ import (
 )
 
 func main() {
-	var (
-		schemeSpec  = flag.String("scheme", "flooding", "scheme spec, e.g. counter:C=3 (run -schemes for syntax)")
-		listSchemes = flag.Bool("schemes", false, "print the scheme spec syntax and exit")
-		c           = flag.Int("C", 3, "counter threshold shorthand for -scheme counter")
-		d           = flag.Float64("D", 40, "distance threshold shorthand for -scheme distance")
-		a           = flag.Float64("A", 0.0469, "coverage threshold shorthand for -scheme location")
-		mapUnits    = flag.Int("map", 5, "square map side in 500m units (1,3,5,7,9,11)")
-		hosts       = flag.Int("hosts", 100, "number of mobile hosts")
-		requests    = flag.Int("requests", 100, "broadcast operations to simulate")
-		speed       = flag.Float64("speed", 0, "max host speed km/h (0 = paper rule: 10 per map unit)")
-		hello       = flag.String("hello", "auto", "off|fixed|dynamic|auto (auto enables fixed when the scheme needs it)")
-		helloMS     = flag.Int("hello-interval", 1000, "fixed hello interval, milliseconds")
-		seed        = flag.Uint64("seed", 1, "random seed")
-		static      = flag.Bool("static", false, "freeze hosts (no mobility)")
-		engineName  = flag.String("engine", "auto", "simulation engine: auto|sequential-oracle|sharded")
-		shards      = flag.Int("shards", 0, "shard count for the sharded engine (power of two, 0 = engine default)")
-		topo        = flag.Bool("topo", false, "print the final topology as an ASCII map")
-		progress    = flag.Bool("progress", false, "report simulated-time progress on stderr")
-		telemetry   = flag.String("telemetry", "", "write run telemetry (time series + trace events) as JSONL to this file")
-		tickMS      = flag.Int("telemetry-tick", 100, "telemetry sampling tick, simulated milliseconds")
-		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile  = flag.String("memprofile", "", "write a heap profile to this file")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *listSchemes {
-		fmt.Print("scheme specs:\n", scheme.Usage())
-		return
+// run is the whole tool behind an injectable surface (arguments and
+// output streams), so tests drive it as a function. The exit code
+// follows the flag package's convention: 2 for usage errors, 1 for
+// runtime failures.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("stormsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		schemeSpec  = fs.String("scheme", "flooding", "scheme spec, e.g. counter:C=3 (run -schemes for syntax)")
+		listSchemes = fs.Bool("schemes", false, "print the scheme spec syntax and exit")
+		c           = fs.Int("C", 3, "counter threshold shorthand for -scheme counter")
+		d           = fs.Float64("D", 40, "distance threshold shorthand for -scheme distance")
+		a           = fs.Float64("A", 0.0469, "coverage threshold shorthand for -scheme location")
+		mapUnits    = fs.Int("map", 5, "square map side in 500m units (1,3,5,7,9,11)")
+		hosts       = fs.Int("hosts", 100, "number of mobile hosts")
+		requests    = fs.Int("requests", 100, "broadcast operations to simulate")
+		speed       = fs.Float64("speed", 0, "max host speed km/h (0 = paper rule: 10 per map unit)")
+		hello       = fs.String("hello", "auto", "off|fixed|dynamic|auto (auto enables fixed when the scheme needs it)")
+		helloMS     = fs.Int("hello-interval", 1000, "fixed hello interval, milliseconds")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		static      = fs.Bool("static", false, "freeze hosts (no mobility)")
+		engineName  = fs.String("engine", "auto", "simulation engine: auto|sequential-oracle|sharded")
+		shards      = fs.Int("shards", 0, "shard count for the sharded engine (power of two, 0 = engine default)")
+		ckptPath    = fs.String("checkpoint", "", "write run checkpoints to this file (with -checkpoint-every)")
+		ckptEvery   = fs.Int("checkpoint-every", 0, "checkpoint cadence, simulated milliseconds (with -checkpoint)")
+		resumePath  = fs.String("resume", "", "resume the run from this checkpoint file")
+		forkSeed    = fs.Uint64("fork-seed", 0, "with -resume: re-seed the restored hosts to fork a what-if run")
+		topo        = fs.Bool("topo", false, "print the final topology as an ASCII map")
+		progress    = fs.Bool("progress", false, "report simulated-time progress on stderr")
+		telemetry   = fs.String("telemetry", "", "write run telemetry (time series + trace events) as JSONL to this file")
+		tickMS      = fs.Int("telemetry-tick", 100, "telemetry sampling tick, simulated milliseconds")
+		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = fs.String("memprofile", "", "write a heap profile to this file")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
 	}
 
-	sch, err := scheme.Parse(legacySpec(*schemeSpec, *c, *d, *a))
+	if *listSchemes {
+		fmt.Fprint(stdout, "scheme specs:\n", scheme.Usage())
+		return 0
+	}
+
+	fail := func(code int, err error) int {
+		fmt.Fprintln(stderr, "stormsim:", err)
+		return code
+	}
+
+	sch, err := scheme.Parse(legacySpec(fs, *schemeSpec, *c, *d, *a))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "stormsim:", err)
-		os.Exit(2)
+		return fail(2, err)
+	}
+
+	switch {
+	case (*ckptPath == "") != (*ckptEvery == 0):
+		return fail(2, fmt.Errorf("-checkpoint and -checkpoint-every must be used together"))
+	case *ckptEvery < 0:
+		return fail(2, fmt.Errorf("-checkpoint-every must be positive, got %d", *ckptEvery))
+	case *forkSeed != 0 && *resumePath == "":
+		return fail(2, fmt.Errorf("-fork-seed requires -resume"))
 	}
 
 	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "stormsim:", err)
-		os.Exit(1)
+		return fail(1, err)
 	}
 
 	engine, err := manet.ParseEngine(*engineName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "stormsim:", err)
-		os.Exit(2)
+		return fail(2, err)
 	}
 
 	cfg := manet.Config{
@@ -101,8 +142,7 @@ func main() {
 	case "dynamic":
 		cfg.HelloMode = manet.HelloDynamic
 	default:
-		fmt.Fprintf(os.Stderr, "stormsim: unknown hello mode %q\n", *hello)
-		os.Exit(2)
+		return fail(2, fmt.Errorf("unknown hello mode %q", *hello))
 	}
 
 	var col *obs.Collector
@@ -111,10 +151,37 @@ func main() {
 		cfg.Telemetry = col
 	}
 
-	n, err := manet.New(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "stormsim:", err)
-		os.Exit(1)
+	var n *manet.Network
+	if *resumePath != "" {
+		f, err := os.Open(*resumePath)
+		if err != nil {
+			return fail(1, err)
+		}
+		n, err = manet.RestoreNetwork(f, cfg)
+		f.Close()
+		if err != nil {
+			return fail(1, err)
+		}
+		if *forkSeed != 0 {
+			n.DivergeSeed(*forkSeed)
+		}
+	} else {
+		n, err = manet.New(cfg)
+		if err != nil {
+			return fail(1, err)
+		}
+	}
+	if *ckptPath != "" {
+		n.CheckpointEvery = sim.Duration(*ckptEvery) * sim.Millisecond
+		n.CheckpointHook = func(now sim.Time) error {
+			if err := writeCheckpoint(n, *ckptPath); err != nil {
+				return err
+			}
+			if *progress {
+				fmt.Fprintf(stderr, "checkpoint at %.1f s -> %s\n", now.Seconds(), *ckptPath)
+			}
+			return nil
+		}
 	}
 	var rec *trace.Recorder
 	if *telemetry != "" {
@@ -122,7 +189,7 @@ func main() {
 		n.Tracer = rec
 	}
 	if *progress {
-		n.Progress = os.Stderr
+		n.Progress = stderr
 	}
 	// Ctrl-C cancels cooperatively at the engine's next barrier window
 	// instead of killing the process mid-event.
@@ -130,61 +197,80 @@ func main() {
 	defer stop()
 	s, err := n.RunContext(ctx)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "stormsim: run cancelled:", err)
-		os.Exit(1)
+		return fail(1, fmt.Errorf("run cancelled: %w", err))
 	}
 
-	fmt.Printf("scheme            %s\n", sch.Name())
-	fmt.Printf("engine            %s", n.Engine())
+	fmt.Fprintf(stdout, "scheme            %s\n", sch.Name())
+	fmt.Fprintf(stdout, "engine            %s", n.Engine())
 	if n.ShardCount() > 0 {
-		fmt.Printf(" (%d shards)", n.ShardCount())
+		fmt.Fprintf(stdout, " (%d shards)", n.ShardCount())
 	}
-	fmt.Println()
-	fmt.Printf("map               %dx%d units (%d hosts, max %g km/h)\n",
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "map               %dx%d units (%d hosts, max %g km/h)\n",
 		*mapUnits, *mapUnits, *hosts, n.Config().MaxSpeedKMH)
-	fmt.Printf("broadcasts        %d\n", s.Broadcasts)
-	fmt.Printf("RE  (reachability)        %.4f (std %.4f)\n", s.MeanRE, s.StdRE)
-	fmt.Printf("SRB (saved rebroadcasts)  %.4f (std %.4f)\n", s.MeanSRB, s.StdSRB)
-	fmt.Printf("mean latency              %.2f ms\n", s.MeanLatency.Milliseconds())
-	fmt.Printf("hello packets sent        %d\n", s.HelloSent)
-	fmt.Printf("transmissions             %d\n", s.Transmissions)
-	fmt.Printf("deliveries / collisions   %d / %d\n", s.Deliveries, s.Collisions)
-	fmt.Printf("simulated time            %.1f s (%d events)\n",
+	fmt.Fprintf(stdout, "broadcasts        %d\n", s.Broadcasts)
+	fmt.Fprintf(stdout, "RE  (reachability)        %.4f (std %.4f)\n", s.MeanRE, s.StdRE)
+	fmt.Fprintf(stdout, "SRB (saved rebroadcasts)  %.4f (std %.4f)\n", s.MeanSRB, s.StdSRB)
+	fmt.Fprintf(stdout, "mean latency              %.2f ms\n", s.MeanLatency.Milliseconds())
+	fmt.Fprintf(stdout, "hello packets sent        %d\n", s.HelloSent)
+	fmt.Fprintf(stdout, "transmissions             %d\n", s.Transmissions)
+	fmt.Fprintf(stdout, "deliveries / collisions   %d / %d\n", s.Deliveries, s.Collisions)
+	fmt.Fprintf(stdout, "simulated time            %.1f s (%d events)\n",
 		s.SimulatedTime.Seconds(), s.Events)
 
 	if *telemetry != "" {
 		if err := writeTelemetry(*telemetry, n.Config(), sch, col, rec); err != nil {
-			fmt.Fprintln(os.Stderr, "stormsim:", err)
-			os.Exit(1)
+			return fail(1, err)
 		}
-		fmt.Printf("telemetry                 %s (%d samples, %d events)\n",
+		fmt.Fprintf(stdout, "telemetry                 %s (%d samples, %d events)\n",
 			*telemetry, len(col.Samples()), rec.Len())
 	}
 
 	if *topo {
 		pts := n.Positions()
 		w, h := n.Area()
-		fmt.Println()
-		fmt.Println("final topology (each cell ~", int(w)/72, "m wide):")
-		fmt.Print(viz.Topology(pts, w, h, 72))
-		fmt.Print(viz.ConnectivitySummary(pts, n.Config().Radius))
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, "final topology (each cell ~", int(w)/72, "m wide):")
+		fmt.Fprint(stdout, viz.Topology(pts, w, h, 72))
+		fmt.Fprint(stdout, viz.ConnectivitySummary(pts, n.Config().Radius))
 	}
 
 	if err := stopProf(); err != nil {
-		fmt.Fprintln(os.Stderr, "stormsim:", err)
-		os.Exit(1)
+		return fail(1, err)
 	}
+	return 0
+}
+
+// writeCheckpoint writes the network's state next to the target and
+// renames it into place, so the checkpoint file is never half-written
+// even if the process dies mid-checkpoint.
+func writeCheckpoint(n *manet.Network, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := n.Checkpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // legacySpec folds the pre-registry -C/-D/-A shorthand flags into the
 // spec, so `-scheme counter -C 5` keeps working. The shorthand only
 // applies when the spec itself carries no parameters.
-func legacySpec(spec string, c int, d, a float64) string {
+func legacySpec(fs *flag.FlagSet, spec string, c int, d, a float64) string {
 	if strings.ContainsRune(spec, ':') {
 		return spec
 	}
 	set := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	switch strings.ToLower(strings.TrimSpace(spec)) {
 	case "counter":
 		if set["C"] {

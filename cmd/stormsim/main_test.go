@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// base returns the flags of a small deterministic run, with any extra
+// flags appended.
+func base(extra ...string) []string {
+	return append([]string{
+		"-scheme", "ac", "-map", "1", "-hosts", "20", "-requests", "5", "-seed", "3",
+	}, extra...)
+}
+
+// runTool drives the tool and returns (exit code, stdout, stderr).
+func runTool(t *testing.T, argv []string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(argv, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestCheckpointResumeMatchesStraightRun(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "run.ck")
+
+	code, plain, errs := runTool(t, base())
+	if code != 0 {
+		t.Fatalf("straight run exited %d: %s", code, errs)
+	}
+	if !strings.Contains(plain, "scheme            AC") {
+		t.Fatalf("unexpected output:\n%s", plain)
+	}
+
+	code, hooked, errs := runTool(t, base("-checkpoint", ck, "-checkpoint-every", "6000"))
+	if code != 0 {
+		t.Fatalf("checkpointing run exited %d: %s", code, errs)
+	}
+	if hooked != plain {
+		t.Fatalf("checkpointing changed the run:\nhooked:\n%s\nplain:\n%s", hooked, plain)
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("checkpoint file missing: %v", err)
+	}
+
+	code, resumed, errs := runTool(t, base("-resume", ck))
+	if code != 0 {
+		t.Fatalf("resumed run exited %d: %s", code, errs)
+	}
+	if resumed != plain {
+		t.Fatalf("resumed run diverged:\nresumed:\n%s\nplain:\n%s", resumed, plain)
+	}
+
+	code, forked, errs := runTool(t, base("-resume", ck, "-fork-seed", "99"))
+	if code != 0 {
+		t.Fatalf("forked run exited %d: %s", code, errs)
+	}
+	if forked == plain {
+		t.Fatal("fork-seed run reproduced the original metrics")
+	}
+}
+
+func TestResumeBadPath(t *testing.T) {
+	code, _, errs := runTool(t, base("-resume", filepath.Join(t.TempDir(), "missing.ck")))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errs, "missing.ck") {
+		t.Fatalf("stderr does not name the file:\n%s", errs)
+	}
+}
+
+func TestResumeVersionMismatch(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "run.ck")
+	if code, _, errs := runTool(t, base("-checkpoint", ck, "-checkpoint-every", "6000")); code != 0 {
+		t.Fatalf("checkpointing run failed: %s", errs)
+	}
+	data, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[8] = 0x7f // version byte follows the 8-byte magic
+	if err := os.WriteFile(ck, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errs := runTool(t, base("-resume", ck))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errs, "version") {
+		t.Fatalf("stderr does not mention the version:\n%s", errs)
+	}
+}
+
+func TestResumeContradictoryConfig(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "run.ck")
+	if code, _, errs := runTool(t, base("-checkpoint", ck, "-checkpoint-every", "6000")); code != 0 {
+		t.Fatalf("checkpointing run failed: %s", errs)
+	}
+	for _, tc := range []struct{ name, flag, value string }{
+		{"seed", "-seed", "77"},
+		{"scheme", "-scheme", "flooding"},
+		{"hosts", "-hosts", "21"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			argv := append([]string{
+				"-scheme", "ac", "-map", "1", "-hosts", "20", "-requests", "5", "-seed", "3",
+				"-resume", ck,
+			}, tc.flag, tc.value)
+			// Later flags win, so the contradiction overrides the base value.
+			code, _, errs := runTool(t, argv)
+			if code != 1 {
+				t.Fatalf("exit %d, want 1 (stderr: %s)", code, errs)
+			}
+			if !strings.Contains(errs, "different configuration") {
+				t.Fatalf("stderr does not flag the configuration:\n%s", errs)
+			}
+		})
+	}
+}
+
+func TestFlagContradictions(t *testing.T) {
+	cases := [][]string{
+		base("-checkpoint", "x.ck"),                  // -checkpoint without cadence
+		base("-checkpoint-every", "1000"),            // cadence without a file
+		base("-checkpoint", "x.ck", "-checkpoint-every", "-5"),
+		base("-fork-seed", "9"), // fork without -resume
+	}
+	for _, argv := range cases {
+		if code, _, _ := runTool(t, argv); code != 2 {
+			t.Fatalf("%v: exit %d, want usage error 2", argv, code)
+		}
+	}
+}

@@ -421,3 +421,19 @@ func (a *Auditor) AuditSummary(at sim.Time, sum metrics.Summary, lost int) {
 // SummaryChecked reports whether AuditSummary ran (i.e. the audited run
 // actually reached its end-of-run reconciliation).
 func (a *Auditor) SummaryChecked() bool { return a.summaryChecked }
+
+// ResumeConservation seeds the packet-conservation counters with the
+// traffic a restored checkpoint already accounted for, so an auditor
+// attached to a resumed run reconciles against the full-run summary.
+// delivered, collided, and lost are the copies that resolved before the
+// checkpoint; inflight counts the copies of restored transmissions still
+// on the air, whose outcomes (and AuditTransmitEnd) the auditor will
+// observe after resume without having seen their AuditTransmit.
+func (a *Auditor) ResumeConservation(transmissions, delivered, collided, lost, inflight int) {
+	a.transmissions += transmissions
+	a.delivered += delivered
+	a.collided += collided
+	a.lost += lost
+	a.inflightCopies += inflight
+	a.inRangeCopies += delivered + collided + lost + inflight
+}

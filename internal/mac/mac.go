@@ -145,6 +145,14 @@ type MAC struct {
 	respTimer respTimer
 	txEnd     dataEnd
 	rtsEnd    rtsEnd
+	ack       ackSend
+
+	// The delayed link-layer ACK owed after receiving unicast data: the
+	// armed SIFS timer and its destination. At most one is pending —
+	// a second data frame cannot end within SIFS of the first without
+	// the two having collided.
+	ackTimer *sim.Event
+	ackTo    packet.NodeID
 
 	busy      bool
 	idleSince sim.Time
@@ -228,6 +236,7 @@ func New(sched *sim.Scheduler, ch *phy.Channel, pos phy.Positioner, rng *sim.RNG
 	m.respTimer.m = m
 	m.txEnd.m = m
 	m.rtsEnd.m = m
+	m.ack.m = m
 	return m
 }
 
@@ -264,6 +273,7 @@ func NewInto(m *MAC, sched *sim.Scheduler, ch *phy.Channel, pos phy.Positioner, 
 	m.respTimer.m = m
 	m.txEnd.m = m
 	m.rtsEnd.m = m
+	m.ack.m = m
 }
 
 // SetPendingPool enables recycling of Pending records once their frame
@@ -707,17 +717,35 @@ func (m *MAC) sendCTS(to packet.NodeID, nav sim.Duration) {
 	})
 }
 
+// ackSend adapts the delayed-ACK callback to sim.Runner; a value field
+// on MAC, so arming the SIFS timer is allocation-free and the pending
+// ACK is checkpointable state rather than a captured closure.
+type ackSend struct{ m *MAC }
+
+func (a *ackSend) RunEvent() { a.m.fireAck() }
+
 // sendAck transmits the link-layer ACK after SIFS, bypassing the backoff
 // machinery (SIFS precedence is what guarantees ACKs win the medium).
 func (m *MAC) sendAck(to packet.NodeID) {
-	m.sched.After(m.t.SIFS, func() {
-		if m.transmitting {
-			return // pathological overlap; drop the ACK
-		}
-		m.stats.AcksSent++
-		ack := packet.NewAck(m.addr, to, m.ch.PositionOf(m.radio))
-		m.ch.Transmit(m.radio, ack, nil)
-	})
+	if m.ackTimer != nil {
+		// Unreachable with a physical channel (a second data frame
+		// cannot end within SIFS of the first without colliding), but a
+		// direct Deliver must not leak the old timer.
+		m.sched.Cancel(m.ackTimer)
+	}
+	m.ackTo = to
+	m.ackTimer = m.sched.AfterRunner(m.t.SIFS, &m.ack)
+}
+
+// fireAck puts the owed ACK on the air when its SIFS gap elapses.
+func (m *MAC) fireAck() {
+	m.ackTimer = nil
+	if m.transmitting {
+		return // pathological overlap; drop the ACK
+	}
+	m.stats.AcksSent++
+	ack := packet.NewAck(m.addr, m.ackTo, m.ch.PositionOf(m.radio))
+	m.ch.Transmit(m.radio, ack, nil)
 }
 
 // CarrierBusy implements phy.Listener.

@@ -1,0 +1,267 @@
+package mac
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// BadRef is the sentinel a Snapshot resolver returns for an object it
+// does not recognize; Snapshot aborts instead of recording a dangling
+// reference. (Mirrors phy.BadRef; redeclared so mac's resolvers read
+// naturally without importing phy at every call site.)
+const BadRef = ^uint32(0)
+
+// PendingState describes one Pending record in a MACState. Frame and
+// observer are caller-defined references — the checkpointing layer owns
+// the tables of live frames and of rebroadcast observers — and the
+// outcome flags reproduce the record exactly, including a cancelled
+// entry still waiting to be trimmed from the queue.
+type PendingState struct {
+	FrameRef   uint32
+	ObsRef     uint32
+	Started    bool
+	Cancelled  bool
+	Retransmit bool
+}
+
+// MACState is one MAC's checkpointed dynamic state: DCF counters and
+// backoff, the waiting queue, the in-flight frame, the awaited ACK
+// exchange, the owed link-layer ACK, and the (at, seq) keys of every
+// armed timer. RTS/CTS state is deliberately absent — checkpointing a
+// MAC with a reservation in progress is unsupported.
+type MACState struct {
+	Stats            Stats
+	CW               int
+	RNG              [4]uint64
+	Busy             bool
+	IdleSince        sim.Time
+	BackoffRemaining int
+	Retries          int
+
+	// Queue holds the waiting frames from the head, including cancelled
+	// entries not yet trimmed (their records are still pool-live).
+	Queue []PendingState
+
+	// The frame currently on the air, if any (its airtime-end callback
+	// reads it back through the channel's completion handler).
+	HasInflight bool
+	Inflight    PendingState
+
+	// The unicast frame whose ACK is awaited, with its timeout timer.
+	HasAwait      bool
+	Await         PendingState
+	AwaitTimerAt  sim.Time
+	AwaitTimerSeq uint64
+
+	// A scheduled transmission attempt and its backoff reconstruction
+	// state.
+	HasTxEvent   bool
+	TxEventAt    sim.Time
+	TxEventSeq   uint64
+	TxEventBase  sim.Time
+	TxEventSlots int
+
+	// The delayed link-layer ACK owed after a received unicast frame.
+	HasAck bool
+	AckTo  packet.NodeID
+	AckAt  sim.Time
+	AckSeq uint64
+
+	FreeLen int
+}
+
+// DataEnder returns the airtime-completion handler this MAC hands to
+// Channel.Transmit for data and broadcast frames, so the checkpointing
+// layer can resolve an active flight's completion handler back to its
+// owning MAC.
+func (m *MAC) DataEnder() phy.TxEnder { return &m.txEnd }
+
+// describePending translates one record through the caller's resolvers.
+// A cancelled record's frame and observer may already be recycled by the
+// layer that owns them and are never read again, so they are recorded as
+// absent (the resolvers receive nil and return their none-reference).
+func describePending(p *Pending, frameRef func(*packet.Frame) uint32, obsRef func(TxObserver) uint32) (PendingState, error) {
+	st := PendingState{
+		Started:    p.started,
+		Cancelled:  p.cancelled,
+		Retransmit: p.retransmit,
+	}
+	f, o := p.Frame, p.obs
+	if p.cancelled {
+		f, o = nil, nil
+	} else if f == nil {
+		return PendingState{}, fmt.Errorf("mac: live pending record without a frame")
+	}
+	if st.FrameRef = frameRef(f); st.FrameRef == BadRef {
+		return PendingState{}, fmt.Errorf("mac: pending record carries an unknown frame")
+	}
+	if st.ObsRef = obsRef(o); st.ObsRef == BadRef {
+		return PendingState{}, fmt.Errorf("mac: pending record has an unknown observer")
+	}
+	return st, nil
+}
+
+// Snapshot captures the MAC's state at a barrier. frameRef and obsRef
+// translate frame pointers and transmission observers into
+// caller-defined references (BadRef aborts). A MAC holding RTS/CTS
+// state — a CTS await, a NAV reservation, or an enabled threshold —
+// cannot be checkpointed.
+func (m *MAC) Snapshot(frameRef func(*packet.Frame) uint32, obsRef func(TxObserver) uint32) (MACState, error) {
+	switch {
+	case m.rtsThreshold > 0:
+		return MACState{}, fmt.Errorf("mac: checkpoint unsupported with RTS/CTS enabled")
+	case m.navEvent != nil || m.awaitKind == awaitCTS:
+		return MACState{}, fmt.Errorf("mac: checkpoint with RTS/CTS exchange in progress")
+	case m.awaiting != nil && m.awaitTimer == nil:
+		return MACState{}, fmt.Errorf("mac: awaited frame without a timeout timer")
+	}
+	st := MACState{
+		Stats:            m.stats,
+		CW:               m.cw,
+		RNG:              m.rng.State(),
+		Busy:             m.busy,
+		IdleSince:        m.idleSince,
+		BackoffRemaining: m.backoffRemaining,
+		Retries:          m.retries,
+		FreeLen:          len(m.pFree),
+	}
+	for _, p := range m.queue[m.qhead:] {
+		ps, err := describePending(p, frameRef, obsRef)
+		if err != nil {
+			return MACState{}, err
+		}
+		st.Queue = append(st.Queue, ps)
+	}
+	if m.transmitting {
+		ps, err := describePending(m.inflight, frameRef, obsRef)
+		if err != nil {
+			return MACState{}, err
+		}
+		st.HasInflight = true
+		st.Inflight = ps
+	}
+	if m.awaiting != nil {
+		ps, err := describePending(m.awaiting, frameRef, obsRef)
+		if err != nil {
+			return MACState{}, err
+		}
+		st.HasAwait = true
+		st.Await = ps
+		st.AwaitTimerAt = m.awaitTimer.At()
+		st.AwaitTimerSeq = m.awaitTimer.Seq()
+	}
+	if m.txEvent != nil {
+		st.HasTxEvent = true
+		st.TxEventAt = m.txEvent.At()
+		st.TxEventSeq = m.txEvent.Seq()
+		st.TxEventBase = m.txEventBase
+		st.TxEventSlots = m.txEventSlots
+	}
+	if m.ackTimer != nil {
+		st.HasAck = true
+		st.AckTo = m.ackTo
+		st.AckAt = m.ackTimer.At()
+		st.AckSeq = m.ackTimer.Seq()
+	}
+	return st, nil
+}
+
+// Restore rebuilds a freshly constructed (idle) MAC from a checkpointed
+// state, re-arming its timers at their exact (at, seq) keys. frame and
+// obs resolve the references Snapshot recorded; bound is invoked for
+// every restored record with its observer reference, so the layer that
+// holds Pending handles (the host's open rebroadcast decisions) can
+// re-link them. Restored records are allocated fresh — the free list is
+// pre-grown separately so pool behavior evolves as in the original run.
+func (m *MAC) Restore(st MACState,
+	frame func(uint32) *packet.Frame,
+	obs func(uint32) TxObserver,
+	bound func(ref uint32, p *Pending)) error {
+	if len(m.queue) != 0 || m.transmitting || m.awaiting != nil ||
+		m.txEvent != nil || m.ackTimer != nil || m.stats.Enqueued != 0 {
+		return fmt.Errorf("mac: restore into a MAC with traffic history")
+	}
+	m.stats = st.Stats
+	m.cw = st.CW
+	m.rng.SetState(st.RNG)
+	m.busy = st.Busy
+	m.idleSince = st.IdleSince
+	m.backoffRemaining = st.BackoffRemaining
+	m.retries = st.Retries
+	revive := func(ps PendingState) *Pending {
+		p := &Pending{
+			Frame:      frame(ps.FrameRef),
+			obs:        obs(ps.ObsRef),
+			started:    ps.Started,
+			cancelled:  ps.Cancelled,
+			retransmit: ps.Retransmit,
+		}
+		if m.audit != nil {
+			m.audit.AuditAcquire(m.sched.Now(), "mac.pending", p)
+		}
+		bound(ps.ObsRef, p)
+		return p
+	}
+	for _, ps := range st.Queue {
+		p := revive(ps)
+		if p.Frame == nil && !p.cancelled {
+			return fmt.Errorf("mac: restore queued frame without its payload")
+		}
+		m.queue = append(m.queue, p)
+	}
+	if st.HasInflight {
+		m.inflight = revive(st.Inflight)
+		m.transmitting = true
+	}
+	if st.HasAwait {
+		m.awaiting = revive(st.Await)
+		m.awaitKind = awaitACK
+		ev, err := m.sched.RestoreRunner(-1, st.AwaitTimerAt, st.AwaitTimerSeq, &m.respTimer)
+		if err != nil {
+			return fmt.Errorf("mac: restore response timeout: %w", err)
+		}
+		m.awaitTimer = ev
+	}
+	if st.HasTxEvent {
+		ev, err := m.sched.RestoreRunner(-1, st.TxEventAt, st.TxEventSeq, m)
+		if err != nil {
+			return fmt.Errorf("mac: restore attempt timer: %w", err)
+		}
+		m.txEvent = ev
+		m.txEventBase = st.TxEventBase
+		m.txEventSlots = st.TxEventSlots
+	}
+	if st.HasAck {
+		ev, err := m.sched.RestoreRunner(-1, st.AckAt, st.AckSeq, &m.ack)
+		if err != nil {
+			return fmt.Errorf("mac: restore delayed ACK: %w", err)
+		}
+		m.ackTimer = ev
+		m.ackTo = st.AckTo
+	}
+	for len(m.pFree) < st.FreeLen {
+		m.pFree = append(m.pFree, &Pending{})
+	}
+	m.pFree = m.pFree[:st.FreeLen]
+	return nil
+}
+
+// PendingEvents returns how many scheduler events the MAC currently has
+// armed (attempt timer, response timeout, delayed ACK), for the
+// checkpoint exhaustiveness cross-check.
+func (m *MAC) PendingEvents() int {
+	n := 0
+	if m.txEvent != nil {
+		n++
+	}
+	if m.awaitTimer != nil {
+		n++
+	}
+	if m.ackTimer != nil {
+		n++
+	}
+	return n
+}

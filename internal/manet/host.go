@@ -41,8 +41,9 @@ type host struct {
 	// beacons currently on the air. HELLO frames are broadcast, so the
 	// MAC completes them in enqueue order — the front of helloFly is
 	// always the frame whose TxDone is firing.
-	helloTx  helloTx
-	helloFly []*packet.Frame
+	helloTx    helloTx
+	helloTimer *sim.Event // armed next-HELLO event, nil once beaconing stops
+	helloFly   []*packet.Frame
 
 	// Reliable-broadcast repair state (Config.Repair): recently received
 	// broadcasts to advertise, and ids NACKed but not yet repaired. The
@@ -214,7 +215,10 @@ func (h *host) ReceiveGarbled(f *packet.Frame) {
 type helloTx struct{ h *host }
 
 // RunEvent fires the HELLO timer.
-func (o *helloTx) RunEvent() { o.h.sendHello() }
+func (o *helloTx) RunEvent() {
+	o.h.helloTimer = nil
+	o.h.sendHello()
+}
 
 // TxStarted implements mac.TxObserver: the beacon is on the air.
 func (o *helloTx) TxStarted() { o.h.net.helloSent++ }
@@ -395,7 +399,7 @@ func (h *host) scheduleHello() {
 		first = h.net.cfg.DHI.HIMin
 	}
 	phase := h.rng.UniformDuration(0, first)
-	h.net.sched.AfterRunner(phase, &h.helloTx)
+	h.helloTimer = h.net.sched.AfterRunner(phase, &h.helloTx)
 }
 
 // currentHelloInterval evaluates the fixed or dynamic hello interval.
@@ -427,5 +431,5 @@ func (h *host) sendHello() {
 		h.helloFly = append(h.helloFly, f)
 		h.mac.Enqueue(f, &h.helloTx)
 	}
-	h.net.sched.AfterRunner(interval, &h.helloTx)
+	h.helloTimer = h.net.sched.AfterRunner(interval, &h.helloTx)
 }

@@ -54,6 +54,15 @@ type Network struct {
 	// so it cannot affect results.
 	Progress io.Writer
 
+	// CheckpointEvery and CheckpointHook, if both set before Run, invoke
+	// the hook at the first barrier at or past each multiple of
+	// CheckpointEvery (never at the final barrier — the run is complete
+	// there, so there is nothing left to resume). Barriers sit between
+	// events with every pending event strictly in the future, which is
+	// the instant Checkpoint serializes. A hook error aborts the run.
+	CheckpointEvery sim.Duration
+	CheckpointHook  func(now sim.Time) error
+
 	// Telemetry plumbing (cfg.Telemetry): the collector plus the scheme
 	// decision counters the hosts bump. All access is gated on obs !=
 	// nil, so an uninstrumented run pays one pointer test per decision.
@@ -114,12 +123,35 @@ type Network struct {
 	drainDurs   []time.Duration
 	shardLabels []pprof.LabelSet
 
+	// Workload originations as a pre-sized Runner slab, so checkpointing
+	// can enumerate the not-yet-fired requests (a closure could not be
+	// re-described). resumed marks a network rebuilt by RestoreNetwork:
+	// its RunContext skips workload construction — the restored state
+	// already contains the armed originations and HELLO timers.
+	originations []originationEvent
+	resumed      bool
+
 	helloSent        int
 	repairsRequested int
 	repairsDelivered int
 	seq              uint32
 	endTime          sim.Time
 	ran              bool
+}
+
+// originationEvent is one workload broadcast request, armed as a Runner
+// so a checkpoint can enumerate pending requests by descriptor. ev is
+// the armed handle; nil once fired.
+type originationEvent struct {
+	n   *Network
+	src int32
+	ev  *sim.Event
+}
+
+// RunEvent fires the origination.
+func (o *originationEvent) RunEvent() {
+	o.ev = nil
+	o.n.originate(o.n.hosts[o.src])
 }
 
 // New builds a network from cfg (after defaulting); it returns an error
@@ -609,8 +641,8 @@ func (n *Network) Close() {
 func (n *Network) Run() metrics.Summary {
 	s, err := n.RunContext(context.Background())
 	if err != nil {
-		// Unreachable: Background is never cancelled and RunContext has no
-		// other error path.
+		// Unreachable without a CheckpointHook: Background is never
+		// cancelled and RunContext has no other error path.
 		panic("manet: " + err.Error())
 	}
 	return s
@@ -629,22 +661,27 @@ func (n *Network) RunContext(ctx context.Context) (metrics.Summary, error) {
 	n.ran = true
 	defer n.Close()
 
-	workload := sim.NewRNG(n.cfg.Seed).Fork(4)
-	at := sim.Time(0).Add(n.cfg.Warmup)
-	var lastArrival sim.Time
-	for i := 0; i < n.cfg.Requests; i++ {
-		at = at.Add(workload.UniformDuration(0, n.cfg.ArrivalSpread))
-		lastArrival = at
-		src := workload.IntN(len(n.hosts))
-		n.sched.Schedule(at, func() { n.originate(n.hosts[src]) })
-	}
-	n.endTime = lastArrival.Add(n.cfg.Drain)
-	if n.cfg.Requests == 0 {
-		n.endTime = sim.Time(0).Add(n.cfg.Warmup + n.cfg.Drain)
-	}
+	if !n.resumed {
+		workload := sim.NewRNG(n.cfg.Seed).Fork(4)
+		at := sim.Time(0).Add(n.cfg.Warmup)
+		var lastArrival sim.Time
+		n.originations = make([]originationEvent, n.cfg.Requests)
+		for i := 0; i < n.cfg.Requests; i++ {
+			at = at.Add(workload.UniformDuration(0, n.cfg.ArrivalSpread))
+			lastArrival = at
+			o := &n.originations[i]
+			o.n = n
+			o.src = int32(workload.IntN(len(n.hosts)))
+			o.ev = n.sched.ScheduleRunner(at, o)
+		}
+		n.endTime = lastArrival.Add(n.cfg.Drain)
+		if n.cfg.Requests == 0 {
+			n.endTime = sim.Time(0).Add(n.cfg.Warmup + n.cfg.Drain)
+		}
 
-	for _, h := range n.hosts {
-		h.scheduleHello()
+		for _, h := range n.hosts {
+			h.scheduleHello()
+		}
 	}
 
 	// Telemetry sampling and progress reporting ride the scheduler's
@@ -687,6 +724,7 @@ func (n *Network) RunContext(ctx context.Context) (metrics.Summary, error) {
 	// border lane — sequentially up to the barrier (phase B).
 	par := n.parallelEligible()
 	plan := n.planWindows(par)
+	nextCkpt := n.sched.Now().Add(n.CheckpointEvery)
 	for {
 		if err := ctx.Err(); err != nil {
 			return metrics.Summary{}, err
@@ -709,6 +747,13 @@ func (n *Network) RunContext(ctx context.Context) (metrics.Summary, error) {
 			if window > plan.base {
 				n.pstats.Widened++
 			}
+		}
+		if n.CheckpointHook != nil && n.CheckpointEvery > 0 &&
+			barrier < n.endTime && barrier >= nextCkpt {
+			if err := n.CheckpointHook(n.sched.Now()); err != nil {
+				return metrics.Summary{}, err
+			}
+			nextCkpt = barrier.Add(n.CheckpointEvery)
 		}
 		if barrier >= n.endTime {
 			break

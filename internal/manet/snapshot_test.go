@@ -1,0 +1,408 @@
+package manet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+// resumeSchemes is the scheme matrix of the resume-equivalence
+// headline: the paper's flooding baseline, the fixed counter scheme,
+// and the three adaptive schemes (counter, location, neighbor
+// coverage).
+var resumeSchemes = []struct {
+	name string
+	s    scheme.Scheme
+}{
+	{"flooding", scheme.Flooding{}},
+	{"counter", scheme.Counter{C: 3}},
+	{"adaptive-counter", scheme.AdaptiveCounter{}},
+	{"adaptive-location", scheme.AdaptiveLocation{}},
+	{"neighbor-coverage", scheme.NeighborCoverage{}},
+}
+
+// resumeBase is the shared world shape of the resume tests: mobile
+// hosts, enough requests that broadcasts overlap, small enough to run
+// the full matrix quickly.
+func resumeBase(s scheme.Scheme, seed uint64) Config {
+	return Config{
+		Scheme: s, MapUnits: 3, Hosts: 30, Requests: 8, Seed: seed,
+	}
+}
+
+// captureCheckpoints runs cfg to completion, checkpointing at roughly
+// 25/50/75% of the run, and returns the encoded checkpoints plus the
+// run's summary (which must be unperturbed by checkpointing).
+func captureCheckpoints(t *testing.T, cfg Config) ([][]byte, metrics.Summary) {
+	t.Helper()
+	baseline, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseline.Run()
+
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufs [][]byte
+	net.CheckpointEvery = sim.Duration(want.SimulatedTime) / 4
+	net.CheckpointHook = func(sim.Time) error {
+		if len(bufs) >= 3 {
+			return nil
+		}
+		var buf bytes.Buffer
+		if err := net.Checkpoint(&buf); err != nil {
+			return err
+		}
+		bufs = append(bufs, buf.Bytes())
+		return nil
+	}
+	got, err := net.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("checkpointing perturbed the run:\nhooked: %+v\nplain:  %+v", got, want)
+	}
+	if len(bufs) != 3 {
+		t.Fatalf("captured %d checkpoints, want 3", len(bufs))
+	}
+	return bufs, want
+}
+
+// TestResumeEquivalenceMatrix is the PR's headline: for every scheme,
+// seed, and engine, a run restored from a checkpoint taken at 25, 50,
+// or 75% of the way through must produce the byte-identical Summary of
+// the uninterrupted run.
+func TestResumeEquivalenceMatrix(t *testing.T) {
+	engines := []struct {
+		name   string
+		apply  func(*Config)
+		shards int
+	}{
+		{"sequential", func(*Config) {}, 0},
+		{"sharded4", func(c *Config) { c.Engine = EngineSharded; c.Shards = 4 }, 4},
+	}
+	for _, sc := range resumeSchemes {
+		t.Run(sc.name, func(t *testing.T) {
+			for _, eng := range engines {
+				t.Run(eng.name, func(t *testing.T) {
+					for seed := uint64(1); seed <= 3; seed++ {
+						cfg := resumeBase(sc.s, seed)
+						eng.apply(&cfg)
+						bufs, want := captureCheckpoints(t, cfg)
+						for frac, buf := range bufs {
+							restored, err := RestoreNetwork(bytes.NewReader(buf), cfg)
+							if err != nil {
+								t.Fatalf("seed %d checkpoint %d: %v", seed, frac, err)
+							}
+							if restored.ShardCount() != eng.shards {
+								t.Fatalf("restored onto %d shards, want %d", restored.ShardCount(), eng.shards)
+							}
+							if got := restored.Run(); got != want {
+								t.Fatalf("seed %d checkpoint at ~%d%%: resumed summary diverges:\nresumed:  %+v\nstraight: %+v",
+									seed, 25*(frac+1), got, want)
+							}
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestResumeEquivalenceRepairLoss covers the stateful extensions in one
+// resume cell: repair advertisements/NACKs in flight, Bernoulli loss
+// stream state, and the capture effect.
+func TestResumeEquivalenceRepairLoss(t *testing.T) {
+	cfg := Config{
+		Scheme: scheme.AdaptiveCounter{}, MapUnits: 3, Hosts: 30, Requests: 8,
+		Repair: true, LossRate: 0.15, CaptureRatio: 2, Seed: 11,
+		Warmup: 2 * sim.Second,
+	}
+	bufs, want := captureCheckpoints(t, cfg)
+	for frac, buf := range bufs {
+		restored, err := RestoreNetwork(bytes.NewReader(buf), cfg)
+		if err != nil {
+			t.Fatalf("checkpoint %d: %v", frac, err)
+		}
+		if got := restored.Run(); got != want {
+			t.Fatalf("checkpoint at ~%d%%: resumed summary diverges:\nresumed:  %+v\nstraight: %+v",
+				25*(frac+1), got, want)
+		}
+	}
+}
+
+// TestRestoredRunAuditClean restores into a network with the invariant
+// auditor attached: the resumed half of the run must be violation-free
+// and still produce the original summary (the auditor is part of the
+// configuration digest's blind spot by design — it is observation-only).
+func TestRestoredRunAuditClean(t *testing.T) {
+	cfg := resumeBase(scheme.AdaptiveCounter{}, 7)
+	bufs, want := captureCheckpoints(t, cfg)
+
+	audited := cfg
+	audited.Audit = check.New()
+	restored, err := RestoreNetwork(bytes.NewReader(bufs[1]), audited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := restored.Run()
+	if err := audited.Audit.Err(); err != nil {
+		t.Fatalf("restored run reported violations: %v", err)
+	}
+	if !audited.Audit.SummaryChecked() {
+		t.Fatal("auditor never checked the restored summary")
+	}
+	if got != want {
+		t.Fatalf("audited resume diverges:\nresumed:  %+v\nstraight: %+v", got, want)
+	}
+}
+
+// TestForkDivergedSeed pins the fork-for-what-if contract: the same
+// checkpoint restored twice yields one run that reproduces the original
+// and one — re-seeded via DivergeSeed — that explores a different
+// future from the identical past.
+func TestForkDivergedSeed(t *testing.T) {
+	cfg := resumeBase(scheme.AdaptiveCounter{}, 3)
+	bufs, want := captureCheckpoints(t, cfg)
+
+	replay, err := RestoreNetwork(bytes.NewReader(bufs[0]), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := replay.Run(); got != want {
+		t.Fatalf("replay fork diverged:\nreplay:   %+v\nstraight: %+v", got, want)
+	}
+
+	fork, err := RestoreNetwork(bytes.NewReader(bufs[0]), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork.DivergeSeed(0xdead)
+	if got := fork.Run(); got == want {
+		t.Fatalf("diverged-seed fork reproduced the original summary %+v", got)
+	}
+}
+
+// TestRestoreIntoArena restores a sharded checkpoint into slab memory
+// reused from a previous restored world: arena reuse must not leak any
+// prior state into the resumed run.
+func TestRestoreIntoArena(t *testing.T) {
+	cfg := resumeBase(scheme.NeighborCoverage{}, 5)
+	cfg.Engine = EngineSharded
+	cfg.Shards = 4
+	bufs, want := captureCheckpoints(t, cfg)
+
+	arena := NewArena()
+	cfg.Arena = arena
+	for round := 0; round < 2; round++ {
+		restored, err := RestoreNetwork(bytes.NewReader(bufs[2]), cfg)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if got := restored.Run(); got != want {
+			t.Fatalf("round %d: arena-restored summary diverges:\nresumed:  %+v\nstraight: %+v", round, got, want)
+		}
+	}
+}
+
+// TestCheckpointUnsupportedConfigs pins the refusal list: legacy
+// engines, telemetry, and movers without snapshot support must error at
+// checkpoint time instead of writing a document that cannot resume.
+func TestCheckpointUnsupportedConfigs(t *testing.T) {
+	cases := []struct {
+		name  string
+		apply func(*Config)
+	}{
+		{"heap-scheduler", func(c *Config) { c.DisableLadderQueue = true }},
+		{"map-bookkeeping", func(c *Config) { c.DisableDenseState = true }},
+		{"telemetry", func(c *Config) { c.Telemetry = obs.New(sim.Second) }},
+		{"groups", func(c *Config) { c.Groups = 3 }},
+		{"waypoint", func(c *Config) { c.Mobility = MobilityWaypoint }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := resumeBase(scheme.Flooding{}, 1)
+			tc.apply(&cfg)
+			net, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer net.Close()
+			if err := net.Checkpoint(&bytes.Buffer{}); err == nil {
+				t.Fatal("Checkpoint accepted an unsupported configuration")
+			}
+		})
+	}
+}
+
+// TestRestoreContradictoryConfig pins the digest check: restoring under
+// any configuration that would change the event sequence is an error,
+// not a silent divergence.
+func TestRestoreContradictoryConfig(t *testing.T) {
+	cfg := resumeBase(scheme.Counter{C: 3}, 2)
+	bufs, _ := captureCheckpoints(t, cfg)
+
+	contradictions := []struct {
+		name  string
+		apply func(*Config)
+	}{
+		{"different-seed", func(c *Config) { c.Seed = 99 }},
+		{"different-scheme", func(c *Config) { c.Scheme = scheme.Flooding{} }},
+		{"different-hosts", func(c *Config) { c.Hosts = 31 }},
+		{"different-requests", func(c *Config) { c.Requests = 9 }},
+		{"different-engine", func(c *Config) { c.Engine = EngineSharded; c.Shards = 4 }},
+		{"loss-enabled", func(c *Config) { c.LossRate = 0.1 }},
+	}
+	for _, tc := range contradictions {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := cfg
+			tc.apply(&bad)
+			if _, err := RestoreNetwork(bytes.NewReader(bufs[0]), bad); err == nil {
+				t.Fatal("RestoreNetwork accepted a contradictory configuration")
+			}
+		})
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := RestoreNetwork(bytes.NewReader(bufs[0][:len(bufs[0])/2]), cfg); err == nil {
+			t.Fatal("RestoreNetwork accepted a truncated checkpoint")
+		}
+	})
+}
+
+// TestCheckpointHookErrorAborts verifies a hook error stops the run at
+// the barrier and surfaces through RunContext.
+func TestCheckpointHookErrorAborts(t *testing.T) {
+	cfg := resumeBase(scheme.Flooding{}, 1)
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk full")
+	net.CheckpointEvery = sim.Second
+	net.CheckpointHook = func(sim.Time) error { return boom }
+	if _, err := net.RunContext(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("RunContext returned %v, want the hook's error", err)
+	}
+}
+
+// TestResumeSoak checkpoints and restores at every checkpoint window of
+// a full mobile repair run — a chain of resumed processes — and
+// requires the final summary, the record-arena high-water marks, and
+// the event-pool statistics at every window to match the uninterrupted
+// run exactly.
+func TestResumeSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resume soak skipped in -short mode")
+	}
+	cfg := Config{
+		Scheme: scheme.AdaptiveCounter{}, MapUnits: 3, Hosts: 30, Requests: 10,
+		Repair: true, Seed: 9, Warmup: 2 * sim.Second,
+	}
+	const window = 2 * sim.Second
+
+	// mark is the resource state compared at every checkpoint window. The
+	// event-pool comparison is of total allocations (hits+misses): the
+	// split between the two depends on when the ladder queue lazily
+	// recycles tombstoned events, which is bucket-geometry cache behavior
+	// a checkpoint deliberately does not serialize.
+	type mark struct {
+		arena       int
+		alloc       uint64
+		prFreeTotal int
+		setPool     int
+		framePool   int
+		helloPool   int
+	}
+	observe := func(n *Network) mark {
+		m := mark{
+			arena:     int(n.recBase) + len(n.recs),
+			setPool:   len(n.setPool),
+			framePool: len(n.framePool),
+			helloPool: len(n.helloPool),
+		}
+		hits, misses := n.sched.PoolStats()
+		m.alloc = hits + misses
+		for _, h := range n.hosts {
+			m.prFreeTotal += len(h.prFree)
+		}
+		return m
+	}
+
+	baseline, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantMarks []mark
+	baseline.CheckpointEvery = window
+	baseline.CheckpointHook = func(sim.Time) error {
+		wantMarks = append(wantMarks, observe(baseline))
+		return nil
+	}
+	want, err := baseline.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantMarks) < 5 {
+		t.Fatalf("baseline hit only %d checkpoint windows; widen the run", len(wantMarks))
+	}
+
+	// The chain: each process runs until its first checkpoint window,
+	// writes the checkpoint, and stops; the next process restores from
+	// those bytes. The final process reaches the end of the run.
+	stop := errors.New("checkpoint taken")
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotMarks []mark
+	var got metrics.Summary
+	for hop := 0; ; hop++ {
+		if hop > len(wantMarks)+2 {
+			t.Fatalf("resume chain did not terminate after %d hops", hop)
+		}
+		var buf bytes.Buffer
+		net.CheckpointEvery = window
+		net.CheckpointHook = func(sim.Time) error {
+			gotMarks = append(gotMarks, observe(net))
+			if err := net.Checkpoint(&buf); err != nil {
+				return err
+			}
+			return stop
+		}
+		s, err := net.RunContext(context.Background())
+		if errors.Is(err, stop) {
+			net, err = RestoreNetwork(bytes.NewReader(buf.Bytes()), cfg)
+			if err != nil {
+				t.Fatalf("hop %d: %v", hop, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("hop %d: %v", hop, err)
+		}
+		got = s
+		break
+	}
+	if got != want {
+		t.Fatalf("resume chain diverged:\nchained:  %+v\nstraight: %+v", got, want)
+	}
+	if len(gotMarks) != len(wantMarks) {
+		t.Fatalf("chain observed %d checkpoint windows, baseline %d", len(gotMarks), len(wantMarks))
+	}
+	for i := range wantMarks {
+		if gotMarks[i] != wantMarks[i] {
+			t.Fatalf("window %d: chained state %+v, baseline %+v", i, gotMarks[i], wantMarks[i])
+		}
+	}
+}

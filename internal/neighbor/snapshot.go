@@ -1,0 +1,115 @@
+package neighbor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// EntryState is one live neighbor entry in a TableState, including the
+// (at, seq) key of its armed expiry timer. Every live entry has an armed
+// timer: OnHello always re-arms on refresh and expire removes the entry
+// when it fires, so a barrier never observes a live entry without one.
+type EntryState struct {
+	ID        packet.NodeID
+	LastHeard sim.Time
+	Interval  sim.Duration
+	Deadline  sim.Time
+	ExpirySeq uint64
+	TwoHop    []packet.NodeID
+}
+
+// TableState is one host's checkpointed neighbor knowledge: the live
+// entries in ascending id order (canonical for the snapshot codec) and
+// the join/leave change log feeding the variation estimator.
+type TableState struct {
+	Entries []EntryState
+	Changes []sim.Time
+}
+
+// Snapshot captures the table's live entries and change log at a
+// barrier. Entries are emitted in ascending id order on both layouts.
+func (t *Table) Snapshot() TableState {
+	var st TableState
+	snap := func(e *entry) {
+		st.Entries = append(st.Entries, EntryState{
+			ID:        e.id,
+			LastHeard: e.lastHeard,
+			Interval:  e.interval,
+			Deadline:  e.deadline,
+			ExpirySeq: e.expiry.Seq(),
+			TwoHop:    e.twoHop,
+		})
+	}
+	if t.denseHosts > 0 {
+		if t.present != nil {
+			t.present.ForEach(func(h packet.NodeID) { snap(&t.dense[h]) })
+		}
+	} else {
+		ids := make([]packet.NodeID, 0, len(t.entries))
+		for id := range t.entries {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			snap(t.entries[id])
+		}
+	}
+	st.Changes = t.changes
+	return st
+}
+
+// Restore rebuilds a freshly constructed (empty) table from a
+// checkpointed state, re-arming every entry's expiry timer at its exact
+// (at, seq) key on the central ladder — where OnHello schedules them.
+func (t *Table) Restore(st TableState) error {
+	if t.Count() != 0 {
+		return fmt.Errorf("neighbor: restore into a non-empty table")
+	}
+	for _, es := range st.Entries {
+		if es.ID == t.owner {
+			return fmt.Errorf("neighbor: restore entry for the table owner %v", es.ID)
+		}
+		var e *entry
+		if t.denseHosts > 0 {
+			if int(es.ID) < 0 || int(es.ID) >= t.denseHosts {
+				return fmt.Errorf("neighbor: restore entry id %v outside dense population %d", es.ID, t.denseHosts)
+			}
+			t.ensureDense()
+			if !t.present.Add(es.ID) {
+				return fmt.Errorf("neighbor: duplicate restore entry %v", es.ID)
+			}
+			t.dirty = true
+			e = &t.dense[es.ID]
+		} else {
+			if _, dup := t.entries[es.ID]; dup {
+				return fmt.Errorf("neighbor: duplicate restore entry %v", es.ID)
+			}
+			e = &entry{}
+			t.entries[es.ID] = e
+		}
+		e.id = es.ID
+		e.lastHeard = es.LastHeard
+		e.interval = es.Interval
+		e.deadline = es.Deadline
+		e.twoHop = append(e.twoHop[:0], es.TwoHop...)
+		if e.fire == nil {
+			ee := e
+			e.fire = func() { t.expire(ee.id, ee.deadline) }
+		}
+		ev, err := t.sched.RestoreFunc(-1, es.Deadline, es.ExpirySeq, e.fire)
+		if err != nil {
+			return fmt.Errorf("neighbor: restore expiry for %v: %w", es.ID, err)
+		}
+		e.expiry = ev
+	}
+	t.changes = append(t.changes[:0], st.Changes...)
+	return nil
+}
+
+// PendingEvents returns how many scheduler events the table currently
+// has armed (one expiry per live entry), for the checkpoint
+// exhaustiveness cross-check.
+func (t *Table) PendingEvents() int { return t.Count() }

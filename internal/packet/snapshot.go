@@ -1,0 +1,39 @@
+package packet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Snapshot returns the broadcast ids the table has observed, in
+// canonical ascending (source, seq) order for the checkpoint codec.
+func (t *DedupTable) Snapshot() []BroadcastID {
+	ids := make([]BroadcastID, 0, len(t.seen))
+	for id := range t.seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Source != ids[j].Source {
+			return ids[i].Source < ids[j].Source
+		}
+		return ids[i].Seq < ids[j].Seq
+	})
+	return ids
+}
+
+// Restore fills an empty table with a checkpointed id set.
+func (t *DedupTable) Restore(ids []BroadcastID) error {
+	if len(t.seen) != 0 {
+		return fmt.Errorf("packet: restore into a non-empty dedup table")
+	}
+	if t.seen == nil {
+		t.seen = make(map[BroadcastID]bool, len(ids))
+	}
+	for _, id := range ids {
+		if t.seen[id] {
+			return fmt.Errorf("packet: duplicate id %v in dedup restore", id)
+		}
+		t.seen[id] = true
+	}
+	return nil
+}

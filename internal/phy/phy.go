@@ -156,9 +156,11 @@ type transmission struct {
 	// onDone is the caller's completion handler for this flight, and
 	// fire is the end-of-airtime event body, bound once per record so a
 	// recycled transmission schedules its finish without allocating a
-	// fresh closure per Transmit.
-	onDone TxEnder
-	fire   func()
+	// fresh closure per Transmit. endEvent is the armed end-of-airtime
+	// event, kept so a checkpoint can record its exact (at, seq) key.
+	onDone   TxEnder
+	fire     func()
+	endEvent *sim.Event
 }
 
 // garble marks receiver i's copy destroyed in whichever representation
@@ -645,7 +647,7 @@ func (c *Channel) Transmit(radio int, f *packet.Frame, onDone TxEnder) sim.Durat
 	}
 
 	tx.onDone = onDone
-	c.sched.Schedule(tx.end, tx.fire)
+	tx.endEvent = c.sched.Schedule(tx.end, tx.fire)
 	return air
 }
 
@@ -932,6 +934,7 @@ func (c *Channel) finish(tx *transmission) {
 	}
 	tx.frame = nil
 	tx.onDone = nil
+	tx.endEvent = nil
 	c.txFree = append(c.txFree, tx)
 }
 

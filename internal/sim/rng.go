@@ -66,6 +66,21 @@ func (r *RNG) ForkInto(child *RNG, label uint64) {
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
+// State returns the generator's internal state, for checkpointing. A
+// stream restored with SetState continues the exact value sequence the
+// original would have produced.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state with one previously
+// returned by State. The all-zero state (never produced by a live
+// stream) is rejected by nudging, matching NewRNG's guard.
+func (r *RNG) SetState(s [4]uint64) {
+	r.s = s
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+}
+
 // Uint64 returns the next value in the stream.
 func (r *RNG) Uint64() uint64 {
 	s := &r.s

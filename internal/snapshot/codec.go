@@ -1,0 +1,1251 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/mac"
+	"repro/internal/mobility"
+	"repro/internal/neighbor"
+	"repro/internal/packet"
+	"repro/internal/phy"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+// Wire layout: an 8-byte magic, a version byte, then the Checkpoint
+// fields in declaration order, all integers big-endian. Counts are
+// uint32 prefixes; booleans are a single 0/1 byte (any other value is
+// rejected, which is what keeps the encoding canonical); floats are
+// IEEE 754 bits. Decode consumes the whole input — truncation inside a
+// field and trailing bytes after the document are both errors — and
+// every count is sanity-checked against the bytes remaining before
+// anything is allocated, so a forged length cannot balloon memory.
+
+// Magic prefixes every encoded checkpoint.
+const Magic = "STRMSNAP"
+
+// CodecVersion is the format version written after the magic.
+const CodecVersion = 1
+
+// ErrTruncated reports input that ended inside a field.
+var ErrTruncated = errors.New("snapshot: truncated checkpoint")
+
+// maxCount caps every length prefix in addition to the remaining-bytes
+// bound, so a single corrupt count cannot demand a giant allocation.
+const maxCount = 1 << 28
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *encoder) i64(v int64)  { e.u64(uint64(v)) }
+func (e *encoder) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+func (e *encoder) boolean(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *encoder) count(n int) { e.u32(uint32(n)) }
+func (e *encoder) str(s string) {
+	e.count(len(s))
+	e.buf = append(e.buf, s...)
+}
+func (e *encoder) node(id packet.NodeID) { e.u32(uint32(int32(id))) }
+func (e *encoder) bid(id packet.BroadcastID) {
+	e.node(id.Source)
+	e.u32(id.Seq)
+}
+func (e *encoder) rng(s [4]uint64) {
+	for _, w := range s {
+		e.u64(w)
+	}
+}
+
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) remaining() int { return len(d.buf) - d.off }
+
+func (d *decoder) take(n int, field string) ([]byte, error) {
+	if n > d.remaining() {
+		return nil, fmt.Errorf("%w: %s at offset %d (have %d of %d bytes)",
+			ErrTruncated, field, d.off, d.remaining(), n)
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+func (d *decoder) u8(field string) (uint8, error) {
+	b, err := d.take(1, field)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (d *decoder) u32(field string) (uint32, error) {
+	b, err := d.take(4, field)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (d *decoder) u64(field string) (uint64, error) {
+	b, err := d.take(8, field)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+func (d *decoder) i64(field string) (int64, error) {
+	v, err := d.u64(field)
+	return int64(v), err
+}
+
+func (d *decoder) f64(field string) (float64, error) {
+	v, err := d.u64(field)
+	return math.Float64frombits(v), err
+}
+
+func (d *decoder) boolean(field string) (bool, error) {
+	v, err := d.u8(field)
+	if err != nil {
+		return false, err
+	}
+	switch v {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	default:
+		return false, fmt.Errorf("snapshot: non-canonical boolean %d in %s", v, field)
+	}
+}
+
+// count reads a length prefix and checks it against the bytes remaining
+// (each element occupies at least elemSize bytes) before the caller
+// allocates anything.
+func (d *decoder) count(elemSize int, field string) (int, error) {
+	v, err := d.u32(field)
+	if err != nil {
+		return 0, err
+	}
+	n := int(v)
+	if n > maxCount || n*elemSize > d.remaining() {
+		return 0, fmt.Errorf("snapshot: %s count %d exceeds remaining input", field, n)
+	}
+	return n, nil
+}
+
+func (d *decoder) str(field string) (string, error) {
+	n, err := d.count(1, field)
+	if err != nil {
+		return "", err
+	}
+	b, err := d.take(n, field)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (d *decoder) node(field string) (packet.NodeID, error) {
+	v, err := d.u32(field)
+	return packet.NodeID(int32(v)), err
+}
+
+func (d *decoder) bid(field string) (packet.BroadcastID, error) {
+	src, err := d.node(field)
+	if err != nil {
+		return packet.BroadcastID{}, err
+	}
+	seq, err := d.u32(field)
+	return packet.BroadcastID{Source: src, Seq: seq}, err
+}
+
+func (d *decoder) rng(field string) ([4]uint64, error) {
+	var s [4]uint64
+	for i := range s {
+		w, err := d.u64(field)
+		if err != nil {
+			return s, err
+		}
+		s[i] = w
+	}
+	return s, nil
+}
+
+func (d *decoder) bids(field string) ([]packet.BroadcastID, error) {
+	n, err := d.count(8, field)
+	if err != nil {
+		return nil, err
+	}
+	var out []packet.BroadcastID
+	for i := 0; i < n; i++ {
+		id, err := d.bid(field)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+func (d *decoder) nodes(field string) ([]packet.NodeID, error) {
+	n, err := d.count(4, field)
+	if err != nil {
+		return nil, err
+	}
+	var out []packet.NodeID
+	for i := 0; i < n; i++ {
+		id, err := d.node(field)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+func encodeBids(e *encoder, ids []packet.BroadcastID) {
+	e.count(len(ids))
+	for _, id := range ids {
+		e.bid(id)
+	}
+}
+
+func encodeNodes(e *encoder, ids []packet.NodeID) {
+	e.count(len(ids))
+	for _, id := range ids {
+		e.node(id)
+	}
+}
+
+// --- scheduler ---
+
+func encodeSched(e *encoder, st *sim.SchedulerState) {
+	e.i64(int64(st.Now))
+	e.u64(st.Seq)
+	e.u64(st.Executed)
+	e.u64(st.PoolHits)
+	e.u64(st.PoolMisses)
+	e.i64(int64(st.FreeLen))
+	e.count(len(st.Lanes))
+	for _, ln := range st.Lanes {
+		e.u64(ln.Seq)
+		e.i64(int64(ln.FreeLen))
+	}
+}
+
+func decodeSched(d *decoder) (sim.SchedulerState, error) {
+	var st sim.SchedulerState
+	var err error
+	read := func(field string) int64 {
+		if err != nil {
+			return 0
+		}
+		var v int64
+		v, err = d.i64(field)
+		return v
+	}
+	st.Now = sim.Time(read("sched.now"))
+	st.Seq = uint64(read("sched.seq"))
+	st.Executed = uint64(read("sched.executed"))
+	st.PoolHits = uint64(read("sched.pool_hits"))
+	st.PoolMisses = uint64(read("sched.pool_misses"))
+	st.FreeLen = int(read("sched.free_len"))
+	if err != nil {
+		return st, err
+	}
+	n, err := d.count(16, "sched.lanes")
+	if err != nil {
+		return st, err
+	}
+	for i := 0; i < n; i++ {
+		var ln sim.LaneState
+		if ln.Seq, err = d.u64("sched.lane.seq"); err != nil {
+			return st, err
+		}
+		fl, err := d.i64("sched.lane.free_len")
+		if err != nil {
+			return st, err
+		}
+		ln.FreeLen = int(fl)
+		st.Lanes = append(st.Lanes, ln)
+	}
+	return st, nil
+}
+
+// --- channel ---
+
+func encodeChannel(e *encoder, st *phy.ChannelState) {
+	e.i64(int64(st.Stats.Transmissions))
+	e.i64(int64(st.Stats.Deliveries))
+	e.i64(int64(st.Stats.Collisions))
+	e.i64(int64(st.Stats.Lost))
+	e.boolean(st.HasLoss)
+	e.rng(st.LossRNG)
+	e.i64(int64(st.MaxAir))
+	e.u64(st.TxPoolHits)
+	e.u64(st.TxPoolMisses)
+	e.i64(int64(st.TxFreeLen))
+	e.count(len(st.Active))
+	for _, tx := range st.Active {
+		e.u32(tx.FrameRef)
+		e.u32(tx.EnderRef)
+		e.u32(uint32(tx.Sender))
+		e.f64(tx.SenderPos.X)
+		e.f64(tx.SenderPos.Y)
+		e.i64(int64(tx.End))
+		e.u64(tx.EndSeq)
+		e.count(len(tx.Receivers))
+		for _, r := range tx.Receivers {
+			e.u32(uint32(r))
+		}
+		encodeNodes(e, tx.Garbled)
+	}
+}
+
+func decodeChannel(d *decoder) (phy.ChannelState, error) {
+	var st phy.ChannelState
+	var err error
+	read := func(field string) int64 {
+		if err != nil {
+			return 0
+		}
+		var v int64
+		v, err = d.i64(field)
+		return v
+	}
+	st.Stats.Transmissions = int(read("phy.transmissions"))
+	st.Stats.Deliveries = int(read("phy.deliveries"))
+	st.Stats.Collisions = int(read("phy.collisions"))
+	st.Stats.Lost = int(read("phy.lost"))
+	if err != nil {
+		return st, err
+	}
+	if st.HasLoss, err = d.boolean("phy.has_loss"); err != nil {
+		return st, err
+	}
+	if st.LossRNG, err = d.rng("phy.loss_rng"); err != nil {
+		return st, err
+	}
+	st.MaxAir = sim.Duration(read("phy.max_air"))
+	st.TxPoolHits = uint64(read("phy.tx_pool_hits"))
+	st.TxPoolMisses = uint64(read("phy.tx_pool_misses"))
+	st.TxFreeLen = int(read("phy.tx_free_len"))
+	if err != nil {
+		return st, err
+	}
+	n, err := d.count(52, "phy.active")
+	if err != nil {
+		return st, err
+	}
+	for i := 0; i < n; i++ {
+		var tx phy.TxState
+		if tx.FrameRef, err = d.u32("phy.tx.frame_ref"); err != nil {
+			return st, err
+		}
+		if tx.EnderRef, err = d.u32("phy.tx.ender_ref"); err != nil {
+			return st, err
+		}
+		sender, err := d.u32("phy.tx.sender")
+		if err != nil {
+			return st, err
+		}
+		tx.Sender = int32(sender)
+		if tx.SenderPos.X, err = d.f64("phy.tx.pos_x"); err != nil {
+			return st, err
+		}
+		if tx.SenderPos.Y, err = d.f64("phy.tx.pos_y"); err != nil {
+			return st, err
+		}
+		end, err := d.i64("phy.tx.end")
+		if err != nil {
+			return st, err
+		}
+		tx.End = sim.Time(end)
+		if tx.EndSeq, err = d.u64("phy.tx.end_seq"); err != nil {
+			return st, err
+		}
+		rn, err := d.count(4, "phy.tx.receivers")
+		if err != nil {
+			return st, err
+		}
+		for j := 0; j < rn; j++ {
+			r, err := d.u32("phy.tx.receiver")
+			if err != nil {
+				return st, err
+			}
+			tx.Receivers = append(tx.Receivers, int32(r))
+		}
+		if tx.Garbled, err = d.nodes("phy.tx.garbled"); err != nil {
+			return st, err
+		}
+		st.Active = append(st.Active, tx)
+	}
+	return st, nil
+}
+
+// --- MAC ---
+
+func encodeMACPending(e *encoder, st *mac.PendingState) {
+	e.u32(st.FrameRef)
+	e.u32(st.ObsRef)
+	e.boolean(st.Started)
+	e.boolean(st.Cancelled)
+	e.boolean(st.Retransmit)
+}
+
+func decodeMACPending(d *decoder, field string) (mac.PendingState, error) {
+	var st mac.PendingState
+	var err error
+	if st.FrameRef, err = d.u32(field); err != nil {
+		return st, err
+	}
+	if st.ObsRef, err = d.u32(field); err != nil {
+		return st, err
+	}
+	if st.Started, err = d.boolean(field); err != nil {
+		return st, err
+	}
+	if st.Cancelled, err = d.boolean(field); err != nil {
+		return st, err
+	}
+	st.Retransmit, err = d.boolean(field)
+	return st, err
+}
+
+func encodeMAC(e *encoder, st *mac.MACState) {
+	e.i64(int64(st.Stats.Enqueued))
+	e.i64(int64(st.Stats.Sent))
+	e.i64(int64(st.Stats.Cancelled))
+	e.i64(int64(st.Stats.AcksSent))
+	e.i64(int64(st.Stats.Retries))
+	e.i64(int64(st.Stats.Dropped))
+	e.i64(int64(st.Stats.Stalls))
+	e.i64(int64(st.CW))
+	e.rng(st.RNG)
+	e.boolean(st.Busy)
+	e.i64(int64(st.IdleSince))
+	e.i64(int64(st.BackoffRemaining))
+	e.i64(int64(st.Retries))
+	e.count(len(st.Queue))
+	for i := range st.Queue {
+		encodeMACPending(e, &st.Queue[i])
+	}
+	e.boolean(st.HasInflight)
+	encodeMACPending(e, &st.Inflight)
+	e.boolean(st.HasAwait)
+	encodeMACPending(e, &st.Await)
+	e.i64(int64(st.AwaitTimerAt))
+	e.u64(st.AwaitTimerSeq)
+	e.boolean(st.HasTxEvent)
+	e.i64(int64(st.TxEventAt))
+	e.u64(st.TxEventSeq)
+	e.i64(int64(st.TxEventBase))
+	e.i64(int64(st.TxEventSlots))
+	e.boolean(st.HasAck)
+	e.node(st.AckTo)
+	e.i64(int64(st.AckAt))
+	e.u64(st.AckSeq)
+	e.i64(int64(st.FreeLen))
+}
+
+func decodeMAC(d *decoder) (mac.MACState, error) {
+	var st mac.MACState
+	var err error
+	read := func(field string) int64 {
+		if err != nil {
+			return 0
+		}
+		var v int64
+		v, err = d.i64(field)
+		return v
+	}
+	st.Stats.Enqueued = int(read("mac.enqueued"))
+	st.Stats.Sent = int(read("mac.sent"))
+	st.Stats.Cancelled = int(read("mac.cancelled"))
+	st.Stats.AcksSent = int(read("mac.acks_sent"))
+	st.Stats.Retries = int(read("mac.stat_retries"))
+	st.Stats.Dropped = int(read("mac.dropped"))
+	st.Stats.Stalls = int(read("mac.stalls"))
+	st.CW = int(read("mac.cw"))
+	if err != nil {
+		return st, err
+	}
+	if st.RNG, err = d.rng("mac.rng"); err != nil {
+		return st, err
+	}
+	if st.Busy, err = d.boolean("mac.busy"); err != nil {
+		return st, err
+	}
+	st.IdleSince = sim.Time(read("mac.idle_since"))
+	st.BackoffRemaining = int(read("mac.backoff_remaining"))
+	st.Retries = int(read("mac.retries"))
+	if err != nil {
+		return st, err
+	}
+	n, err := d.count(11, "mac.queue")
+	if err != nil {
+		return st, err
+	}
+	for i := 0; i < n; i++ {
+		ps, err := decodeMACPending(d, "mac.queue")
+		if err != nil {
+			return st, err
+		}
+		st.Queue = append(st.Queue, ps)
+	}
+	if st.HasInflight, err = d.boolean("mac.has_inflight"); err != nil {
+		return st, err
+	}
+	if st.Inflight, err = decodeMACPending(d, "mac.inflight"); err != nil {
+		return st, err
+	}
+	if st.HasAwait, err = d.boolean("mac.has_await"); err != nil {
+		return st, err
+	}
+	if st.Await, err = decodeMACPending(d, "mac.await"); err != nil {
+		return st, err
+	}
+	st.AwaitTimerAt = sim.Time(read("mac.await_at"))
+	st.AwaitTimerSeq = uint64(read("mac.await_seq"))
+	if err != nil {
+		return st, err
+	}
+	if st.HasTxEvent, err = d.boolean("mac.has_tx_event"); err != nil {
+		return st, err
+	}
+	st.TxEventAt = sim.Time(read("mac.tx_event_at"))
+	st.TxEventSeq = uint64(read("mac.tx_event_seq"))
+	st.TxEventBase = sim.Time(read("mac.tx_event_base"))
+	st.TxEventSlots = int(read("mac.tx_event_slots"))
+	if err != nil {
+		return st, err
+	}
+	if st.HasAck, err = d.boolean("mac.has_ack"); err != nil {
+		return st, err
+	}
+	if st.AckTo, err = d.node("mac.ack_to"); err != nil {
+		return st, err
+	}
+	st.AckAt = sim.Time(read("mac.ack_at"))
+	st.AckSeq = uint64(read("mac.ack_seq"))
+	st.FreeLen = int(read("mac.free_len"))
+	return st, err
+}
+
+// --- mobility ---
+
+func encodeMover(e *encoder, st *mobility.RoamerState) {
+	e.i64(int64(st.SegStart))
+	e.f64(st.Origin.X)
+	e.f64(st.Origin.Y)
+	e.f64(st.VX)
+	e.f64(st.VY)
+	e.i64(int64(st.PrevStart))
+	e.f64(st.PrevOrigin.X)
+	e.f64(st.PrevOrigin.Y)
+	e.f64(st.PrevVX)
+	e.f64(st.PrevVY)
+	e.i64(int64(st.TurnAt))
+	e.boolean(st.HasPrev)
+	e.boolean(st.Stopped)
+	e.rng(st.RNG)
+	e.boolean(st.HasTurn)
+	e.i64(int64(st.TurnEventAt))
+	e.u64(st.TurnEventSeq)
+}
+
+func decodeMover(d *decoder) (mobility.RoamerState, error) {
+	var st mobility.RoamerState
+	var err error
+	readI := func(field string) int64 {
+		if err != nil {
+			return 0
+		}
+		var v int64
+		v, err = d.i64(field)
+		return v
+	}
+	readF := func(field string) float64 {
+		if err != nil {
+			return 0
+		}
+		var v float64
+		v, err = d.f64(field)
+		return v
+	}
+	st.SegStart = sim.Time(readI("mover.seg_start"))
+	st.Origin.X = readF("mover.origin_x")
+	st.Origin.Y = readF("mover.origin_y")
+	st.VX = readF("mover.vx")
+	st.VY = readF("mover.vy")
+	st.PrevStart = sim.Time(readI("mover.prev_start"))
+	st.PrevOrigin.X = readF("mover.prev_origin_x")
+	st.PrevOrigin.Y = readF("mover.prev_origin_y")
+	st.PrevVX = readF("mover.prev_vx")
+	st.PrevVY = readF("mover.prev_vy")
+	st.TurnAt = sim.Time(readI("mover.turn_at"))
+	if err != nil {
+		return st, err
+	}
+	if st.HasPrev, err = d.boolean("mover.has_prev"); err != nil {
+		return st, err
+	}
+	if st.Stopped, err = d.boolean("mover.stopped"); err != nil {
+		return st, err
+	}
+	if st.RNG, err = d.rng("mover.rng"); err != nil {
+		return st, err
+	}
+	if st.HasTurn, err = d.boolean("mover.has_turn"); err != nil {
+		return st, err
+	}
+	st.TurnEventAt = sim.Time(readI("mover.turn_event_at"))
+	st.TurnEventSeq = uint64(readI("mover.turn_event_seq"))
+	return st, err
+}
+
+// --- neighbor table ---
+
+func encodeTable(e *encoder, st *neighbor.TableState) {
+	e.count(len(st.Entries))
+	for i := range st.Entries {
+		en := &st.Entries[i]
+		e.node(en.ID)
+		e.i64(int64(en.LastHeard))
+		e.i64(int64(en.Interval))
+		e.i64(int64(en.Deadline))
+		e.u64(en.ExpirySeq)
+		encodeNodes(e, en.TwoHop)
+	}
+	e.count(len(st.Changes))
+	for _, t := range st.Changes {
+		e.i64(int64(t))
+	}
+}
+
+func decodeTable(d *decoder) (neighbor.TableState, error) {
+	var st neighbor.TableState
+	n, err := d.count(40, "table.entries")
+	if err != nil {
+		return st, err
+	}
+	for i := 0; i < n; i++ {
+		var en neighbor.EntryState
+		if en.ID, err = d.node("table.entry.id"); err != nil {
+			return st, err
+		}
+		lh, err := d.i64("table.entry.last_heard")
+		if err != nil {
+			return st, err
+		}
+		en.LastHeard = sim.Time(lh)
+		iv, err := d.i64("table.entry.interval")
+		if err != nil {
+			return st, err
+		}
+		en.Interval = sim.Duration(iv)
+		dl, err := d.i64("table.entry.deadline")
+		if err != nil {
+			return st, err
+		}
+		en.Deadline = sim.Time(dl)
+		if en.ExpirySeq, err = d.u64("table.entry.expiry_seq"); err != nil {
+			return st, err
+		}
+		if en.TwoHop, err = d.nodes("table.entry.two_hop"); err != nil {
+			return st, err
+		}
+		st.Entries = append(st.Entries, en)
+	}
+	cn, err := d.count(8, "table.changes")
+	if err != nil {
+		return st, err
+	}
+	for i := 0; i < cn; i++ {
+		t, err := d.i64("table.change")
+		if err != nil {
+			return st, err
+		}
+		st.Changes = append(st.Changes, sim.Time(t))
+	}
+	return st, nil
+}
+
+// --- judge ---
+
+func encodeJudge(e *encoder, st *scheme.JudgeState) {
+	e.u8(uint8(st.Kind))
+	e.i64(int64(st.C))
+	e.i64(int64(st.Threshold))
+	e.f64(st.Own.X)
+	e.f64(st.Own.Y)
+	e.f64(st.DThreshold)
+	e.f64(st.MinDist)
+	e.f64(st.Radius)
+	e.f64(st.AThreshold)
+	e.count(len(st.Senders))
+	for _, p := range st.Senders {
+		e.f64(p.X)
+		e.f64(p.Y)
+	}
+	e.boolean(st.Rebroadcast)
+	encodeNodes(e, st.Pending)
+}
+
+func decodeJudge(d *decoder) (scheme.JudgeState, error) {
+	var st scheme.JudgeState
+	kind, err := d.u8("judge.kind")
+	if err != nil {
+		return st, err
+	}
+	st.Kind = scheme.JudgeKind(kind)
+	readI := func(field string) int64 {
+		if err != nil {
+			return 0
+		}
+		var v int64
+		v, err = d.i64(field)
+		return v
+	}
+	readF := func(field string) float64 {
+		if err != nil {
+			return 0
+		}
+		var v float64
+		v, err = d.f64(field)
+		return v
+	}
+	st.C = int(readI("judge.c"))
+	st.Threshold = int(readI("judge.threshold"))
+	st.Own.X = readF("judge.own_x")
+	st.Own.Y = readF("judge.own_y")
+	st.DThreshold = readF("judge.d_threshold")
+	st.MinDist = readF("judge.min_dist")
+	st.Radius = readF("judge.radius")
+	st.AThreshold = readF("judge.a_threshold")
+	if err != nil {
+		return st, err
+	}
+	n, err := d.count(16, "judge.senders")
+	if err != nil {
+		return st, err
+	}
+	for i := 0; i < n; i++ {
+		x, err := d.f64("judge.sender_x")
+		if err != nil {
+			return st, err
+		}
+		y, err := d.f64("judge.sender_y")
+		if err != nil {
+			return st, err
+		}
+		st.Senders = append(st.Senders, geom.Point{X: x, Y: y})
+	}
+	if st.Rebroadcast, err = d.boolean("judge.rebroadcast"); err != nil {
+		return st, err
+	}
+	st.Pending, err = d.nodes("judge.pending")
+	return st, err
+}
+
+// --- frames, observers ---
+
+func encodeFrame(e *encoder, f *Frame) {
+	e.u8(f.Kind)
+	e.node(f.Sender)
+	e.node(f.Dest)
+	e.i64(f.Bytes)
+	e.bid(f.Broadcast)
+	e.f64(f.SenderPos[0])
+	e.f64(f.SenderPos[1])
+	encodeNodes(e, f.Neighbors)
+	e.i64(int64(f.HelloInterval))
+	encodeBids(e, f.Recent)
+	e.u8(f.PayloadKind)
+	e.bid(f.PayloadID)
+}
+
+func decodeFrame(d *decoder) (Frame, error) {
+	var f Frame
+	var err error
+	if f.Kind, err = d.u8("frame.kind"); err != nil {
+		return f, err
+	}
+	if f.Sender, err = d.node("frame.sender"); err != nil {
+		return f, err
+	}
+	if f.Dest, err = d.node("frame.dest"); err != nil {
+		return f, err
+	}
+	if f.Bytes, err = d.i64("frame.bytes"); err != nil {
+		return f, err
+	}
+	if f.Broadcast, err = d.bid("frame.broadcast"); err != nil {
+		return f, err
+	}
+	if f.SenderPos[0], err = d.f64("frame.pos_x"); err != nil {
+		return f, err
+	}
+	if f.SenderPos[1], err = d.f64("frame.pos_y"); err != nil {
+		return f, err
+	}
+	if f.Neighbors, err = d.nodes("frame.neighbors"); err != nil {
+		return f, err
+	}
+	iv, err := d.i64("frame.hello_interval")
+	if err != nil {
+		return f, err
+	}
+	f.HelloInterval = sim.Duration(iv)
+	if f.Recent, err = d.bids("frame.recent"); err != nil {
+		return f, err
+	}
+	if f.PayloadKind, err = d.u8("frame.payload_kind"); err != nil {
+		return f, err
+	}
+	f.PayloadID, err = d.bid("frame.payload_id")
+	return f, err
+}
+
+func encodeObserver(e *encoder, o *Observer) {
+	e.u8(o.Kind)
+	e.u32(uint32(o.Host))
+	e.bid(o.Bid)
+	e.u32(o.FrameRef)
+}
+
+func decodeObserver(d *decoder) (Observer, error) {
+	var o Observer
+	var err error
+	if o.Kind, err = d.u8("observer.kind"); err != nil {
+		return o, err
+	}
+	host, err := d.u32("observer.host")
+	if err != nil {
+		return o, err
+	}
+	o.Host = int32(host)
+	if o.Bid, err = d.bid("observer.bid"); err != nil {
+		return o, err
+	}
+	o.FrameRef, err = d.u32("observer.frame_ref")
+	return o, err
+}
+
+// --- host ---
+
+func encodeHost(e *encoder, h *Host) {
+	encodeBids(e, h.Dedup)
+	e.rng(h.RNG)
+	encodeMover(e, &h.Mover)
+	encodeTable(e, &h.Table)
+	encodeMAC(e, &h.MAC)
+	e.count(len(h.Pending))
+	for i := range h.Pending {
+		p := &h.Pending[i]
+		e.bid(p.Bid)
+		encodeJudge(e, &p.Judge)
+		e.boolean(p.Started)
+		e.boolean(p.HasAssess)
+		e.i64(int64(p.AssessAt))
+		e.u64(p.AssessSeq)
+		e.u32(p.FrameRef)
+	}
+	e.i64(h.PrFree)
+	e.count(len(h.HelloFly))
+	for _, ref := range h.HelloFly {
+		e.u32(ref)
+	}
+	e.boolean(h.HasHelloTimer)
+	e.i64(int64(h.HelloAt))
+	e.u64(h.HelloSeq)
+	e.count(len(h.Recent))
+	for _, r := range h.Recent {
+		e.bid(r.ID)
+		e.i64(int64(r.Heard))
+	}
+	encodeBids(e, h.Nacked)
+}
+
+func decodeHost(d *decoder) (Host, error) {
+	var h Host
+	var err error
+	if h.Dedup, err = d.bids("host.dedup"); err != nil {
+		return h, err
+	}
+	if h.RNG, err = d.rng("host.rng"); err != nil {
+		return h, err
+	}
+	if h.Mover, err = decodeMover(d); err != nil {
+		return h, err
+	}
+	if h.Table, err = decodeTable(d); err != nil {
+		return h, err
+	}
+	if h.MAC, err = decodeMAC(d); err != nil {
+		return h, err
+	}
+	n, err := d.count(80, "host.pending")
+	if err != nil {
+		return h, err
+	}
+	for i := 0; i < n; i++ {
+		var p PendingDecision
+		if p.Bid, err = d.bid("host.pending.bid"); err != nil {
+			return h, err
+		}
+		if p.Judge, err = decodeJudge(d); err != nil {
+			return h, err
+		}
+		if p.Started, err = d.boolean("host.pending.started"); err != nil {
+			return h, err
+		}
+		if p.HasAssess, err = d.boolean("host.pending.has_assess"); err != nil {
+			return h, err
+		}
+		at, err := d.i64("host.pending.assess_at")
+		if err != nil {
+			return h, err
+		}
+		p.AssessAt = sim.Time(at)
+		if p.AssessSeq, err = d.u64("host.pending.assess_seq"); err != nil {
+			return h, err
+		}
+		if p.FrameRef, err = d.u32("host.pending.frame_ref"); err != nil {
+			return h, err
+		}
+		h.Pending = append(h.Pending, p)
+	}
+	if h.PrFree, err = d.i64("host.pr_free"); err != nil {
+		return h, err
+	}
+	fn, err := d.count(4, "host.hello_fly")
+	if err != nil {
+		return h, err
+	}
+	for i := 0; i < fn; i++ {
+		ref, err := d.u32("host.hello_fly.ref")
+		if err != nil {
+			return h, err
+		}
+		h.HelloFly = append(h.HelloFly, ref)
+	}
+	if h.HasHelloTimer, err = d.boolean("host.has_hello_timer"); err != nil {
+		return h, err
+	}
+	at, err := d.i64("host.hello_at")
+	if err != nil {
+		return h, err
+	}
+	h.HelloAt = sim.Time(at)
+	if h.HelloSeq, err = d.u64("host.hello_seq"); err != nil {
+		return h, err
+	}
+	rn, err := d.count(16, "host.recent")
+	if err != nil {
+		return h, err
+	}
+	for i := 0; i < rn; i++ {
+		var r RecentBroadcast
+		if r.ID, err = d.bid("host.recent.id"); err != nil {
+			return h, err
+		}
+		heard, err := d.i64("host.recent.heard")
+		if err != nil {
+			return h, err
+		}
+		r.Heard = sim.Time(heard)
+		h.Recent = append(h.Recent, r)
+	}
+	h.Nacked, err = d.bids("host.nacked")
+	return h, err
+}
+
+// --- network ---
+
+func encodeNetwork(e *encoder, n *Network) {
+	e.u32(n.Seq)
+	e.i64(int64(n.EndTime))
+	e.i64(n.HelloSent)
+	e.i64(n.RepairsRequested)
+	e.i64(n.RepairsDelivered)
+	e.count(len(n.Records))
+	for i := range n.Records {
+		r := &n.Records[i]
+		e.bid(r.ID)
+		e.i64(int64(r.Start))
+		e.i64(r.Reachable)
+		e.i64(r.Received)
+		e.i64(r.Transmitted)
+		e.i64(int64(r.LastActivity))
+		e.u32(uint32(r.Open))
+	}
+	e.u32(n.RecBase)
+	e.count(len(n.Stream.RE))
+	for _, v := range n.Stream.RE {
+		e.f64(v)
+	}
+	e.count(len(n.Stream.SRB))
+	for _, v := range n.Stream.SRB {
+		e.f64(v)
+	}
+	e.count(len(n.Stream.Lat))
+	for _, v := range n.Stream.Lat {
+		e.i64(int64(v))
+	}
+	e.i64(n.SetPool)
+	e.i64(n.FramePool)
+	e.i64(n.HelloPool)
+	e.count(len(n.Originations))
+	for _, o := range n.Originations {
+		e.u32(uint32(o.Src))
+		e.i64(int64(o.At))
+		e.u64(o.Seq)
+	}
+}
+
+func decodeNetwork(d *decoder) (Network, error) {
+	var n Network
+	var err error
+	if n.Seq, err = d.u32("net.seq"); err != nil {
+		return n, err
+	}
+	readI := func(field string) int64 {
+		if err != nil {
+			return 0
+		}
+		var v int64
+		v, err = d.i64(field)
+		return v
+	}
+	n.EndTime = sim.Time(readI("net.end_time"))
+	n.HelloSent = readI("net.hello_sent")
+	n.RepairsRequested = readI("net.repairs_requested")
+	n.RepairsDelivered = readI("net.repairs_delivered")
+	if err != nil {
+		return n, err
+	}
+	rn, err := d.count(52, "net.records")
+	if err != nil {
+		return n, err
+	}
+	for i := 0; i < rn; i++ {
+		var r Record
+		if r.ID, err = d.bid("net.record.id"); err != nil {
+			return n, err
+		}
+		r.Start = sim.Time(readI("net.record.start"))
+		r.Reachable = readI("net.record.reachable")
+		r.Received = readI("net.record.received")
+		r.Transmitted = readI("net.record.transmitted")
+		r.LastActivity = sim.Time(readI("net.record.last_activity"))
+		if err != nil {
+			return n, err
+		}
+		open, err := d.u32("net.record.open")
+		if err != nil {
+			return n, err
+		}
+		r.Open = int32(open)
+		n.Records = append(n.Records, r)
+	}
+	if n.RecBase, err = d.u32("net.rec_base"); err != nil {
+		return n, err
+	}
+	cn, err := d.count(8, "net.stream.re")
+	if err != nil {
+		return n, err
+	}
+	for i := 0; i < cn; i++ {
+		v, err := d.f64("net.stream.re")
+		if err != nil {
+			return n, err
+		}
+		n.Stream.RE = append(n.Stream.RE, v)
+	}
+	cn, err = d.count(8, "net.stream.srb")
+	if err != nil {
+		return n, err
+	}
+	for i := 0; i < cn; i++ {
+		v, err := d.f64("net.stream.srb")
+		if err != nil {
+			return n, err
+		}
+		n.Stream.SRB = append(n.Stream.SRB, v)
+	}
+	cn, err = d.count(8, "net.stream.lat")
+	if err != nil {
+		return n, err
+	}
+	for i := 0; i < cn; i++ {
+		v, err := d.i64("net.stream.lat")
+		if err != nil {
+			return n, err
+		}
+		n.Stream.Lat = append(n.Stream.Lat, sim.Duration(v))
+	}
+	n.SetPool = readI("net.set_pool")
+	n.FramePool = readI("net.frame_pool")
+	n.HelloPool = readI("net.hello_pool")
+	if err != nil {
+		return n, err
+	}
+	on, err := d.count(20, "net.originations")
+	if err != nil {
+		return n, err
+	}
+	for i := 0; i < on; i++ {
+		var o Origination
+		src, err := d.u32("net.origination.src")
+		if err != nil {
+			return n, err
+		}
+		o.Src = int32(src)
+		at, err := d.i64("net.origination.at")
+		if err != nil {
+			return n, err
+		}
+		o.At = sim.Time(at)
+		if o.Seq, err = d.u64("net.origination.seq"); err != nil {
+			return n, err
+		}
+		n.Originations = append(n.Originations, o)
+	}
+	return n, nil
+}
+
+// --- document ---
+
+// Append appends c's wire encoding to dst and returns the extended
+// slice.
+func Append(dst []byte, c *Checkpoint) []byte {
+	e := &encoder{buf: dst}
+	e.buf = append(e.buf, Magic...)
+	e.u8(CodecVersion)
+	e.str(c.Digest)
+	encodeSched(e, &c.Sched)
+	encodeChannel(e, &c.Channel)
+	encodeNetwork(e, &c.Net)
+	e.count(len(c.Frames))
+	for i := range c.Frames {
+		encodeFrame(e, &c.Frames[i])
+	}
+	e.count(len(c.Observers))
+	for i := range c.Observers {
+		encodeObserver(e, &c.Observers[i])
+	}
+	e.count(len(c.Hosts))
+	for i := range c.Hosts {
+		encodeHost(e, &c.Hosts[i])
+	}
+	return e.buf
+}
+
+// Encode returns c's wire encoding.
+func Encode(c *Checkpoint) []byte { return Append(nil, c) }
+
+// Decode parses one encoded checkpoint. The whole input must be
+// consumed: trailing bytes are an error, so a corrupted length prefix
+// cannot silently drop state.
+func Decode(data []byte) (*Checkpoint, error) {
+	d := &decoder{buf: data}
+	magic, err := d.take(len(Magic), "magic")
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q", magic)
+	}
+	ver, err := d.u8("version")
+	if err != nil {
+		return nil, err
+	}
+	if ver != CodecVersion {
+		return nil, fmt.Errorf("snapshot: unknown codec version %d", ver)
+	}
+	c := &Checkpoint{}
+	if c.Digest, err = d.str("digest"); err != nil {
+		return nil, err
+	}
+	if c.Sched, err = decodeSched(d); err != nil {
+		return nil, err
+	}
+	if c.Channel, err = decodeChannel(d); err != nil {
+		return nil, err
+	}
+	if c.Net, err = decodeNetwork(d); err != nil {
+		return nil, err
+	}
+	fn, err := d.count(66, "frames")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < fn; i++ {
+		f, err := decodeFrame(d)
+		if err != nil {
+			return nil, err
+		}
+		c.Frames = append(c.Frames, f)
+	}
+	on, err := d.count(17, "observers")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < on; i++ {
+		o, err := decodeObserver(d)
+		if err != nil {
+			return nil, err
+		}
+		c.Observers = append(c.Observers, o)
+	}
+	hn, err := d.count(120, "hosts")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < hn; i++ {
+		h, err := decodeHost(d)
+		if err != nil {
+			return nil, err
+		}
+		c.Hosts = append(c.Hosts, h)
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("snapshot: %d trailing bytes after checkpoint", len(data)-d.off)
+	}
+	return c, nil
+}
+
+// Write writes c's wire encoding to w.
+func Write(w io.Writer, c *Checkpoint) error {
+	_, err := w.Write(Encode(c))
+	return err
+}
+
+// Read consumes all of r and decodes one checkpoint from it.
+func Read(r io.Reader) (*Checkpoint, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}

@@ -1,0 +1,65 @@
+// Command gencorpus regenerates the checked-in fuzz corpus for
+// FuzzSnapshotDecode (internal/snapshot/testdata/fuzz/FuzzSnapshotDecode).
+// The anchor seed is a real checkpoint from a small deterministic run,
+// so the corpus exercises every section of the wire format; the other
+// seeds are its classic corruptions (truncation, trailing byte, unknown
+// version). Run it from the repository root after changing the codec:
+//
+//	go run ./internal/snapshot/gencorpus
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/manet"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+func main() {
+	net, err := manet.New(manet.Config{
+		Scheme: scheme.AdaptiveCounter{}, Hosts: 12, MapUnits: 2, Requests: 3,
+		Repair: true, Seed: 5, Warmup: sim.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	captured := errors.New("captured")
+	net.CheckpointEvery = 2 * sim.Second
+	net.CheckpointHook = func(sim.Time) error {
+		if err := net.Checkpoint(&buf); err != nil {
+			return err
+		}
+		return captured
+	}
+	if _, err := net.RunContext(context.Background()); !errors.Is(err, captured) {
+		log.Fatalf("run ended without hitting a checkpoint window: %v", err)
+	}
+	real := buf.Bytes()
+
+	dir := filepath.Join("internal", "snapshot", "testdata", "fuzz", "FuzzSnapshotDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	seeds := map[string][]byte{
+		"seed-checkpoint":  real,
+		"seed-truncated":   real[:len(real)/2],
+		"seed-trailing":    append(append([]byte(nil), real...), 0),
+		"seed-bad-version": append([]byte("STRMSNAP"), 0x7f),
+	}
+	for name, data := range seeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d bytes\n", name, len(data))
+	}
+}

@@ -21,6 +21,7 @@ package storm
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"repro/internal/check"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/routing"
 	"repro/internal/scheme"
 	"repro/internal/sim"
+	"repro/internal/snapshot"
 )
 
 // Simulation configuration and results.
@@ -215,3 +217,32 @@ func NewAuditor() *Auditor { return check.New() }
 
 // PaperMaxSpeedKMH is the paper's speed rule: 10 km/h per map unit.
 func PaperMaxSpeedKMH(units int) float64 { return manet.PaperMaxSpeedKMH(units) }
+
+// Checkpoint is the decoded form of a run checkpoint; RestoreCheckpoint
+// resumes from one (decode with ReadCheckpoint), and a single decoded
+// document can seed several diverging what-if runs.
+type Checkpoint = snapshot.Checkpoint
+
+// ReadCheckpoint decodes a checkpoint document from r (the inverse of
+// Network.Checkpoint). The codec is strict: truncated, trailing, or
+// non-canonical input is an error.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) { return snapshot.Read(r) }
+
+// RestoreNetwork reads a checkpoint written by Network.Checkpoint and
+// rebuilds the network it captured, ready for Run/RunContext to carry
+// the simulation to completion. cfg must be the configuration of the
+// checkpointed run (engine and shard choices may differ only in how
+// they are spelled, not in what they resolve to); a contradictory
+// configuration is an error, never a silent divergence. The resumed
+// run's Summary is byte-identical to the uninterrupted run's.
+func RestoreNetwork(r io.Reader, cfg Config) (*Network, error) {
+	return manet.RestoreNetwork(r, cfg)
+}
+
+// RestoreCheckpoint rebuilds a network from an already-decoded
+// checkpoint document. Restoring the same document several times forks
+// the captured instant: combined with Network.DivergeSeed, each fork
+// explores a different future of the identical past.
+func RestoreCheckpoint(ck *Checkpoint, cfg Config) (*Network, error) {
+	return manet.RestoreCheckpoint(ck, cfg)
+}
