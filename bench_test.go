@@ -566,13 +566,17 @@ func BenchmarkShardedScaling(b *testing.B) {
 		{"shards=2", manet.EngineSharded, 2},
 		{"shards=4", manet.EngineSharded, 4},
 		{"shards=8", manet.EngineSharded, 8},
+		// The mobile mega map is ineligible for speculation, so this arm
+		// measures the speculative engine's graceful degradation: it must
+		// track the shards=4 arm, paying nothing for the unused machinery.
+		{"engine=speculative", manet.EngineSpeculative, 4},
 	}
 	for _, arm := range arms {
 		arm := arm
 		b.Run(arm.name, func(b *testing.B) {
 			b.Run("phase=construct", func(b *testing.B) {
 				var arena *manet.Arena
-				if arm.engine == manet.EngineSharded {
+				if arm.engine != manet.EngineSequentialOracle {
 					arena = manet.NewArena()
 				}
 				b.ReportAllocs()
@@ -592,7 +596,7 @@ func BenchmarkShardedScaling(b *testing.B) {
 			b.Run("phase=run", func(b *testing.B) {
 				var events uint64
 				var arena *manet.Arena
-				if arm.engine == manet.EngineSharded {
+				if arm.engine != manet.EngineSequentialOracle {
 					arena = manet.NewArena()
 				}
 				b.ReportAllocs()
@@ -609,6 +613,123 @@ func BenchmarkShardedScaling(b *testing.B) {
 				}
 				b.StopTimer()
 				b.ReportMetric(float64(events)/float64(b.N), "events/op")
+			})
+		})
+	}
+}
+
+// speculativeScalingWorld is the banded cluster placement the
+// speculative benchmark runs: 8 clusters of 200 hosts each, round-robin
+// over the 4 shard bands of a 20 km map, every cluster placed so its
+// hosts' interaction disks stay strictly interior to their band (the
+// guard covers the cluster half-extent plus the radio radius). A
+// broadcast floods its own cluster — a dense local storm — and never
+// reaches a shard border, so radio traffic in different bands is
+// genuinely independent: the world a static campus/convoy deployment
+// produces and the best case the speculative engine is built for.
+func speculativeScalingWorld() []geom.Point {
+	const (
+		side    = 40 * 500.0 // MapUnits 40 at the default 500 m unit
+		bands   = 4
+		perBand = side / bands
+		spread  = 450.0          // cluster half-extent, meters
+		guard   = spread + 510.0 // + radio radius + drift margin
+	)
+	rng := sim.NewRNG(99)
+	pts := make([]geom.Point, 0, 8*200)
+	for c := 0; c < 8; c++ {
+		base := float64(c%bands) * perBand
+		cy := base + guard + rng.Float64()*(perBand-2*guard)
+		cx := spread + 10 + rng.Float64()*(side-2*(spread+10))
+		for i := 0; i < 200; i++ {
+			pts = append(pts, geom.Point{
+				X: cx + (rng.Float64()*2-1)*spread,
+				Y: cy + (rng.Float64()*2-1)*spread,
+			})
+		}
+	}
+	return pts
+}
+
+// speculativeScalingConfig is the static cluster workload both
+// BenchmarkSpeculativeWindows arms run, differing only in engine.
+func speculativeScalingConfig(engine manet.Engine, pts []geom.Point, arena *manet.Arena, seed uint64) manet.Config {
+	return manet.Config{
+		Hosts:     len(pts),
+		MapUnits:  40,
+		Placement: pts,
+		Static:    true,
+		Scheme:    scheme.Flooding{},
+		Requests:  40,
+		Engine:    engine,
+		Shards:    4,
+		Arena:     arena,
+		Seed:      seed,
+	}
+}
+
+// BenchmarkSpeculativeWindows measures the speculative engine against
+// the sharded engine's border lane on the static banded-cluster world.
+// On a static world the sharded engine executes every event on the
+// border lane — correct but sequential — while the speculative engine
+// drains the same windows band-parallel over pooled micro-checkpoints,
+// so the run-phase gap between the two arms is exactly the
+// validate-or-replay machinery's net worth: lane parallelism minus the
+// checkpoint, classification, and oracle-order commit overhead.
+// cmd/benchjson -suite spec gates the ratio at >= 4 procs (run with
+// -cpu 1,4) and derives events/sec for throughput comparison across
+// arms. Both arms produce byte-identical summaries
+// (TestSpeculativeMatchesSequential pins that).
+func BenchmarkSpeculativeWindows(b *testing.B) {
+	world := speculativeScalingWorld()
+	arms := []struct {
+		name   string
+		engine manet.Engine
+	}{
+		{"engine=sharded", manet.EngineSharded},
+		{"engine=speculative", manet.EngineSpeculative},
+	}
+	for _, arm := range arms {
+		arm := arm
+		b.Run(arm.name, func(b *testing.B) {
+			b.Run("phase=construct", func(b *testing.B) {
+				arena := manet.NewArena()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					n, err := manet.New(speculativeScalingConfig(arm.engine, world, arena, uint64(i+1)))
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					n.Close()
+					b.StartTimer()
+				}
+			})
+			b.Run("phase=run", func(b *testing.B) {
+				var events uint64
+				var committed, speculated int
+				arena := manet.NewArena()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					n, err := manet.New(speculativeScalingConfig(arm.engine, world, arena, uint64(i+1)))
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					s := n.Run()
+					events += s.Events
+					st := n.ParallelStats()
+					committed += st.Committed
+					speculated += st.Speculated
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(events)/float64(b.N), "events/op")
+				if speculated > 0 {
+					b.ReportMetric(float64(committed)/float64(speculated), "commit-rate")
+				}
 			})
 		})
 	}

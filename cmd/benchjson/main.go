@@ -33,6 +33,20 @@
 // on the same machine in the same process, so the gate holds on slow CI
 // runners and fast workstations alike.
 //
+// A fourth suite (-suite spec) gates the speculative engine on the
+// static banded-cluster world: the speculative run phase must beat the
+// sharded engine's border-lane run phase by >= 1.3x at >= 4 procs (on
+// a static world the border lane is fully sequential, so the ratio is
+// the net worth of validate-or-replay windows), and its run-phase
+// allocation must stay within the pooled micro-checkpoint budget — a
+// slide back to per-segment document or lane-event allocation would
+// overshoot it several-fold.
+//
+// For every parsed result that reports both ns/op and events/op, an
+// events/sec metric is derived (events/op / seconds/op) and written to
+// the JSON record, so run-phase throughput is comparable across arms
+// and machines without post-processing.
+//
 // With -baseline, the new results are additionally gated against a
 // previously committed bench JSON: any benchmark present in both files
 // whose ns/op exceeds baseline x tolerance fails the run, so a timing
@@ -92,6 +106,15 @@ var suites = map[string][]budget{
 		// magnitude.
 		{"BenchmarkShardedScaling/shards=4/phase=construct", "allocs/op", 100_000},
 	},
+	"spec": {
+		// The speculative run phase reuses one pooled micro-checkpoint
+		// document and circulates lane events through the scheduler free
+		// lists; observed steady state is ~86k allocs/op. Per-segment
+		// document allocation (fresh host slots, dedup and record slices
+		// every window) measured ~267k allocs/op before pooling, so a
+		// pooling regression overshoots this bound severalfold.
+		{"BenchmarkSpeculativeWindows/engine=speculative/phase=run", "allocs/op", 150_000},
+	},
 }
 
 // ratioBudget is a lower bound on the ratio of one metric between two
@@ -123,6 +146,16 @@ var ratioSuites = map[string][]ratioBudget{
 		{Num: "BenchmarkShardedScaling/shards=1/phase=run",
 			Den: "BenchmarkShardedScaling/shards=4/phase=run", Metric: "ns/op", Min: 2.0, MinProcs: 4},
 	},
+	// The spec suite's single gate is the speculative engine's reason to
+	// exist: on a static banded-cluster world where every radio event
+	// lands in the sharded engine's sequential border lane, speculative
+	// windows must convert the idle cores into >= 1.3x end-to-end run
+	// speedup. Both arms simulate the identical world, so the ratio nets
+	// out snapshot, validation, and the occasional rollback replay.
+	"spec": {
+		{Num: "BenchmarkSpeculativeWindows/engine=sharded/phase=run",
+			Den: "BenchmarkSpeculativeWindows/engine=speculative/phase=run", Metric: "ns/op", Min: 1.3, MinProcs: 4},
+	},
 }
 
 func main() {
@@ -143,7 +176,7 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	out := fs.String("out", "", "JSON file to write (required)")
 	baseline := fs.String("baseline", "", "previous bench JSON to gate ns/op against (optional)")
 	tolerance := fs.Float64("tolerance", 1.5, "allowed ns/op growth factor over the baseline")
-	suite := fs.String("suite", "core", "budget suite to enforce (core or mega)")
+	suite := fs.String("suite", "core", "budget suite to enforce (core, mega, shard, or spec)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -191,6 +224,7 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if len(results) == 0 {
 		return fatal(fmt.Errorf("no benchmark lines found in input"))
 	}
+	derive(results)
 	data, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		return fatal(err)
@@ -285,6 +319,25 @@ func parse(r io.Reader) ([]Result, error) {
 		results = append(results, res)
 	}
 	return results, sc.Err()
+}
+
+// derive adds computed metrics to parsed results. Any benchmark that
+// reports both ns/op and an events/op work counter (the simulator's
+// run-phase arms do) gains events/sec — absolute throughput comparable
+// across arms and machines without a calculator. Results already
+// carrying events/sec (a re-parsed JSON round trip) are left alone.
+func derive(results []Result) {
+	for _, r := range results {
+		ns, okNs := r.Metrics["ns/op"]
+		ev, okEv := r.Metrics["events/op"]
+		if !okNs || !okEv || ns <= 0 {
+			continue
+		}
+		if _, done := r.Metrics["events/sec"]; done {
+			continue
+		}
+		r.Metrics["events/sec"] = ev / (ns * 1e-9)
+	}
 }
 
 // enforce checks every budget against the parsed results and returns the

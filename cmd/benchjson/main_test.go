@@ -185,6 +185,104 @@ func TestEnforceShardSuiteSingleProc(t *testing.T) {
 	}
 }
 
+// specSample mimics a -cpu 1,4 run of the speculative benchmark: at one
+// proc speculation is legitimately slower than the border-lane engine
+// (snapshot and validation cost with no parallelism to pay for them), so
+// the >= 1.3x gate must judge only the -4 pair.
+const specSample = `BenchmarkSpeculativeWindows/engine=sharded/phase=run 5 179000000 ns/op 24000 events/op 13540 allocs/op
+BenchmarkSpeculativeWindows/engine=speculative/phase=run 5 235000000 ns/op 0.987 commit-rate 24000 events/op 85762 allocs/op
+BenchmarkSpeculativeWindows/engine=sharded/phase=run-4 5 178000000 ns/op 24000 events/op 13540 allocs/op
+BenchmarkSpeculativeWindows/engine=speculative/phase=run-4 5 96000000 ns/op 0.987 commit-rate 24000 events/op 85762 allocs/op
+`
+
+func TestEnforceSpecSuite(t *testing.T) {
+	results, _ := parse(strings.NewReader(specSample))
+	if v := enforce(results, suites["spec"]); len(v) != 0 {
+		t.Fatalf("spec budgets violated on passing input: %v", v)
+	}
+	v, notes := enforceRatios(results, ratioSuites["spec"])
+	if len(v) != 0 {
+		t.Fatalf("spec ratios violated on passing input: %v", v)
+	}
+	if len(notes) != 0 {
+		t.Fatalf("notes = %v, want none (the -4 pair qualifies)", notes)
+	}
+
+	// Speculation that stops paying for itself at four procs trips the
+	// ratio; the same cost at one proc (no -4 suffix) never did.
+	slow := strings.Replace(specSample, "96000000 ns/op", "150000000 ns/op", 1)
+	results, _ = parse(strings.NewReader(slow))
+	v, _ = enforceRatios(results, ratioSuites["spec"])
+	if len(v) != 1 || !strings.Contains(v[0], "procs=4") {
+		t.Fatalf("violations = %v, want one procs=4 ratio breach", v)
+	}
+
+	// A slide back to per-segment checkpoint allocation (~267k allocs/op
+	// measured before document pooling) trips the allocation budget.
+	blown := strings.ReplaceAll(specSample, "85762 allocs/op", "267000 allocs/op")
+	results, _ = parse(strings.NewReader(blown))
+	v = enforce(results, suites["spec"])
+	if len(v) != 2 || !strings.Contains(v[0], "allocs/op") {
+		t.Fatalf("violations = %v, want allocs/op breaches at both proc counts", v)
+	}
+}
+
+// TestEnforceSpecSuiteSingleProc pins the single-core path: without a
+// qualifying 4-proc pair the speculation gate reports itself skipped.
+func TestEnforceSpecSuiteSingleProc(t *testing.T) {
+	var oneProc strings.Builder
+	for _, line := range strings.SplitAfter(specSample, "\n") {
+		if !strings.Contains(line, "-4 ") {
+			oneProc.WriteString(line)
+		}
+	}
+	results, _ := parse(strings.NewReader(oneProc.String()))
+	v, notes := enforceRatios(results, ratioSuites["spec"])
+	if len(v) != 0 {
+		t.Fatalf("violations = %v, want none at one proc", v)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "SKIPPED") || !strings.Contains(notes[0], "-cpu 4") {
+		t.Fatalf("notes = %v, want one SKIPPED note naming the -cpu axis", notes)
+	}
+}
+
+func TestDerive(t *testing.T) {
+	results, _ := parse(strings.NewReader(specSample))
+	derive(results)
+	// 24000 events / 0.179 s.
+	got := results[0].Metrics["events/sec"]
+	if want := 24000 / 0.179; got < want*0.999 || got > want*1.001 {
+		t.Fatalf("events/sec = %g, want ~%g", got, want)
+	}
+	// Results without an events/op counter gain nothing.
+	plain, _ := parse(strings.NewReader("BenchmarkScheduler/queue=ladder-8 1000 61.15 ns/op\n"))
+	derive(plain)
+	if _, ok := plain[0].Metrics["events/sec"]; ok {
+		t.Fatal("events/sec derived without an events/op counter")
+	}
+	// Deriving twice (a JSON round trip re-parsed) never compounds.
+	before := results[1].Metrics["events/sec"]
+	derive(results)
+	if after := results[1].Metrics["events/sec"]; after != before {
+		t.Fatalf("derive is not idempotent: %g then %g", before, after)
+	}
+}
+
+func TestRunWritesDerivedThroughput(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "spec.json")
+	code, _, stderr := runWith(t, []string{"-out", outPath, "-suite", "spec"}, specSample)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "events/sec") {
+		t.Fatal("derived events/sec metric missing from JSON output")
+	}
+}
+
 func TestRunShardSuite(t *testing.T) {
 	dir := t.TempDir()
 	code, _, stderr := runWith(t, []string{"-out", filepath.Join(dir, "s.json"), "-suite", "shard"}, shardSample)

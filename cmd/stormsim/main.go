@@ -69,8 +69,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		helloMS     = fs.Int("hello-interval", 1000, "fixed hello interval, milliseconds")
 		seed        = fs.Uint64("seed", 1, "random seed")
 		static      = fs.Bool("static", false, "freeze hosts (no mobility)")
-		engineName  = fs.String("engine", "auto", "simulation engine: auto|sequential-oracle|sharded")
-		shards      = fs.Int("shards", 0, "shard count for the sharded engine (power of two, 0 = engine default)")
+		engineName  = fs.String("engine", "auto", "simulation engine: auto|sequential-oracle|sharded|speculative")
+		shards      = fs.Int("shards", 0, "shard count for the sharded engines (power of two, 0 = engine default)")
+		parStats    = fs.Bool("parallel-stats", false, "report how barrier windows executed (sharded engines)")
 		ckptPath    = fs.String("checkpoint", "", "write run checkpoints to this file (with -checkpoint-every)")
 		ckptEvery   = fs.Int("checkpoint-every", 0, "checkpoint cadence, simulated milliseconds (with -checkpoint)")
 		resumePath  = fs.String("resume", "", "resume the run from this checkpoint file")
@@ -217,6 +218,21 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "deliveries / collisions   %d / %d\n", s.Deliveries, s.Collisions)
 	fmt.Fprintf(stdout, "simulated time            %.1f s (%d events)\n",
 		s.SimulatedTime.Seconds(), s.Events)
+
+	if *parStats {
+		st := n.ParallelStats()
+		var lanes uint64
+		for _, c := range st.ShardExecuted {
+			lanes += c
+		}
+		fmt.Fprintf(stdout, "barrier windows           %d (%d widened)\n", st.Barriers, st.Widened)
+		fmt.Fprintf(stdout, "lane / border events      %d / %d (border share %.3f)\n",
+			lanes, st.BorderExecuted, st.BorderShare())
+		if st.Speculated > 0 {
+			fmt.Fprintf(stdout, "speculative windows       %d committed / %d rolled back of %d (commit rate %.3f)\n",
+				st.Committed, st.RolledBack, st.Speculated, st.CommitRate())
+		}
+	}
 
 	if *telemetry != "" {
 		if err := writeTelemetry(*telemetry, n.Config(), sch, col, rec); err != nil {

@@ -176,6 +176,12 @@ type MAC struct {
 	navUntil sim.Time
 	navEvent *sim.Event
 
+	// lane is the speculative lane owning this MAC's host, -1 (the
+	// default) outside the speculative engine. Hot-path timers route
+	// through the scheduler's Lane* entry points with it, which fall
+	// through to the shared path whenever no window is open.
+	lane int
+
 	// A scheduled future transmission attempt, if any.
 	txEvent *sim.Event
 	// txEventBase/txEventSlots reconstruct consumed slots if the attempt
@@ -229,6 +235,7 @@ func New(sched *sim.Scheduler, ch *phy.Channel, pos phy.Positioner, rng *sim.RNG
 		t:                ch.Timing(),
 		backoffRemaining: -1,
 		idleSince:        sched.Now(),
+		lane:             -1,
 	}
 	m.cw = m.t.CWMin
 	m.radio = ch.Attach(pos, m)
@@ -267,6 +274,7 @@ func NewInto(m *MAC, sched *sim.Scheduler, ch *phy.Channel, pos phy.Positioner, 
 		idleSince:        sched.Now(),
 		radio:            radio,
 		addr:             packet.NodeID(radio),
+		lane:             -1,
 	}
 	m.cw = m.t.CWMin
 	ch.SetRadio(radio, pos, m)
@@ -336,6 +344,18 @@ func (m *MAC) Addr() packet.NodeID { return m.addr }
 
 // Radio returns the channel radio index of this MAC.
 func (m *MAC) Radio() int { return m.radio }
+
+// SetLane assigns the speculative lane owning this MAC (-1 detaches).
+// The speculative engine sets it once per static world; it must equal
+// the band of the owning host's position.
+func (m *MAC) SetLane(lane int) { m.lane = lane }
+
+// Lane returns the speculative lane owning this MAC, -1 if none.
+func (m *MAC) Lane() int { return m.lane }
+
+// now returns the clock this MAC observes: its lane clock while a
+// speculative window is open, the shared clock otherwise.
+func (m *MAC) now() sim.Time { return m.sched.LaneNow(m.lane) }
 
 // Stats returns the MAC counters.
 func (m *MAC) Stats() Stats { return m.stats }
@@ -428,13 +448,13 @@ func (m *MAC) maybeSchedule() {
 	if m.transmitting || m.awaiting != nil || m.txEvent != nil || m.busy {
 		return
 	}
-	if m.sched.Now() < m.navUntil {
+	if m.now() < m.navUntil {
 		return // virtual carrier (NAV) still set; navEvent will resume us
 	}
 	if m.headPending() == nil {
 		return
 	}
-	now := m.sched.Now()
+	now := m.now()
 	effStart := m.idleSince.Add(m.t.DIFS)
 
 	if m.backoffRemaining < 0 {
@@ -443,7 +463,7 @@ func (m *MAC) maybeSchedule() {
 			// least DIFS, so the frame goes out right away.
 			m.txEventBase = now
 			m.txEventSlots = -1
-			m.txEvent = m.sched.ScheduleRunner(now, m)
+			m.txEvent = m.sched.LaneScheduleRunner(m.lane, now, m)
 			return
 		}
 		// The medium has not been idle long enough: the DCF requires a
@@ -466,7 +486,7 @@ func (m *MAC) maybeSchedule() {
 	at := effStart.Add(sim.Duration(m.backoffRemaining) * m.t.SlotTime)
 	m.txEventBase = effStart
 	m.txEventSlots = m.backoffRemaining
-	m.txEvent = m.sched.ScheduleRunner(at, m)
+	m.txEvent = m.sched.LaneScheduleRunner(m.lane, at, m)
 }
 
 // interruptAttempt cancels the scheduled attempt. If freeze is true the
@@ -476,7 +496,7 @@ func (m *MAC) interruptAttempt(freeze bool) {
 	if m.txEvent == nil {
 		return
 	}
-	m.sched.Cancel(m.txEvent)
+	m.sched.LaneCancel(m.lane, m.txEvent)
 	m.txEvent = nil
 	if !freeze {
 		if m.txEventSlots >= 0 {
@@ -484,7 +504,7 @@ func (m *MAC) interruptAttempt(freeze bool) {
 		}
 		return
 	}
-	now := m.sched.Now()
+	now := m.now()
 	if m.txEventSlots < 0 {
 		// Immediate access was interrupted: the frame now owes a real
 		// backoff, per DCF.
@@ -535,7 +555,7 @@ func (m *MAC) startTransmission() {
 		m.ch.Transmit(m.radio, rts, &m.rtsEnd)
 		return
 	}
-	m.ch.Transmit(m.radio, p.Frame, &m.txEnd)
+	m.ch.TransmitLane(m.radio, p.Frame, &m.txEnd, m.lane)
 }
 
 // useRTS reports whether the frame warrants an RTS/CTS exchange.
@@ -760,7 +780,7 @@ func (m *MAC) CarrierBusy() {
 // CarrierIdle implements phy.Listener.
 func (m *MAC) CarrierIdle() {
 	m.busy = false
-	m.idleSince = m.sched.Now()
+	m.idleSince = m.now()
 	m.maybeSchedule() // no-op while the NAV is still set
 }
 

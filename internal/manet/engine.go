@@ -34,6 +34,20 @@ const (
 	// rebuilds, and reachability walks with bounded-channel border
 	// exchange. Requires all Disable* switches off.
 	EngineSharded
+
+	// EngineSpeculative is the sharded engine plus optimistic barrier
+	// windows: on an eligible static world (see speculate.go) each window
+	// first takes an in-memory micro-checkpoint, then one lane per shard
+	// band drains its band's MAC/PHY/assessment events concurrently while
+	// a conflict detector flags any radio interaction reaching across a
+	// band border. A validated window commits with scheduler, channel,
+	// and record state byte-identical to the sequential merged drain; a
+	// conflicted window restores the micro-checkpoint and replays
+	// sequentially, so every run — any shard count, any GOMAXPROCS —
+	// reproduces the oracle summary exactly. Configurations outside the
+	// eligible set degrade per-window to EngineSharded's border-lane
+	// execution.
+	EngineSpeculative
 )
 
 // String names the engine the way ParseEngine accepts it.
@@ -45,6 +59,8 @@ func (e Engine) String() string {
 		return "sequential-oracle"
 	case EngineSharded:
 		return "sharded"
+	case EngineSpeculative:
+		return "speculative"
 	default:
 		return fmt.Sprintf("engine(%d)", int(e))
 	}
@@ -59,8 +75,10 @@ func ParseEngine(name string) (Engine, error) {
 		return EngineSequentialOracle, nil
 	case "sharded":
 		return EngineSharded, nil
+	case "speculative":
+		return EngineSpeculative, nil
 	}
-	return EngineAuto, fmt.Errorf("manet: unknown engine %q (want auto, sequential-oracle, or sharded)", name)
+	return EngineAuto, fmt.Errorf("manet: unknown engine %q (want auto, sequential-oracle, sharded, or speculative)", name)
 }
 
 // Features describes the concrete data-structure and parallelism
@@ -72,6 +90,7 @@ type Features struct {
 	InterferenceIndex bool // grid-bucketed interference (vs global scan)
 	DenseState        bool // dense host/record state (vs map-backed)
 	Sharded           bool // shard wheels + worker pool
+	Speculative       bool // validate-or-replay band windows over micro-checkpoints
 	Shards            int
 }
 
@@ -84,7 +103,8 @@ func (e Engine) Features() Features {
 		SpatialIndex:      true,
 		InterferenceIndex: true,
 		DenseState:        true,
-		Sharded:           e == EngineSharded,
+		Sharded:           e == EngineSharded || e == EngineSpeculative,
+		Speculative:       e == EngineSpeculative,
 	}
 }
 
@@ -133,14 +153,14 @@ func (c Config) resolveEngine() (Engine, int, error) {
 			return 0, 0, fmt.Errorf("manet: EngineSequentialOracle cannot run %d shards; leave Shards at 0 or select EngineSharded", c.Shards)
 		}
 		return EngineSequentialOracle, 0, nil
-	case EngineSharded:
+	case EngineSharded, EngineSpeculative:
 		if c.legacySwitches() {
-			return 0, 0, errors.New("manet: EngineSharded excludes the deprecated Disable* switches (they select legacy sequential data structures)")
+			return 0, 0, fmt.Errorf("manet: %v excludes the deprecated Disable* switches (they select legacy sequential data structures)", c.Engine)
 		}
 		if c.Shards == 0 {
-			return EngineSharded, DefaultShards, nil
+			return c.Engine, DefaultShards, nil
 		}
-		return EngineSharded, c.Shards, nil
+		return c.Engine, c.Shards, nil
 	default:
 		return 0, 0, fmt.Errorf("manet: unknown engine %v", c.Engine)
 	}

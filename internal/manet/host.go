@@ -23,6 +23,12 @@ type host struct {
 	dedup *packet.DedupTable
 	rng   *sim.RNG // assessment delays and hello phase
 
+	// lane is the speculative band owning this host, -1 outside the
+	// speculative engine. Assigned once per static world (a static host
+	// never leaves its band); all of the host's scheduling, record
+	// notes, and pool traffic route through it while a window is open.
+	lane int32
+
 	// Broadcasts whose rebroadcast decision is still open. The dense
 	// layout (the default) keeps them in an unordered slice with each
 	// record carrying its own index (live) for O(1) swap-remove — the
@@ -79,7 +85,7 @@ func (p *pendingRebroadcast) RunEvent() { p.h.submit(p) }
 
 func (p *pendingRebroadcast) TxStarted() {
 	p.started = true
-	p.h.net.noteTransmitted(p.bid)
+	p.h.net.noteTransmitted(p.bid, p.h)
 	p.h.net.trace(trace.Transmit, p.bid, p.h.id)
 }
 
@@ -194,10 +200,10 @@ func (h *host) TwoHop(n packet.NodeID) []packet.NodeID {
 func (h *host) NeighborNodeSet() *nodeset.Set { return h.table.NeighborSet() }
 
 // AcquireNodeSet implements scheme.NodeSetSource.
-func (h *host) AcquireNodeSet() *nodeset.Set { return h.net.acquireSet() }
+func (h *host) AcquireNodeSet() *nodeset.Set { return h.net.acquireSet(h.lane) }
 
 // ReleaseNodeSet implements scheme.NodeSetSource.
-func (h *host) ReleaseNodeSet(s *nodeset.Set) { h.net.releaseSet(s) }
+func (h *host) ReleaseNodeSet(s *nodeset.Set) { h.net.releaseSet(s, h.lane) }
 
 // ReceiveGarbled implements mac.GarbledReceiver: a collided broadcast
 // is worth a trace event (the metrics layer counts collisions at the
@@ -259,7 +265,7 @@ func (h *host) onBroadcast(f *packet.Frame) {
 
 	if h.dedup.Observe(bid) {
 		// S1: first reception.
-		h.net.noteReceived(bid, h.id)
+		h.net.noteReceived(bid, h)
 		h.noteRecent(bid)
 		judge := h.net.cfg.Scheme.NewJudge(h, rx)
 		if judge.Initial() == scheme.Inhibit {
@@ -267,7 +273,7 @@ func (h *host) onBroadcast(f *packet.Frame) {
 			if h.net.obs != nil {
 				h.net.obs.Inc(h.net.obsInhibitInit)
 			}
-			h.net.noteActivity(bid)
+			h.net.noteActivity(bid, h)
 			h.net.trace(trace.Inhibit, bid, h.id)
 			return
 		}
@@ -276,12 +282,12 @@ func (h *host) onBroadcast(f *packet.Frame) {
 		}
 		p := h.newPendingRebroadcast(bid, judge)
 		h.trackPending(p)
-		h.net.openInc(bid) // record stays open until this decision resolves
+		h.net.openInc(bid, h) // record stays open until this decision resolves
 		// S2: random assessment delay of 0..AssessmentSlots slots before
 		// submitting the rebroadcast to the MAC.
 		slots := h.rng.IntN(h.net.cfg.AssessmentSlots + 1)
 		delay := sim.Duration(slots) * h.net.cfg.Timing.SlotTime
-		p.assess = h.net.sched.AfterRunner(delay, p)
+		p.assess = h.net.sched.LaneAfterRunner(int(h.lane), delay, p)
 		return
 	}
 
@@ -310,7 +316,7 @@ func (h *host) submit(p *pendingRebroadcast) {
 	if p.resolved {
 		return
 	}
-	p.frame = h.net.newBroadcastFrame(p.bid, h.id, h.Position())
+	p.frame = h.net.newBroadcastFrame(p.bid, h.id, h.Position(), h.lane)
 	p.mp = h.mac.Enqueue(p.frame, p)
 }
 
@@ -323,11 +329,11 @@ func (h *host) complete(p *pendingRebroadcast) {
 	p.resolved = true
 	h.untrackPending(p)
 	scheme.ReleaseJudge(p.judge)
-	h.net.recycleFrame(p.frame)
-	h.net.noteActivity(p.bid)
+	h.net.recycleFrame(p.frame, h.lane)
+	h.net.noteActivity(p.bid, h)
 	bid := p.bid
 	h.recyclePendingRebroadcast(p)
-	h.net.openDec(bid) // after the final mutations: may fold the record
+	h.net.openDec(bid, h) // after the final mutations: may fold the record
 }
 
 // inhibit cancels the pending rebroadcast (S5).
@@ -337,29 +343,29 @@ func (h *host) inhibit(p *pendingRebroadcast) {
 	}
 	p.resolved = true
 	if p.assess != nil {
-		h.net.sched.Cancel(p.assess)
+		h.net.sched.LaneCancel(int(h.lane), p.assess)
 		p.assess = nil
 	}
 	if p.mp != nil && h.mac.Cancel(p.mp) {
 		// Withdrawn before transmission started: the frame never hit the
 		// air and nothing references it anymore. (p.frame, not p.mp.Frame:
 		// the MAC may have already recycled its queue record.)
-		h.net.recycleFrame(p.frame)
+		h.net.recycleFrame(p.frame, h.lane)
 	}
 	scheme.ReleaseJudge(p.judge)
 	h.untrackPending(p)
-	h.net.noteActivity(p.bid)
+	h.net.noteActivity(p.bid, h)
 	h.net.trace(trace.Inhibit, p.bid, h.id)
 	bid := p.bid
 	h.recyclePendingRebroadcast(p)
-	h.net.openDec(bid) // after the final mutations: may fold the record
+	h.net.openDec(bid, h) // after the final mutations: may fold the record
 }
 
 // originate makes this host the source of a new broadcast: the source
 // always transmits the packet (there is no decision to make).
 func (h *host) originate(bid packet.BroadcastID) {
 	h.dedup.Observe(bid)
-	frame := h.net.newBroadcastFrame(bid, h.id, h.Position())
+	frame := h.net.newBroadcastFrame(bid, h.id, h.Position(), h.lane)
 	h.mac.Enqueue(frame, &originTx{h: h, bid: bid, frame: frame})
 }
 
@@ -374,15 +380,15 @@ type originTx struct {
 
 // TxStarted implements mac.TxObserver.
 func (o *originTx) TxStarted() {
-	o.h.net.noteTransmitted(o.bid)
+	o.h.net.noteTransmitted(o.bid, o.h)
 	o.h.net.trace(trace.Transmit, o.bid, o.h.id)
 }
 
 // TxDone implements mac.TxObserver.
 func (o *originTx) TxDone() {
-	o.h.net.recycleFrame(o.frame)
-	o.h.net.noteActivity(o.bid)
-	o.h.net.openDec(o.bid) // the source's transmission no longer holds it
+	o.h.net.recycleFrame(o.frame, o.h.lane)
+	o.h.net.noteActivity(o.bid, o.h)
+	o.h.net.openDec(o.bid, o.h) // the source's transmission no longer holds it
 }
 
 // scheduleHello arms the host's first HELLO at a random phase within one

@@ -19,6 +19,7 @@ import (
 	"repro/internal/pdes"
 	"repro/internal/phy"
 	"repro/internal/sim"
+	"repro/internal/snapshot"
 	"repro/internal/trace"
 )
 
@@ -123,6 +124,29 @@ type Network struct {
 	drainDurs   []time.Duration
 	shardLabels []pprof.LabelSet
 
+	// Speculative-window state (see speculate.go): specOpen is true only
+	// while lanes are running, and routes record notes into the per-lane
+	// journals and pool traffic into the per-lane pools; specAssigned
+	// records the one-time band assignment; specFails/specSkip implement
+	// the adaptive backoff after rolled-back windows.
+	specOpen     bool
+	specAssigned bool
+	specFails    uint
+	specSkip     int
+	specJournals []recJournal
+	specFrames   [][]*packet.Frame
+	specSets     [][]*nodeset.Set
+	specExtract  [][]*sim.Event
+	specMergeIdx []int // scratch for the journal k-way merge
+
+	// specCk is the pooled micro-checkpoint document: every speculative
+	// segment re-snapshots into the same backing arrays (resetCheckpoint
+	// truncates, snapshotInto refills), so steady-state segments allocate
+	// nothing at the document level. digestCache memoizes the
+	// configuration digest the snapshot stamps into each document.
+	specCk      snapshot.Checkpoint
+	digestCache string
+
 	// Workload originations as a pre-sized Runner slab, so checkpointing
 	// can enumerate the not-yet-fired requests (a closure could not be
 	// re-described). resumed marks a network rebuilt by RestoreNetwork:
@@ -177,7 +201,7 @@ func New(cfg Config) (*Network, error) {
 		engine: engine,
 		shards: shards,
 	}
-	if engine == EngineSharded {
+	if engine == EngineSharded || engine == EngineSpeculative {
 		n.pool = pdes.NewPool(shards)
 		n.ch.SetPool(n.pool)
 		sched.ConfigureShards(shards, sim.Second)
@@ -228,7 +252,7 @@ func New(cfg Config) (*Network, error) {
 		n.ch.SetAudit(cfg.Audit)
 	}
 
-	if engine == EngineSharded {
+	if engine == EngineSharded || engine == EngineSpeculative {
 		n.buildHostsSharded(groups, moveRNG, macRNG, hostRNG)
 		if cfg.Telemetry != nil {
 			n.observe(cfg.Telemetry)
@@ -242,6 +266,7 @@ func New(cfg Config) (*Network, error) {
 			net:   n,
 			dedup: packet.NewDedupTable(),
 			rng:   hostRNG.Fork(uint64(i)),
+			lane:  -1,
 		}
 		if cfg.DisableDenseState {
 			h.pending = make(map[packet.BroadcastID]*pendingRebroadcast)
@@ -402,6 +427,7 @@ func (n *Network) buildHostsSharded(groups []*mobility.Group, moveRNG, macRNG, h
 				mover: h.mover,
 				dedup: &dedupSlab[i],
 				rng:   &rngSlab[2*i],
+				lane:  -1,
 			}
 			if slabMovers {
 				moveRNG.ForkInto(&moveSlab[i], uint64(i))
@@ -507,27 +533,48 @@ func (n *Network) observe(o *obs.Collector) {
 }
 
 // acquireSet borrows a scratch bitset for a coverage judge; contents are
-// unspecified (judges overwrite via CopyFrom).
-func (n *Network) acquireSet() *nodeset.Set {
-	if k := len(n.setPool); k > 0 {
-		s := n.setPool[k-1]
-		n.setPool[k-1] = nil
-		n.setPool = n.setPool[:k-1]
+// unspecified (judges overwrite via CopyFrom). While a speculative
+// window is open the acting host's lane pool serves the request, so no
+// two lanes touch the shared pool concurrently.
+func (n *Network) acquireSet(lane int32) *nodeset.Set {
+	pool := &n.setPool
+	if n.specOpen && lane >= 0 {
+		pool = &n.specSets[lane]
+	}
+	if k := len(*pool); k > 0 {
+		s := (*pool)[k-1]
+		(*pool)[k-1] = nil
+		*pool = (*pool)[:k-1]
 		return s
 	}
 	return nodeset.New(len(n.hosts))
 }
 
 // releaseSet returns a judge's scratch bitset to the pool.
-func (n *Network) releaseSet(s *nodeset.Set) { n.setPool = append(n.setPool, s) }
+func (n *Network) releaseSet(s *nodeset.Set, lane int32) {
+	if n.specOpen && lane >= 0 {
+		n.specSets[lane] = append(n.specSets[lane], s)
+		return
+	}
+	n.setPool = append(n.setPool, s)
+}
 
-// newBroadcastFrame builds (or recycles) a broadcast data frame.
-func (n *Network) newBroadcastFrame(bid packet.BroadcastID, sender packet.NodeID, pos geom.Point) *packet.Frame {
+// newBroadcastFrame builds (or recycles) a broadcast data frame. Lane
+// routing as in acquireSet: a speculative lane recycles through its own
+// pool and allocates fresh on a miss rather than touching the shared
+// pool. Pool depths may therefore exceed the oracle's — pools are pure
+// caches, and frames are fully overwritten on reuse, so nothing
+// observable depends on them.
+func (n *Network) newBroadcastFrame(bid packet.BroadcastID, sender packet.NodeID, pos geom.Point, lane int32) *packet.Frame {
+	pool := &n.framePool
+	if n.specOpen && lane >= 0 {
+		pool = &n.specFrames[lane]
+	}
 	var f *packet.Frame
-	if k := len(n.framePool); k > 0 {
-		f = n.framePool[k-1]
-		n.framePool[k-1] = nil
-		n.framePool = n.framePool[:k-1]
+	if k := len(*pool); k > 0 {
+		f = (*pool)[k-1]
+		(*pool)[k-1] = nil
+		*pool = (*pool)[:k-1]
 		*f = packet.Frame{
 			Kind:      packet.KindBroadcast,
 			Sender:    sender,
@@ -550,7 +597,11 @@ func (n *Network) newBroadcastFrame(bid packet.BroadcastID, sender packet.NodeID
 // frames are consumed synchronously at delivery: no receiver, MAC queue
 // entry, or channel record dereferences the frame after its completion
 // callback has run.
-func (n *Network) recycleFrame(f *packet.Frame) {
+func (n *Network) recycleFrame(f *packet.Frame, lane int32) {
+	if n.specOpen && lane >= 0 {
+		n.specFrames[lane] = append(n.specFrames[lane], f)
+		return
+	}
 	if n.audit != nil {
 		n.audit.AuditRelease(n.sched.Now(), "frame", f)
 	}
@@ -723,6 +774,7 @@ func (n *Network) RunContext(ctx context.Context) (metrics.Summary, error) {
 	// and then runs the remaining merged stream — the deterministic
 	// border lane — sequentially up to the barrier (phase B).
 	par := n.parallelEligible()
+	spec := n.speculativeEligible()
 	plan := n.planWindows(par)
 	nextCkpt := n.sched.Now().Add(n.CheckpointEvery)
 	for {
@@ -740,7 +792,11 @@ func (n *Network) RunContext(ctx context.Context) (metrics.Summary, error) {
 		if par {
 			n.drainWindow(barrier)
 		}
-		n.sched.RunUntil(barrier)
+		if spec {
+			n.runSpecWindow(barrier)
+		} else {
+			n.sched.RunUntil(barrier)
+		}
 		n.auditShardBarrier(barrier)
 		if n.shards > 0 {
 			n.pstats.Barriers++
@@ -862,7 +918,7 @@ func (n *Network) originate(src *host) {
 // degree rather than a scan of the whole population, and the visited /
 // stack / neighbor buffers are reused across originations.
 func (n *Network) reachableFrom(src *host) int {
-	if n.engine == EngineSharded {
+	if n.engine == EngineSharded || n.engine == EngineSpeculative {
 		// The channel walk forces an exact position snapshot at the
 		// current instant and runs band-parallel over the worker pool with
 		// bounded-channel border exchange; membership is identical to the
@@ -918,9 +974,15 @@ func (n *Network) record(bid packet.BroadcastID) *metrics.BroadcastRecord {
 
 // openInc adds one hold on a broadcast's record (dense bookkeeping only):
 // the record cannot fold while any transmission or rebroadcast decision
-// that can still mutate it is outstanding.
-func (n *Network) openInc(bid packet.BroadcastID) {
+// that can still mutate it is outstanding. h is the acting host: while a
+// speculative window is open the op is journaled on its lane instead of
+// mutating the shared arena.
+func (n *Network) openInc(bid packet.BroadcastID, h *host) {
 	if n.records != nil {
+		return
+	}
+	if n.specOpen && h.lane >= 0 {
+		n.specNote(h.lane, recOpOpenInc, bid)
 		return
 	}
 	n.recOpen[bid.Seq-1-n.recBase]++
@@ -929,8 +991,12 @@ func (n *Network) openInc(bid packet.BroadcastID) {
 // openDec drops one hold; when the arrival-order prefix of the arena is
 // fully closed it is folded into the streaming aggregates and released.
 // Call after the final record mutations of the closing event.
-func (n *Network) openDec(bid packet.BroadcastID) {
+func (n *Network) openDec(bid packet.BroadcastID, h *host) {
 	if n.records != nil {
+		return
+	}
+	if n.specOpen && h.lane >= 0 {
+		n.specNote(h.lane, recOpOpenDec, bid)
 		return
 	}
 	idx := bid.Seq - 1 - n.recBase
@@ -962,14 +1028,20 @@ func (n *Network) foldFront() {
 	}
 }
 
-func (n *Network) noteReceived(bid packet.BroadcastID, h packet.NodeID) {
+func (n *Network) noteReceived(bid packet.BroadcastID, h *host) {
+	// Speculative eligibility requires DeliveryHook and Tracer nil, so
+	// the journaled op only has to replay the record mutations.
+	if n.specOpen && h.lane >= 0 {
+		n.specNote(h.lane, recOpReceived, bid)
+		return
+	}
 	rec := n.record(bid)
 	rec.Received++
 	rec.NoteActivity(n.sched.Now())
 	if n.DeliveryHook != nil {
-		n.DeliveryHook(bid, h)
+		n.DeliveryHook(bid, h.id)
 	}
-	n.trace(trace.Deliver, bid, h)
+	n.trace(trace.Deliver, bid, h.id)
 }
 
 // trace records an event if a Tracer is attached.
@@ -979,11 +1051,19 @@ func (n *Network) trace(kind trace.Kind, bid packet.BroadcastID, h packet.NodeID
 	}
 }
 
-func (n *Network) noteTransmitted(bid packet.BroadcastID) {
+func (n *Network) noteTransmitted(bid packet.BroadcastID, h *host) {
+	if n.specOpen && h.lane >= 0 {
+		n.specNote(h.lane, recOpTransmitted, bid)
+		return
+	}
 	n.record(bid).Transmitted++
 }
 
-func (n *Network) noteActivity(bid packet.BroadcastID) {
+func (n *Network) noteActivity(bid packet.BroadcastID, h *host) {
+	if n.specOpen && h.lane >= 0 {
+		n.specNote(h.lane, recOpActivity, bid)
+		return
+	}
 	n.record(bid).NoteActivity(n.sched.Now())
 }
 

@@ -53,13 +53,47 @@ import (
 )
 
 // ParallelStats reports how the sharded engine's barrier windows were
-// executed. All counters are zero for the sequential engine.
+// executed. All counters are zero for the sequential engine. The
+// speculative engine additionally accounts its windows: Speculated
+// windows were attempted optimistically, Committed of them validated
+// (their lane-fired events count into ShardExecuted), and RolledBack
+// were rejected — restored from their micro-checkpoint and replayed on
+// the sequential border lane.
 type ParallelStats struct {
 	Barriers       int      // barrier windows executed
 	Widened        int      // windows that used the adaptive wide lookahead
-	ShardExecuted  []uint64 // events fired by each shard's parallel wheel drain
+	ShardExecuted  []uint64 // events fired by each shard's parallel drain
 	BorderExecuted uint64   // events executed on the sequential border lane
 	WaitNS         int64    // cumulative worker idle time at drain barriers
+	Speculated     int      // windows attempted under speculative execution
+	Committed      int      // speculative windows that validated and committed
+	RolledBack     int      // speculative windows restored and replayed
+}
+
+// BorderShare is the fraction of all executed events that ran on the
+// sequential border lane rather than a parallel shard drain: 1 means
+// fully sequential, 0 means every event ran on a lane. Only meaningful
+// on a snapshot returned by Network.ParallelStats (which derives
+// BorderExecuted); zero events reports 1.
+func (st ParallelStats) BorderShare() float64 {
+	var shard uint64
+	for _, c := range st.ShardExecuted {
+		shard += c
+	}
+	total := shard + st.BorderExecuted
+	if total == 0 {
+		return 1
+	}
+	return float64(st.BorderExecuted) / float64(total)
+}
+
+// CommitRate is the fraction of speculative windows that validated and
+// committed; 0 when no window was attempted.
+func (st ParallelStats) CommitRate() float64 {
+	if st.Speculated == 0 {
+		return 0
+	}
+	return float64(st.Committed) / float64(st.Speculated)
 }
 
 // ParallelStats returns a snapshot of the engine's barrier accounting.

@@ -109,7 +109,7 @@ func (h *host) onRepairFrame(f *packet.Frame) {
 			// (the best-effort wave has long passed). noteRecent retires
 			// the NACK marker.
 			h.net.repairsDelivered++
-			h.net.noteReceived(msg.ID, h.id)
+			h.net.noteReceived(msg.ID, h)
 			h.noteRecent(msg.ID)
 		}
 	}

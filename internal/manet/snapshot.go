@@ -3,7 +3,7 @@ package manet
 import (
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 
 	"repro/internal/geom"
 	"repro/internal/mac"
@@ -36,8 +36,11 @@ import (
 // part of the digest — cross-engine resume is excluded by design (the
 // shard-lane sequence namespaces are engine-specific).
 func (n *Network) checkpointDigest() string {
+	if n.digestCache != "" {
+		return n.digestCache
+	}
 	c := n.cfg
-	return fmt.Sprintf("v1 hosts=%d map=%d unit=%g radius=%g speed=%g static=%t mobility=%d pause=%d groups=%d spread=%g placement=%v "+
+	n.digestCache = fmt.Sprintf("v1 hosts=%d map=%d unit=%g radius=%g speed=%g static=%t mobility=%d pause=%d groups=%d spread=%g placement=%v "+
 		"scheme=%q requests=%d arrival=%d hello=%d hi=%d dhi=%+v expiry=%d slots=%d warmup=%d drain=%d timing=%+v "+
 		"engine=%d shards=%d nocoll=%t idealhello=%t nogrid=%t nointerf=%t nodense=%t noladder=%t "+
 		"loss=%g capture=%g repair=%t window=%d retain=%t seed=%d",
@@ -45,6 +48,7 @@ func (n *Network) checkpointDigest() string {
 		c.Scheme.Name(), c.Requests, c.ArrivalSpread, c.HelloMode, c.HelloInterval, c.DHI, c.ExpiryIntervals, c.AssessmentSlots, c.Warmup, c.Drain, c.Timing,
 		n.engine, n.shards, c.DisableCollisions, c.IdealHello, c.DisableSpatialIndex, c.DisableInterferenceIndex, c.DisableDenseState, c.DisableLadderQueue,
 		c.LossRate, c.CaptureRatio, c.Repair, c.RepairWindow, c.RetainRecords, c.Seed)
+	return n.digestCache
 }
 
 // checkpointable reports why this network cannot be checkpointed, nil
@@ -129,10 +133,35 @@ func materializeFrame(sf *snapshot.Frame) (*packet.Frame, error) {
 // from CheckpointHook — where every pending event is strictly in the
 // future and the shard lanes are folded.
 func (n *Network) Snapshot() (*snapshot.Checkpoint, error) {
-	if err := n.checkpointable(); err != nil {
+	ck := &snapshot.Checkpoint{}
+	if err := n.snapshotInto(ck); err != nil {
 		return nil, err
 	}
-	ck := &snapshot.Checkpoint{Digest: n.checkpointDigest()}
+	return ck, nil
+}
+
+// resetCheckpoint truncates a checkpoint document for reuse, keeping
+// the capacity of its top-level tables. The speculative engine's
+// micro-checkpoints pool one document this way: every segment
+// re-snapshots into the same backing arrays instead of reallocating
+// them (snapshotInto only ever assigns or appends, so a truncated
+// document is indistinguishable from a zero one).
+func resetCheckpoint(ck *snapshot.Checkpoint) {
+	ck.Digest = ""
+	ck.Frames = ck.Frames[:0]
+	ck.Observers = ck.Observers[:0]
+	ck.Hosts = ck.Hosts[:0]
+	recs, origs := ck.Net.Records[:0], ck.Net.Originations[:0]
+	ck.Net = snapshot.Network{Records: recs, Originations: origs}
+}
+
+// snapshotInto is Snapshot writing into a caller-owned (possibly
+// pooled) document; ck must be zero or freshly resetCheckpoint-ed.
+func (n *Network) snapshotInto(ck *snapshot.Checkpoint) error {
+	if err := n.checkpointable(); err != nil {
+		return err
+	}
+	ck.Digest = n.checkpointDigest()
 
 	// Identity tables, built lazily by the resolvers the layer snapshots
 	// call: a frame (or observer) referenced from several places — a MAC
@@ -203,22 +232,38 @@ func (n *Network) Snapshot() (*snapshot.Checkpoint, error) {
 		err = tableErr
 	}
 	if err != nil {
-		return nil, err
+		return err
 	}
 	ck.Channel = ch
 
 	armed := n.ch.PendingEvents()
-	for _, h := range n.hosts {
+	// Host slots are written in place: on a pooled document each slot
+	// keeps the nested buffers of the previous snapshot (Dedup, Pending,
+	// HelloFly, Recent, Nacked), so steady-state micro-checkpoints
+	// re-fill capacity instead of reallocating it. On a fresh document
+	// the buffers start nil and the appends below allocate exactly what
+	// the old append-of-a-local did.
+	if cap(ck.Hosts) >= len(n.hosts) {
+		ck.Hosts = ck.Hosts[:len(n.hosts)]
+	} else {
+		ck.Hosts = make([]snapshot.Host, len(n.hosts))
+	}
+	for hi, h := range n.hosts {
 		roamer, ok := h.mover.(*mobility.Roamer)
 		if !ok {
-			return nil, fmt.Errorf("manet: checkpoint of unsupported mover %T", h.mover)
+			return fmt.Errorf("manet: checkpoint of unsupported mover %T", h.mover)
 		}
-		hs := snapshot.Host{
-			Dedup:  h.dedup.Snapshot(),
-			RNG:    h.rng.State(),
-			Mover:  roamer.Snapshot(),
-			Table:  h.table.Snapshot(),
-			PrFree: int64(len(h.prFree)),
+		hs := &ck.Hosts[hi]
+		*hs = snapshot.Host{
+			Dedup:    h.dedup.SnapshotAppend(hs.Dedup[:0]),
+			RNG:      h.rng.State(),
+			Mover:    roamer.Snapshot(),
+			Table:    h.table.Snapshot(),
+			PrFree:   int64(len(h.prFree)),
+			Pending:  hs.Pending[:0],
+			HelloFly: hs.HelloFly[:0],
+			Recent:   hs.Recent[:0],
+			Nacked:   hs.Nacked[:0],
 		}
 		if hs.Mover.HasTurn {
 			armed++
@@ -227,7 +272,7 @@ func (n *Network) Snapshot() (*snapshot.Checkpoint, error) {
 		for _, p := range h.livePending {
 			js, err := scheme.SnapshotJudge(p.judge)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			pd := snapshot.PendingDecision{Bid: p.bid, Judge: js, Started: p.started}
 			if p.assess != nil {
@@ -238,7 +283,7 @@ func (n *Network) Snapshot() (*snapshot.Checkpoint, error) {
 			}
 			if p.frame != nil {
 				if pd.FrameRef = frameRef(p.frame); pd.FrameRef == phy.BadRef {
-					return nil, tableErr
+					return tableErr
 				}
 			}
 			hs.Pending = append(hs.Pending, pd)
@@ -248,14 +293,14 @@ func (n *Network) Snapshot() (*snapshot.Checkpoint, error) {
 			err = tableErr
 		}
 		if err != nil {
-			return nil, fmt.Errorf("manet: checkpoint %v: %w", h.id, err)
+			return fmt.Errorf("manet: checkpoint %v: %w", h.id, err)
 		}
 		hs.MAC = st
 		armed += h.mac.PendingEvents()
 		for _, f := range h.helloFly {
 			ref := frameRef(f)
 			if ref == phy.BadRef {
-				return nil, tableErr
+				return tableErr
 			}
 			hs.HelloFly = append(hs.HelloFly, ref)
 		}
@@ -271,14 +316,12 @@ func (n *Network) Snapshot() (*snapshot.Checkpoint, error) {
 		for bid := range h.nacked {
 			hs.Nacked = append(hs.Nacked, bid)
 		}
-		sort.Slice(hs.Nacked, func(i, j int) bool {
-			a, b := hs.Nacked[i], hs.Nacked[j]
+		slices.SortFunc(hs.Nacked, func(a, b packet.BroadcastID) int {
 			if a.Source != b.Source {
-				return a.Source < b.Source
+				return int(a.Source) - int(b.Source)
 			}
-			return a.Seq < b.Seq
+			return int(a.Seq) - int(b.Seq)
 		})
-		ck.Hosts = append(ck.Hosts, hs)
 	}
 
 	ck.Net = snapshot.Network{
@@ -320,9 +363,9 @@ func (n *Network) Snapshot() (*snapshot.Checkpoint, error) {
 	// owned by exactly one serialized descriptor, or the restored run
 	// would silently drop (or duplicate) an event.
 	if pending := n.sched.Pending(); armed != pending {
-		return nil, fmt.Errorf("manet: checkpoint covers %d armed events, scheduler holds %d", armed, pending)
+		return fmt.Errorf("manet: checkpoint covers %d armed events, scheduler holds %d", armed, pending)
 	}
-	return ck, nil
+	return nil
 }
 
 // Checkpoint writes the network's checkpoint document to w (see

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// TestStreamFoldOrderInvariance is the property the speculative
+// engine's commit path rests on: broadcast completions produced in
+// per-lane batches, in any batch interleaving, reproduce the batch
+// Summarize byte for byte once they are merged back into global
+// completion (time, seq) order before folding. The fold order — not
+// the production order — is what fixes the summation order, the
+// two-pass variance, and the percentile ranks.
+func TestStreamFoldOrderInvariance(t *testing.T) {
+	rng := sim.NewRNG(42)
+	const nRec = 257 // odd, so batches split unevenly
+
+	type completion struct {
+		rec BroadcastRecord
+		at  sim.Time // completion time
+		seq uint64   // tiebreak for equal completion times
+	}
+	completions := make([]completion, nRec)
+	for i := range completions {
+		start := sim.Time(rng.IntN(10_000)) * sim.Time(sim.Millisecond)
+		reach := 1 + rng.IntN(100)
+		bid := packet.BroadcastID{Source: packet.NodeID(rng.IntN(64)), Seq: uint32(i + 1)}
+		rec := MakeBroadcastRecord(bid, start, reach)
+		rec.Received = 1 + rng.IntN(reach)
+		rec.Transmitted = 1 + rng.IntN(rec.Received)
+		// A quarter of the completions share a timestamp, so the seq
+		// tiebreak is actually exercised.
+		at := start.Add(sim.Duration(rng.IntN(4)) * 25 * sim.Millisecond)
+		rec.NoteActivity(at)
+		completions[i] = completion{rec: rec, at: at, seq: uint64(i)}
+	}
+
+	// The oracle: every completion in global (time, seq) order, folded
+	// once, summarized by the batch path.
+	canonical := make([]completion, nRec)
+	copy(canonical, completions)
+	sort.Slice(canonical, func(i, j int) bool {
+		if canonical[i].at != canonical[j].at {
+			return canonical[i].at < canonical[j].at
+		}
+		return canonical[i].seq < canonical[j].seq
+	})
+	oracleRecs := make([]*BroadcastRecord, nRec)
+	for i := range canonical {
+		oracleRecs[i] = &canonical[i].rec
+	}
+	want := Summarize(oracleRecs)
+
+	for trial := 0; trial < 20; trial++ {
+		// Cut the canonical stream into batches (per-lane output) and
+		// permute the batch order — the interleaving a parallel window
+		// hands the merge.
+		batchSize := 1 + rng.IntN(64)
+		var batches [][]completion
+		for lo := 0; lo < nRec; lo += batchSize {
+			hi := lo + batchSize
+			if hi > nRec {
+				hi = nRec
+			}
+			batches = append(batches, canonical[lo:hi])
+		}
+		for i := len(batches) - 1; i > 0; i-- {
+			j := rng.IntN(i + 1)
+			batches[i], batches[j] = batches[j], batches[i]
+		}
+		var permuted []completion
+		for _, b := range batches {
+			permuted = append(permuted, b...)
+		}
+
+		// The merge the commit path performs: restore global (time, seq)
+		// order, then fold into the stream.
+		sort.Slice(permuted, func(i, j int) bool {
+			if permuted[i].at != permuted[j].at {
+				return permuted[i].at < permuted[j].at
+			}
+			return permuted[i].seq < permuted[j].seq
+		})
+		var s Stream
+		for i := range permuted {
+			s.Fold(&permuted[i].rec)
+		}
+		if got := s.Summary(); got != want {
+			t.Fatalf("trial %d (batch size %d): merged fold diverged from batch Summarize:\nstream: %+v\nbatch:  %+v",
+				trial, batchSize, got, want)
+		}
+	}
+}

@@ -33,6 +33,13 @@ type TableState struct {
 // barrier. Entries are emitted in ascending id order on both layouts.
 func (t *Table) Snapshot() TableState {
 	var st TableState
+	if t.Count() == 0 {
+		// A table that has never heard a HELLO (or whose entries all
+		// expired) snapshots allocation-free — the case the speculative
+		// engine's per-segment micro-checkpoints hit on every host.
+		st.Changes = t.changes
+		return st
+	}
 	snap := func(e *entry) {
 		st.Entries = append(st.Entries, EntryState{
 			ID:        e.id,

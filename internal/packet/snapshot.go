@@ -2,21 +2,28 @@ package packet
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Snapshot returns the broadcast ids the table has observed, in
 // canonical ascending (source, seq) order for the checkpoint codec.
 func (t *DedupTable) Snapshot() []BroadcastID {
-	ids := make([]BroadcastID, 0, len(t.seen))
+	return t.SnapshotAppend(make([]BroadcastID, 0, len(t.seen)))
+}
+
+// SnapshotAppend is Snapshot appending into a caller-owned buffer, for
+// checkpoint documents that pool their backing arrays across snapshots.
+func (t *DedupTable) SnapshotAppend(ids []BroadcastID) []BroadcastID {
+	base := len(ids)
 	for id := range t.seen {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool {
-		if ids[i].Source != ids[j].Source {
-			return ids[i].Source < ids[j].Source
+	tail := ids[base:]
+	slices.SortFunc(tail, func(a, b BroadcastID) int {
+		if a.Source != b.Source {
+			return int(a.Source) - int(b.Source)
 		}
-		return ids[i].Seq < ids[j].Seq
+		return int(a.Seq) - int(b.Seq)
 	})
 	return ids
 }

@@ -153,14 +153,33 @@ type transmission struct {
 	// cell is the interference-index bucket currently holding this
 	// record (-1 while unindexed).
 	cell int32
-	// onDone is the caller's completion handler for this flight, and
-	// fire is the end-of-airtime event body, bound once per record so a
-	// recycled transmission schedules its finish without allocating a
-	// fresh closure per Transmit. endEvent is the armed end-of-airtime
-	// event, kept so a checkpoint can record its exact (at, seq) key.
+	// onDone is the caller's completion handler for this flight. The
+	// record is its own end-of-airtime sim.Runner (RunEvent calls
+	// ch.finish), so scheduling the finish allocates no closure and the
+	// armed event is classifiable by sender — which is how speculative
+	// windows route an in-flight transmission's end to its band's lane.
+	// endEvent is the armed end-of-airtime event, kept so a checkpoint
+	// can record its exact (at, seq) key.
 	onDone   TxEnder
-	fire     func()
+	ch       *Channel
 	endEvent *sim.Event
+	// lane is the speculative lane currently owning this flight, -1
+	// outside speculative windows.
+	lane int32
+}
+
+// RunEvent implements sim.Runner: the end-of-airtime callback.
+func (tx *transmission) RunEvent() { tx.ch.finish(tx) }
+
+// TransmissionSender reports the sending radio of an armed end-of-airtime
+// event's runner. The speculative classifier uses it to route extracted
+// events it does not otherwise recognize.
+func TransmissionSender(r sim.Runner) (int, bool) {
+	tx, ok := r.(*transmission)
+	if !ok {
+		return 0, false
+	}
+	return tx.sender, true
 }
 
 // garble marks receiver i's copy destroyed in whichever representation
@@ -265,9 +284,19 @@ type Channel struct {
 	// level and nothing changes. maxAir bounds how long any flight can
 	// have been on the air, and hence how far a receiver can have
 	// drifted between two membership snapshots.
-	buckets [][]*transmission
-	ifxGen  uint64 // gridGen the buckets were last rebuilt for
-	maxAir  sim.Duration
+	buckets  [][]*transmission
+	ifxGen   uint64 // gridGen the buckets were last rebuilt for
+	ifxDirty bool   // buckets hold stale pointers (a speculative window stripped them)
+	maxAir   sim.Duration
+
+	// Speculative-window state: while specBands > 0 the active list is
+	// partitioned into one chLane per horizontal map band and every
+	// transmission runs entirely inside its band (guarded at TransmitLane;
+	// a violation flags the lane's window for rollback). specHeight is
+	// the map height the band mapping divides.
+	specBands  int
+	specHeight float64
+	specLanes  []chLane
 
 	// Scratch reused across Transmit calls so the hot path does not
 	// allocate: member marks the current frame's receiver set for the
@@ -647,8 +676,213 @@ func (c *Channel) Transmit(radio int, f *packet.Frame, onDone TxEnder) sim.Durat
 	}
 
 	tx.onDone = onDone
-	tx.endEvent = c.sched.Schedule(tx.end, tx.fire)
+	tx.endEvent = c.sched.ScheduleRunner(tx.end, tx)
 	return air
+}
+
+// chLane is the per-band resource set a speculative window's lane runs
+// on: its share of the active list, its own stats and transmission-
+// record pool, all folded back into the shared fields at commit.
+// Everything here is touched only by the lane's own goroutine while a
+// window is open.
+type chLane struct {
+	active       []*transmission
+	stats        Stats
+	maxAir       sim.Duration
+	txFree       []*transmission
+	txPoolHits   uint64
+	txPoolMisses uint64
+}
+
+// specBandOf maps a Y coordinate to its band, with the same clamped
+// linear mapping the manet engine uses to assign hosts to shards.
+func (c *Channel) specBandOf(y float64) int {
+	return bandOf(y, c.specHeight, c.specBands)
+}
+
+func bandOf(y, height float64, bands int) int {
+	b := int(y / height * float64(bands))
+	if b < 0 {
+		return 0
+	}
+	if b >= bands {
+		return bands - 1
+	}
+	return b
+}
+
+// SpecWindowViable reports whether BeginSpecWindow would succeed on the
+// current state: the identical border test, run without opening (or
+// mutating) anything. Callers probe it before paying for the
+// micro-checkpoint a speculative window needs — a window the partition
+// would decline anyway then costs nothing but this scan.
+func (c *Channel) SpecWindowViable(bands int, height float64) bool {
+	if bands <= 1 || c.DisableInterference || c.DisableIndex || !c.hasBound {
+		return false
+	}
+	guard := c.radius + driftEpsilon
+	for _, tx := range c.active {
+		if bandOf(tx.senderPos.Y-guard, height, bands) != bandOf(tx.senderPos.Y+guard, height, bands) {
+			return false
+		}
+	}
+	return true
+}
+
+// BeginSpecWindow opens a speculative window over the given number of
+// horizontal bands of a map of the given height. It partitions the
+// active transmissions into per-band lanes (stripping them from the
+// interference buckets, which rebuild lazily afterwards) and reports
+// whether the partition is sound: false means some in-flight
+// transmission's disk crosses a band border — it may interact with two
+// bands — and the caller must run the window sequentially instead.
+// Must be called from the scheduler's owning goroutine with no lane
+// running.
+func (c *Channel) BeginSpecWindow(bands int, height float64) bool {
+	if bands <= 1 || c.DisableInterference || c.DisableIndex || !c.hasBound {
+		return false
+	}
+	if c.specBands != 0 {
+		panic("phy: speculative window already open")
+	}
+	c.refresh() // lanes query the grid concurrently; make it usable now
+	c.specBands = bands
+	c.specHeight = height
+	guard := c.radius + driftEpsilon
+	for _, tx := range c.active {
+		if c.specBandOf(tx.senderPos.Y-guard) != c.specBandOf(tx.senderPos.Y+guard) {
+			c.specBands = 0
+			return false
+		}
+	}
+	for len(c.specLanes) < bands {
+		c.specLanes = append(c.specLanes, chLane{})
+	}
+	for _, tx := range c.active {
+		tx.lane = int32(c.specBandOf(tx.senderPos.Y))
+		tx.cell = -1
+		ln := &c.specLanes[tx.lane]
+		ln.active = append(ln.active, tx)
+	}
+	clearTxs(c.active)
+	c.active = c.active[:0]
+	c.ifxDirty = true
+	return true
+}
+
+func clearTxs(txs []*transmission) {
+	for i := range txs {
+		txs[i] = nil
+	}
+}
+
+// CommitSpecWindow closes a validated window: lane actives merge back
+// into the shared list (band order; start order within a band) and lane
+// counters fold into the shared stats. On rollback the channel object is
+// discarded wholesale instead, so there is no abort counterpart.
+func (c *Channel) CommitSpecWindow() {
+	if c.specBands == 0 {
+		panic("phy: CommitSpecWindow without an open window")
+	}
+	for i := 0; i < c.specBands; i++ {
+		ln := &c.specLanes[i]
+		for _, tx := range ln.active {
+			tx.lane = -1
+			c.active = append(c.active, tx)
+		}
+		clearTxs(ln.active)
+		ln.active = ln.active[:0]
+		c.stats.Transmissions += ln.stats.Transmissions
+		c.stats.Deliveries += ln.stats.Deliveries
+		c.stats.Collisions += ln.stats.Collisions
+		c.stats.Lost += ln.stats.Lost
+		ln.stats = Stats{}
+		if ln.maxAir > c.maxAir {
+			c.maxAir = ln.maxAir
+		}
+		ln.maxAir = 0
+		c.txPoolHits += ln.txPoolHits
+		c.txPoolMisses += ln.txPoolMisses
+		ln.txPoolHits, ln.txPoolMisses = 0, 0
+	}
+	c.specBands = 0
+}
+
+// TransmitLane is Transmit routed through a speculative lane: outside a
+// window (or for lane -1) it is exactly Transmit; inside one it runs the
+// same transmission pipeline against the lane's private active list and
+// pools, after proving the sender's whole interference disk lies inside
+// the lane's band. Two transmissions whose disks lie inside disjoint
+// bands cannot share a receiver, sense each other's carrier, or garble
+// one another, so the per-lane pipeline resolves exactly the
+// interactions the sequential engine would — a sender that cannot prove
+// this flags its lane for rollback and bails before mutating anything.
+func (c *Channel) TransmitLane(radio int, f *packet.Frame, onDone TxEnder, lane int) sim.Duration {
+	if c.specBands == 0 || lane < 0 {
+		return c.Transmit(radio, f, onDone)
+	}
+	if c.transmitting[radio] {
+		panic(fmt.Sprintf("phy: radio %d transmitting twice", radio))
+	}
+	ln := &c.specLanes[lane]
+	now := c.sched.LaneNow(lane)
+	air := c.timing.Airtime(f.Bytes)
+	senderPos := c.positions[radio].PositionAt(now)
+	guard := c.radius + driftEpsilon
+	if c.specBandOf(senderPos.Y-guard) != lane || c.specBandOf(senderPos.Y+guard) != lane {
+		c.sched.FlagLaneConflict(lane)
+		return air
+	}
+	if air > ln.maxAir {
+		ln.maxAir = air
+	}
+	tx := c.newTransmissionLane(ln, f, radio, now.Add(air))
+	tx.lane = int32(lane)
+	ln.stats.Transmissions++
+	c.transmitting[radio] = true
+	tx.senderPos = senderPos
+	tx.receivers = c.staleNeighbors(radio, senderPos, now, tx.receivers)
+	for _, i := range tx.receivers {
+		tx.recvSet.Add(packet.NodeID(i))
+	}
+	for _, other := range ln.active {
+		c.resolveAgainst(tx, other, now)
+	}
+	for _, i := range tx.receivers {
+		if c.transmitting[i] {
+			tx.garble(i)
+		}
+	}
+	ln.active = append(ln.active, tx)
+	c.raiseBusy(radio)
+	for _, i := range tx.receivers {
+		c.raiseBusy(i)
+	}
+	tx.onDone = onDone
+	tx.endEvent = c.sched.LaneScheduleRunner(lane, tx.end, tx)
+	return air
+}
+
+// newTransmissionLane is newTransmission against a lane's private pool.
+func (c *Channel) newTransmissionLane(ln *chLane, f *packet.Frame, radio int, end sim.Time) *transmission {
+	var tx *transmission
+	if n := len(ln.txFree); n > 0 {
+		tx = ln.txFree[n-1]
+		ln.txFree = ln.txFree[:n-1]
+		tx.receivers = tx.receivers[:0]
+		tx.recvSet.Clear()
+		tx.garbledSet.Clear()
+		ln.txPoolHits++
+	} else {
+		tx = &transmission{cell: -1, lane: -1, ch: c}
+		tx.recvSet = nodeset.New(len(c.positions))
+		tx.garbledSet = nodeset.New(len(c.positions))
+		ln.txPoolMisses++
+	}
+	tx.frame = f
+	tx.sender = radio
+	tx.end = end
+	return tx
 }
 
 // newTransmission takes a transmission record off the free list (or
@@ -668,14 +902,13 @@ func (c *Channel) newTransmission(f *packet.Frame, radio int, end sim.Time) *tra
 		}
 		c.txPoolHits++
 	} else {
-		tx = &transmission{cell: -1}
+		tx = &transmission{cell: -1, lane: -1, ch: c}
 		if c.DisableInterference {
 			tx.garbled = make(map[int]bool)
 		} else {
 			tx.recvSet = nodeset.New(len(c.positions))
 			tx.garbledSet = nodeset.New(len(c.positions))
 		}
-		tx.fire = func() { c.finish(tx) }
 		c.txPoolMisses++
 	}
 	tx.frame = f
@@ -818,7 +1051,7 @@ func (c *Channel) resolveOverlap(a, b *transmission, i int, now sim.Time) {
 func (c *Channel) syncBuckets() {
 	cols, rows := c.grid.MacroCells()
 	n := cols * rows
-	if c.ifxGen == c.gridGen && len(c.buckets) == n {
+	if !c.ifxDirty && c.ifxGen == c.gridGen && len(c.buckets) == n {
 		return
 	}
 	if cap(c.buckets) < n {
@@ -833,6 +1066,7 @@ func (c *Channel) syncBuckets() {
 		c.bucketAdd(tx)
 	}
 	c.ifxGen = c.gridGen
+	c.ifxDirty = false
 }
 
 // bucketAdd places an active transmission in the bucket of its sender's
@@ -874,6 +1108,10 @@ func (c *Channel) SetCapture(ratio float64) {
 // finish ends a transmission: delivers intact copies, reports garbled
 // ones, and releases the carrier.
 func (c *Channel) finish(tx *transmission) {
+	if c.specBands > 0 && tx.lane >= 0 {
+		c.finishLane(tx)
+		return
+	}
 	if c.audit != nil {
 		// Both the record and its frame must still be live at airtime
 		// end; a recycle while in flight is a use-after-release.
@@ -936,6 +1174,48 @@ func (c *Channel) finish(tx *transmission) {
 	tx.onDone = nil
 	tx.endEvent = nil
 	c.txFree = append(c.txFree, tx)
+}
+
+// finishLane is finish inside a speculative window: the same pipeline
+// against the owning lane's active list, stats, and record pool. The
+// flight's receivers all lie inside the lane's band (TransmitLane proved
+// the disk in-band when it started, or the window partition did), so
+// every carrier transition and delivery lands on this lane's own hosts.
+// Speculation eligibility excludes the loss model, capture, the auditor,
+// and the channel-load observer, so none of their shared state is
+// reachable here.
+func (c *Channel) finishLane(tx *transmission) {
+	ln := &c.specLanes[tx.lane]
+	for i, a := range ln.active {
+		if a == tx {
+			last := len(ln.active) - 1
+			copy(ln.active[i:], ln.active[i+1:])
+			ln.active[last] = nil
+			ln.active = ln.active[:last]
+			break
+		}
+	}
+	c.transmitting[tx.sender] = false
+	c.lowerBusy(tx.sender)
+	for _, i := range tx.receivers {
+		c.lowerBusy(i)
+	}
+	for _, i := range tx.receivers {
+		if tx.isGarbled(i) && !c.DisableCollisions {
+			ln.stats.Collisions++
+			c.listeners[i].DeliverGarbled(tx.frame)
+		} else {
+			ln.stats.Deliveries++
+			c.listeners[i].Deliver(tx.frame)
+		}
+	}
+	if tx.onDone != nil {
+		tx.onDone.TxEnded()
+	}
+	tx.frame = nil
+	tx.onDone = nil
+	tx.endEvent = nil
+	ln.txFree = append(ln.txFree, tx)
 }
 
 func (c *Channel) raiseBusy(i int) {

@@ -123,10 +123,9 @@ func (c *Channel) Restore(st ChannelState, frame func(uint32) *packet.Frame, end
 	c.txPoolHits = st.TxPoolHits
 	c.txPoolMisses = st.TxPoolMisses
 	for len(c.txFree) < st.TxFreeLen {
-		tx := &transmission{cell: -1}
+		tx := &transmission{cell: -1, lane: -1, ch: c}
 		tx.recvSet = nodeset.New(len(c.positions))
 		tx.garbledSet = nodeset.New(len(c.positions))
-		tx.fire = func() { c.finish(tx) }
 		c.txFree = append(c.txFree, tx)
 	}
 	c.txFree = c.txFree[:st.TxFreeLen]
@@ -143,6 +142,8 @@ func (c *Channel) Restore(st ChannelState, frame func(uint32) *packet.Frame, end
 		}
 		tx := &transmission{
 			cell:      -1,
+			lane:      -1,
+			ch:        c,
 			frame:     f,
 			sender:    int(ts.Sender),
 			senderPos: ts.SenderPos,
@@ -151,7 +152,6 @@ func (c *Channel) Restore(st ChannelState, frame func(uint32) *packet.Frame, end
 		}
 		tx.recvSet = nodeset.New(len(c.positions))
 		tx.garbledSet = nodeset.New(len(c.positions))
-		tx.fire = func() { c.finish(tx) }
 		for _, r := range ts.Receivers {
 			if int(r) < 0 || int(r) >= len(c.positions) || int(r) == tx.sender {
 				return fmt.Errorf("phy: restore transmission with invalid receiver %d", r)
@@ -167,7 +167,7 @@ func (c *Channel) Restore(st ChannelState, frame func(uint32) *packet.Frame, end
 			}
 			tx.garbledSet.Add(g)
 		}
-		ev, err := c.sched.RestoreFunc(-1, ts.End, ts.EndSeq, tx.fire)
+		ev, err := c.sched.RestoreRunner(-1, ts.End, ts.EndSeq, tx)
 		if err != nil {
 			return fmt.Errorf("phy: restore end event for radio %d: %w", ts.Sender, err)
 		}

@@ -88,6 +88,14 @@ type Scheduler struct {
 	lanes    []laneState
 	parallel bool
 
+	// Speculative-window lanes (spec.go): between BeginSpec and
+	// CommitSpec the window's events run on per-band lanes with
+	// provisional sequence numbers, validated and renumbered at commit.
+	spec       bool
+	specLanes  []specLane
+	extractBuf []*Event
+	specIdx    []int
+
 	// Event free-list (default mode): recycled records are reused by the
 	// next Schedule, so steady-state operation allocates nothing. A plain
 	// slice, not sync.Pool — the scheduler is single-threaded, and
@@ -208,6 +216,9 @@ func (s *Scheduler) recycle(e *Event) { recycleInto(&s.free, e) }
 func (s *Scheduler) assertSequential(api string) {
 	if s.parallel {
 		panic("sim: " + api + " during a parallel drain")
+	}
+	if s.spec {
+		panic("sim: " + api + " during a speculative window")
 	}
 }
 

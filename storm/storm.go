@@ -49,10 +49,14 @@ type (
 	Summary = metrics.Summary
 	// HelloMode selects how hosts run neighbor discovery.
 	HelloMode = manet.HelloMode
-	// Engine selects the simulation engine (sequential oracle or the
-	// spatially sharded engine); all engines produce byte-identical
-	// summaries. Select via Config.Engine and Config.Shards.
+	// Engine selects the simulation engine (sequential oracle, the
+	// spatially sharded engine, or the speculative validate-or-replay
+	// engine); all engines produce byte-identical summaries. Select via
+	// Config.Engine and Config.Shards.
 	Engine = manet.Engine
+	// ParallelStats reports how a sharded or speculative run executed
+	// its barrier windows (Network.ParallelStats).
+	ParallelStats = manet.ParallelStats
 	// Features describes the data-structure and parallelism choices an
 	// engine resolves to (Config.EngineFeatures, Engine.Features).
 	Features = manet.Features
@@ -129,13 +133,20 @@ const (
 	EngineAuto             = manet.EngineAuto
 	EngineSequentialOracle = manet.EngineSequentialOracle
 	EngineSharded          = manet.EngineSharded
+	// EngineSpeculative is the sharded engine with optimistic radio
+	// windows on static worlds: barrier windows execute band-parallel
+	// over an in-memory micro-checkpoint and either validate (commit in
+	// oracle order) or roll back and replay sequentially. Summaries stay
+	// byte-identical to the oracle either way.
+	EngineSpeculative = manet.EngineSpeculative
 	// DefaultShards is the shard count EngineSharded uses when
 	// Config.Shards is zero.
 	DefaultShards = manet.DefaultShards
 )
 
 // ParseEngine maps an engine name ("auto", "sequential-oracle",
-// "sharded") onto an Engine, the way the cmd tools accept it.
+// "sharded", "speculative") onto an Engine, the way the cmd tools
+// accept it.
 func ParseEngine(name string) (Engine, error) { return manet.ParseEngine(name) }
 
 // Arena retains the sharded engine's bulk allocations across runs; pass
